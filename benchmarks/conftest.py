@@ -1,0 +1,63 @@
+"""Shared fixtures for the figure/table reproduction harness.
+
+Every bench file regenerates one of the paper's tables or figures: it runs
+the needed (workload × machine × policy) simulation points through a
+session-wide memoised runner (so points shared between figures — e.g.
+Figures 7 and 8 — simulate once), prints the same rows/series the paper
+reports, and writes them under ``benchmarks/results/``.
+
+Sizing knobs (environment):
+    REPRO_BENCH_INSTR   measured instructions per point (default 15000)
+    REPRO_BENCH_WARMUP  warmup instructions per point (default 15000)
+
+The on-disk cache keyed by those sizes makes re-runs instantaneous.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+
+def bench_sizes():
+    return (int(os.environ.get("REPRO_BENCH_INSTR", 15_000)),
+            int(os.environ.get("REPRO_BENCH_WARMUP", 15_000)))
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    instr, warm = bench_sizes()
+    cache = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         f"_cache_i{instr}_w{warm}.json")
+    return ExperimentRunner(instructions=instr, warmup=warm, cache_path=cache)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """report(name, text): print a figure's rows and persist them."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print(f"\n===== {name} =====")
+        print(text)
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+            f.write(text + "\n")
+
+    return _report
+
+
+def once(benchmark, fn):
+    """Run the (self-caching) figure builder exactly once under timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

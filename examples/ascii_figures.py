@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Render the paper's headline figures as terminal (ASCII) charts.
+
+Generates reduced-size versions of Figure 1 (IPC-vs-MTTF scatter) and
+Figure 3 (per-structure ABC stacks) and draws them with the built-in
+dependency-free plotting helpers. For the full-size reproduction use the
+benchmark harness (`pytest benchmarks/ --benchmark-only`).
+
+Usage:
+    python examples/ascii_figures.py [instructions]
+"""
+
+import sys
+
+from repro import BASELINE, simulate
+from repro.analysis.plots import bar_chart, scatter, stacked_bars
+from repro.analysis.stats import gmean, hmean
+from repro.reliability.ace import STRUCTURES
+
+WORKLOADS = ("libquantum", "mcf", "lbm", "milc")
+POLICIES = ("FLUSH", "TR", "PRE", "RAR")
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 6_000
+
+    results = {}
+    for w in WORKLOADS:
+        results[(w, "OOO")] = simulate(w, BASELINE, "OOO",
+                                       instructions=instructions)
+        for p in POLICIES:
+            results[(w, p)] = simulate(w, BASELINE, p,
+                                       instructions=instructions)
+            print(f"  simulated {w}/{p}")
+
+    # ----- Figure 1: IPC vs MTTF scatter -------------------------------
+    points = {}
+    for p in POLICIES:
+        ipcs = [results[(w, p)].ipc_rel(results[(w, "OOO")])
+                for w in WORKLOADS]
+        mttfs = [results[(w, p)].mttf_rel(results[(w, "OOO")])
+                 for w in WORKLOADS]
+        points[p] = (hmean(ipcs), gmean(mttfs))
+    print("\n" + scatter(points, xlabel="relative IPC",
+                         ylabel="relative MTTF",
+                         title="Figure 1 — performance vs reliability "
+                               f"({len(WORKLOADS)} benchmarks)"))
+
+    # ----- Figure 3: ABC stacks ----------------------------------------
+    rows = {}
+    for w in WORKLOADS:
+        r = results[(w, "OOO")]
+        rows[w] = {s: r.abc[s] / (r.instructions / 1000) for s in STRUCTURES}
+    print("\nFigure 3 — exposed state per structure "
+          "(ACE bit-cycles per kilo-instruction)")
+    print(stacked_bars(rows, segments=STRUCTURES, width=46))
+
+    # ----- Bonus: RAR's MTTF per benchmark -----------------------------
+    mttf = {w: results[(w, "RAR")].mttf_rel(results[(w, "OOO")])
+            for w in WORKLOADS}
+    print("\nRAR mean-time-to-failure improvement per benchmark")
+    print(bar_chart(mttf, width=40, fmt="{:.1f}x"))
+
+
+if __name__ == "__main__":
+    main()

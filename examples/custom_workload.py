@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Build a custom workload from scratch and measure RAR on it.
+
+Demonstrates the full workload API: hand-written loop bodies (a pointer
+chase intertwined with a streaming kernel), address-pattern specs, and the
+resulting behaviour under OoO vs. RAR. Use this as a template for studying
+your own access patterns.
+
+Usage:
+    python examples/custom_workload.py
+"""
+
+from repro import BASELINE, OOO, RAR, simulate
+from repro.common.enums import UopClass
+from repro.workloads.base import BranchSpec, SlotSpec, WorkloadSpec
+from repro.workloads.patterns import PatternSpec, hot_mix
+
+MB = 1024 * 1024
+
+
+def build_workload() -> WorkloadSpec:
+    """A hybrid kernel: one dependent chase chain + one wide stream.
+
+    The chase loads serialise (runahead cannot prefetch them — their
+    addresses depend on in-flight data), while the stream loads are
+    independent and prefetch perfectly. RAR's reliability gain applies to
+    both; its performance gain comes from the stream.
+    """
+    L, A, S, B, C = (int(UopClass.LOAD), int(UopClass.INT_ADD),
+                     int(UopClass.STORE), int(UopClass.BRANCH),
+                     int(UopClass.INT_CMP))
+    body = (
+        # chase: load -> pointer arithmetic -> next chase load (dynamic dep)
+        SlotSpec(cls=L, pattern="chase"),                 # 0
+        SlotSpec(cls=A, srcs=((0, 0),)),                  # 1 consumes chase
+        # stream: induction-variable addressing, independent of loads
+        SlotSpec(cls=A),                                  # 2 i++
+        SlotSpec(cls=L, srcs=((0, 2),), pattern="stream"),  # 3
+        SlotSpec(cls=A, srcs=((0, 3),)),                  # 4 consume stream
+        SlotSpec(cls=S, srcs=((0, 4), (0, 2)), pattern="stream"),  # 5
+        SlotSpec(cls=C, srcs=((0, 1),)),                  # 6 compare
+        SlotSpec(cls=B, branch=BranchSpec(kind="biased", bias=0.95)),  # 7
+        SlotSpec(cls=B, branch=BranchSpec(kind="loop", period=128)),   # 8
+    )
+    return WorkloadSpec(
+        name="custom-hybrid",
+        memory_intensive=True,
+        body=body,
+        patterns={
+            "chase": hot_mix(
+                PatternSpec(kind="chase", working_set=32 * MB), 0.75),
+            "stream": hot_mix(
+                PatternSpec(kind="stream", working_set=2 * MB, streams=8),
+                0.75),
+        },
+        seed=2022,
+        description="hand-built chase + stream hybrid",
+    )
+
+
+def main() -> None:
+    spec = build_workload()
+    print(f"Workload {spec.name!r}: {len(spec.body)} static uops/iteration")
+    base = simulate(spec, BASELINE, OOO, instructions=8_000)
+    rar = simulate(spec, BASELINE, RAR, instructions=8_000)
+
+    print(f"\nbaseline : ipc={base.ipc:.3f} mlp={base.mlp:.2f} "
+          f"mpki={base.mpki:.1f} avf={base.avf:.3f}")
+    print(f"RAR      : ipc={rar.ipc:.3f} mlp={rar.mlp:.2f} "
+          f"mpki={rar.mpki:.1f} avf={rar.avf:.3f}")
+    print(f"\nRAR vs OoO: IPC {rar.ipc_rel(base):.2f}x, "
+          f"MTTF {rar.mttf_rel(base):.2f}x, "
+          f"ABC -{(1 - rar.abc_rel(base)) * 100:.1f}%")
+    print("\nPer-structure exposed state (ACE bit-cycles):")
+    for s in ("rob", "iq", "lq", "sq", "rf", "fu"):
+        print(f"  {s:<4} base={base.abc[s]:>14,}  rar={rar.abc[s]:>14,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Full soft-error reliability report for a set of benchmarks.
+
+For each workload: per-structure ACE breakdown, AVF, the miss-shadow
+attribution of Figure 5, and the MTTF/ABC improvement each protection
+mechanism (FLUSH, RAR) buys — the kind of report a reliability architect
+would pull before choosing a mechanism.
+
+Usage:
+    python examples/reliability_report.py [workload ...]
+"""
+
+import sys
+
+from repro import BASELINE, FLUSH, OOO, RAR, simulate
+from repro.analysis.tables import format_table
+from repro.reliability.ace import STRUCTURES
+
+
+def report_one(name: str, instructions: int = 8_000) -> None:
+    base = simulate(name, BASELINE, OOO, instructions=instructions)
+    flush = simulate(name, BASELINE, FLUSH, instructions=instructions)
+    rar = simulate(name, BASELINE, RAR, instructions=instructions)
+
+    print(f"\n=== {name} "
+          f"(ipc={base.ipc:.3f}, mpki={base.mpki:.1f}, "
+          f"mlp={base.mlp:.2f}) ===")
+
+    rows = [[s, base.abc[s], base.abc[s] / base.abc_total]
+            for s in STRUCTURES]
+    print("\nWhere the vulnerable state lives (OoO baseline):")
+    print(format_table(["structure", "ACE bit-cycles", "share"], rows))
+
+    hb = base.abc_head_blocked / base.abc_total
+    fs = base.abc_full_stall / base.abc_total
+    print(f"\nMiss-shadow attribution: {hb * 100:.1f}% of exposure occurs "
+          f"while an LLC miss\nblocks the ROB head "
+          f"({fs * 100:.1f}% during full-window stalls).")
+
+    rows = []
+    for label, r in (("FLUSH", flush), ("RAR", rar)):
+        rows.append([
+            label, r.ipc_rel(base), r.mttf_rel(base),
+            (1 - r.abc_rel(base)) * 100.0,
+        ])
+    print("\nMechanism comparison (relative to the OoO baseline):")
+    print(format_table(
+        ["mechanism", "IPC_rel", "MTTF_rel", "ABC reduction %"], rows))
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["libquantum", "mcf"]
+    print(f"Reliability report for: {', '.join(names)}")
+    for name in names:
+        report_one(name)
+
+
+if __name__ == "__main__":
+    main()

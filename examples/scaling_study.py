@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Back-end scaling study: does RAR keep paying off on bigger cores?
+
+Runs a memory-intensive workload across the four core generations of the
+paper's Table I (Nehalem-like 128-entry ROB through Ice Lake-like
+352-entry ROB) under OoO and RAR — a single-benchmark version of the
+paper's Figures 4 and 10. Expected shape: baseline exposure climbs with
+back-end size; RAR's stays nearly flat, so the gap widens.
+
+Usage:
+    python examples/scaling_study.py [workload] [instructions]
+"""
+
+import sys
+
+from repro import CORE1, CORE2, CORE3, CORE4, OOO, RAR, simulate
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "milc"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 8_000
+
+    machines = (CORE1, CORE2, CORE3, CORE4)
+    rows = []
+    base_abc = None
+    for machine in machines:
+        ooo = simulate(workload, machine, OOO, instructions=instructions)
+        rar = simulate(workload, machine, RAR, instructions=instructions)
+        ooo_rate = ooo.abc_total / ooo.instructions
+        rar_rate = rar.abc_total / rar.instructions
+        if base_abc is None:
+            base_abc = ooo_rate
+        rows.append([
+            machine.name, machine.core.rob_size,
+            ooo_rate / base_abc, rar_rate / base_abc,
+            rar.mttf_rel(ooo), rar.ipc_rel(ooo),
+        ])
+        print(f"  {machine.name}: done")
+
+    print(f"\n{workload}: exposure scaling across core generations "
+          f"(ABC normalised to {machines[0].name} OoO)\n")
+    print(format_table(
+        ["machine", "ROB", "OoO ABC", "RAR ABC", "RAR MTTF_rel",
+         "RAR IPC_rel"], rows))
+    print("\nRAR closes the widening reliability gap: the OoO column grows "
+          "with the ROB\nwhile the RAR column stays nearly flat.")
+
+
+if __name__ == "__main__":
+    main()

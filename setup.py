@@ -1,0 +1,16 @@
+"""Legacy setup shim: keeps `pip install -e .` working offline with the
+pinned setuptools in this environment (no wheel, no network)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reliability-Aware Runahead (HPCA 2022) — cycle-level OoO simulator "
+        "with ACE-bit reliability accounting"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,117 @@
+"""Bootstrap confidence intervals for benchmark-suite aggregates.
+
+The paper reports single-number suite means (hmean IPC, amean ABC, geomean
+MTTF). With 14-benchmark sets those means carry real sampling variability;
+this module provides percentile-bootstrap confidence intervals over the
+*benchmark* dimension — "if the suite had been a different draw of
+benchmarks with these characteristics, how much would the mean move?" —
+using a deterministic seeded resampler (no numpy dependency).
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with a (lo, hi) percentile interval."""
+
+    estimate: float
+    lo: float
+    hi: float
+    confidence: float
+    resamples: int
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def __contains__(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __str__(self) -> str:
+        pct = int(round(self.confidence * 100))
+        return (f"{self.estimate:.3f} "
+                f"[{self.lo:.3f}, {self.hi:.3f}] ({pct}% CI)")
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[List[float]], float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 12345,
+) -> BootstrapCI:
+    """Percentile bootstrap for an arbitrary statistic.
+
+    Args:
+        values: per-benchmark observations (e.g. MTTF ratios).
+        statistic: the aggregate (e.g. ``repro.analysis.stats.gmean``).
+        confidence: two-sided coverage, in (0, 1).
+        resamples: bootstrap iterations.
+        seed: RNG seed — results are reproducible.
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if resamples < 10:
+        raise ValueError("resamples must be >= 10")
+    rng = random.Random(seed)
+    n = len(vals)
+    stats: List[float] = []
+    for _ in range(resamples):
+        sample = [vals[rng.randrange(n)] for _ in range(n)]
+        stats.append(statistic(sample))
+    stats.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo_idx = max(0, int(alpha * resamples))
+    hi_idx = min(resamples - 1, int((1.0 - alpha) * resamples) - 1)
+    return BootstrapCI(
+        estimate=statistic(vals),
+        lo=stats[lo_idx],
+        hi=stats[hi_idx],
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def paired_difference_ci(
+    a: Sequence[float],
+    b: Sequence[float],
+    statistic: Callable[[List[float]], float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 12345,
+) -> Tuple[BootstrapCI, bool]:
+    """CI on statistic(a) − statistic(b) using *paired* resampling.
+
+    Benchmarks are resampled as pairs (the same benchmark contributes to
+    both sides), which is the right model for comparing two policies over
+    one suite. Returns (ci, significant) where ``significant`` means the
+    interval excludes zero.
+    """
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    pairs = list(zip(a, b))
+    if not pairs:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = random.Random(seed)
+    n = len(pairs)
+    diffs: List[float] = []
+    for _ in range(resamples):
+        sample = [pairs[rng.randrange(n)] for _ in range(n)]
+        diffs.append(statistic([x for x, _ in sample])
+                     - statistic([y for _, y in sample]))
+    diffs.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo = diffs[max(0, int(alpha * resamples))]
+    hi = diffs[min(resamples - 1, int((1.0 - alpha) * resamples) - 1)]
+    ci = BootstrapCI(
+        estimate=statistic([x for x, _ in pairs])
+        - statistic([y for _, y in pairs]),
+        lo=lo, hi=hi, confidence=confidence, resamples=resamples,
+    )
+    return ci, not (lo <= 0.0 <= hi)

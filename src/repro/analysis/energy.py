@@ -1,0 +1,75 @@
+"""First-order energy accounting (post-processing, simulation-neutral).
+
+Lean runahead's original selling point (PRE, HPCA 2020) is that it reaches
+PRE-class performance while *executing far fewer speculative instructions*
+than traditional runahead — an energy argument. This module turns a
+:class:`~repro.sim.SimResult`'s activity counters into a first-order
+dynamic-energy estimate so that argument can be quantified alongside the
+reliability/performance results.
+
+The model is a classic activity-times-coefficient estimate (in arbitrary
+energy units by default; substitute per-event pJ values for a technology
+point of interest):
+
+    E = commits·E_commit + (fetched-but-squashed + runahead-executed)·E_spec
+        + llc_misses·E_dram + l1_accesses·E_l1 + static·cycles
+
+It deliberately ignores second-order effects (clock gating, wrong-path
+fetch power, DVFS); the point is *relative* energy across policies on the
+same machine, where those terms largely cancel.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim import SimResult
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy coefficients (arbitrary units; ratios matter)."""
+
+    commit: float = 1.0          # a committed instruction's full pipeline pass
+    speculative: float = 0.8     # executed-then-discarded work (no commit)
+    fetch_only: float = 0.25     # fetched/examined but never executed
+    l1_access: float = 0.3
+    llc_miss: float = 12.0       # DRAM access incl. row activation
+    static_per_cycle: float = 0.5
+
+    def energy(self, result: SimResult) -> Dict[str, float]:
+        """Break a run's estimated dynamic+static energy into components."""
+        # Executed-then-discarded work: runahead-executed slices plus
+        # every squashed instance (wrong path, flush, runahead-exit).
+        speculative_uops = result.runahead_uops_executed + result.squashed_uops
+        # Examined-but-not-executed runahead uops only traverse the
+        # front-end (lean runahead's energy advantage over TR).
+        fetch_only_uops = max(
+            0, result.runahead_uops_examined - result.runahead_uops_executed)
+        components = {
+            "commit": self.commit * result.instructions,
+            "speculative": self.speculative * speculative_uops,
+            "fetch_only": self.fetch_only * fetch_only_uops,
+            "memory": self.llc_miss * result.demand_llc_misses,
+            "static": self.static_per_cycle * result.cycles,
+        }
+        components["total"] = sum(components.values())
+        return components
+
+
+#: Default coefficients used by the harness.
+DEFAULT_MODEL = EnergyModel()
+
+
+def energy_per_instruction(result: SimResult,
+                           model: EnergyModel = DEFAULT_MODEL) -> float:
+    """Estimated energy per committed instruction (EPI)."""
+    if result.instructions <= 0:
+        raise ValueError("result has no committed instructions")
+    return model.energy(result)["total"] / result.instructions
+
+
+def energy_delay_product(result: SimResult,
+                         model: EnergyModel = DEFAULT_MODEL) -> float:
+    """EPI × cycles-per-instruction: the standard efficiency figure."""
+    cpi = result.cycles / result.instructions
+    return energy_per_instruction(result, model) * cpi

@@ -1,0 +1,199 @@
+"""Memoised experiment runner.
+
+Several figures reuse the same (workload, machine, policy) points — e.g.
+Figures 7 and 8 plot reliability and performance of the *same* five runs.
+:class:`ExperimentRunner` caches results in memory and optionally on disk
+(JSON) so each point simulates exactly once per benchmark session.
+"""
+
+import json
+import math
+import os
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.common.params import MachineParams
+from repro.core.runahead import RunaheadPolicy, get_policy
+from repro.sim import SimResult, simulate
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.catalog import get_workload
+
+
+@dataclass(frozen=True)
+class MultiSeedResult:
+    """Mean ± sample-stddev of a metric across trace seeds.
+
+    Synthetic workloads are stochastic realisations of a benchmark's
+    character; re-running under different trace seeds quantifies how much
+    of a result is the mechanism and how much is realisation noise.
+    """
+
+    metric: str
+    values: tuple
+    mean: float
+    stddev: float
+
+    @property
+    def rel_stddev(self) -> float:
+        return self.stddev / self.mean if self.mean else 0.0
+
+
+def summarize_seeds(metric: str, values: Iterable[float]) -> MultiSeedResult:
+    vals = tuple(values)
+    if not vals:
+        raise ValueError("no values to summarise")
+    mean = sum(vals) / len(vals)
+    var = (sum((v - mean) ** 2 for v in vals) / (len(vals) - 1)
+           if len(vals) > 1 else 0.0)
+    return MultiSeedResult(metric=metric, values=vals, mean=mean,
+                           stddev=math.sqrt(var))
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Cache key identifying one simulation point.
+
+    ``config_digest`` covers the *full* machine configuration, so two
+    machines that share a display name but differ in any parameter never
+    collide in the cache.
+    """
+
+    workload: str
+    machine: str
+    policy: str
+    instructions: int
+    warmup: int
+    config_digest: str = ""
+
+    @staticmethod
+    def digest(machine: MachineParams) -> str:
+        import hashlib
+        return hashlib.md5(repr(machine).encode()).hexdigest()[:10]
+
+    def as_str(self) -> str:
+        return (f"{self.workload}|{self.machine}|{self.policy}"
+                f"|{self.instructions}|{self.warmup}|{self.config_digest}")
+
+
+#: Bump when SimResult's schema changes: stale on-disk payloads would
+#: otherwise deserialise with silently-defaulted new fields.
+_CACHE_SCHEMA = 2
+
+
+class ExperimentRunner:
+    """Runs and caches simulation points.
+
+    Args:
+        instructions: measured committed instructions per point.
+        warmup: warmup instructions per point.
+        cache_path: optional JSON file for cross-process persistence.
+    """
+
+    def __init__(self, instructions: int = 30_000, warmup: int = 5_000,
+                 cache_path: Optional[str] = None):
+        self.instructions = instructions
+        self.warmup = warmup
+        self.cache_path = cache_path
+        self._cache: Dict[str, SimResult] = {}
+        self._machines: Dict[str, MachineParams] = {}
+        if cache_path and os.path.exists(cache_path):
+            self._load_disk_cache()
+
+    # ------------------------------------------------------------------ api
+
+    def run(
+        self,
+        workload: Union[str, WorkloadSpec],
+        machine: MachineParams,
+        policy: Union[str, RunaheadPolicy],
+    ) -> SimResult:
+        spec = get_workload(workload) if isinstance(workload, str) else workload
+        pol = get_policy(policy) if isinstance(policy, str) else policy
+        key = RunKey(spec.name, machine.name, pol.name,
+                     self.instructions, self.warmup,
+                     RunKey.digest(machine)).as_str()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = simulate(spec, machine, pol,
+                          instructions=self.instructions, warmup=self.warmup)
+        self._cache[key] = result
+        self._machines[machine.name] = machine
+        if self.cache_path:
+            self._save_disk_cache()
+        return result
+
+    def run_seeds(
+        self,
+        workload: Union[str, WorkloadSpec],
+        machine: MachineParams,
+        policy: Union[str, RunaheadPolicy],
+        seeds: Iterable[int],
+    ) -> List[SimResult]:
+        """Uncached multi-seed runs (each seed is a fresh trace
+        realisation of the same benchmark character)."""
+        spec = get_workload(workload) if isinstance(workload, str) else workload
+        pol = get_policy(policy) if isinstance(policy, str) else policy
+        return [
+            simulate(spec, machine, pol, instructions=self.instructions,
+                     warmup=self.warmup, seed=seed)
+            for seed in seeds
+        ]
+
+    def run_matrix(
+        self,
+        workloads: Iterable[Union[str, WorkloadSpec]],
+        machine: MachineParams,
+        policies: Iterable[Union[str, RunaheadPolicy]],
+    ) -> Dict[str, Dict[str, SimResult]]:
+        """policy name -> workload name -> result."""
+        out: Dict[str, Dict[str, SimResult]] = {}
+        policies = list(policies)
+        for w in workloads:
+            for p in policies:
+                r = self.run(w, machine, p)
+                out.setdefault(r.policy, {})[r.workload] = r
+        return out
+
+    # ---------------------------------------------------------- disk cache
+
+    def _load_disk_cache(self) -> None:
+        try:
+            with open(self.cache_path) as f:
+                raw = json.load(f)
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("schema") != _CACHE_SCHEMA:
+            return  # stale/legacy cache: recompute everything
+        for key, payload in raw.get("data", {}).items():
+            try:
+                self._cache[key] = SimResult(**payload)
+            except TypeError:
+                continue  # stale schema: ignore and recompute
+
+    def _save_disk_cache(self) -> None:
+        payload = {
+            "schema": _CACHE_SCHEMA,
+            "data": {k: asdict(v) for k, v in self._cache.items()},
+        }
+        tmp = f"{self.cache_path}.tmp"
+        try:
+            with open(tmp, "w") as f:
+                json.dump(payload, f)
+            os.replace(tmp, self.cache_path)
+        except OSError:
+            pass  # cache is an optimisation, never a failure
+
+
+#: Shared module-level runner so all benchmark files reuse one cache.
+_SHARED: Optional[ExperimentRunner] = None
+
+
+def shared_runner(instructions: int = 30_000, warmup: int = 5_000,
+                  cache_path: Optional[str] = None) -> ExperimentRunner:
+    """Process-wide runner; the first caller fixes the run sizes."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = ExperimentRunner(instructions=instructions, warmup=warmup,
+                                   cache_path=cache_path)
+    return _SHARED

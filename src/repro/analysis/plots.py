@@ -1,0 +1,108 @@
+"""Terminal (ASCII) plotting for quick, dependency-free visualisation.
+
+The benchmark harness emits tabular rows; these helpers render them as
+horizontal bar charts and scatter grids so the paper's figures can be
+eyeballed straight from a terminal. Pure text, no plotting libraries.
+"""
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def bar_chart(
+    data: Dict[str, float],
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal bars scaled to the maximum value.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4))
+    a  ████ 2.00
+    b  ██   1.00
+    """
+    if not data:
+        raise ValueError("nothing to plot")
+    peak = max(data.values())
+    if peak <= 0:
+        raise ValueError("bar_chart needs at least one positive value")
+    label_w = max(len(k) for k in data)
+    lines = [title] if title else []
+    for key, value in data.items():
+        n = max(0, round(width * value / peak))
+        bar = "█" * n + " " * (width - n)
+        lines.append(f"{key:<{label_w}}  {bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    rows: Dict[str, Dict[str, float]],
+    segments: Sequence[str],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Stacked horizontal bars (one glyph per segment, cycled).
+
+    ``rows`` maps bar label → {segment: value}; segment order fixes the
+    stacking order and the glyph assignment.
+    """
+    glyphs = "█▓▒░▞▚▐▍"
+    totals = {k: sum(v.get(s, 0.0) for s in segments) for k, v in rows.items()}
+    peak = max(totals.values())
+    if peak <= 0:
+        raise ValueError("stacked_bars needs positive totals")
+    label_w = max(len(k) for k in rows)
+    lines = [title] if title else []
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]}={s}"
+                       for i, s in enumerate(segments))
+    lines.append(f"{'':<{label_w}}  [{legend}]")
+    for key, segs in rows.items():
+        bar = ""
+        for i, s in enumerate(segments):
+            n = round(width * segs.get(s, 0.0) / peak)
+            bar += glyphs[i % len(glyphs)] * n
+        lines.append(f"{key:<{label_w}}  {bar[:width * 2]} "
+                     f"{totals[key]:.3g}")
+    return "\n".join(lines)
+
+
+def scatter(
+    points: Dict[str, Tuple[float, float]],
+    width: int = 60,
+    height: int = 18,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str = "",
+) -> str:
+    """Character-grid scatter plot with labelled points.
+
+    Each point is drawn as the first letter of its label; a side legend
+    maps letters back to labels. Axes are linearly scaled to the data
+    (with a small margin) and annotated with min/max.
+    """
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points.values()]
+    ys = [p[1] for p in points.values()]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xpad = (x1 - x0) * 0.08 or max(abs(x1), 1.0) * 0.08
+    ypad = (y1 - y0) * 0.08 or max(abs(y1), 1.0) * 0.08
+    x0, x1 = x0 - xpad, x1 + xpad
+    y0, y1 = y0 - ypad, y1 + ypad
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    legend = []
+    for label, (x, y) in points.items():
+        col = round((x - x0) / (x1 - x0) * (width - 1))
+        row = height - 1 - round((y - y0) / (y1 - y0) * (height - 1))
+        mark = label[0].upper()
+        grid[row][col] = mark
+        legend.append(f"{mark}={label}")
+
+    lines = [title] if title else []
+    lines.append(f"{ylabel} ({y1:.3g} top, {y0:.3g} bottom)")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{xlabel}: {x0:.3g} .. {x1:.3g}    {'  '.join(legend)}")
+    return "\n".join(lines)

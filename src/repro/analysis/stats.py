@@ -1,0 +1,37 @@
+"""Aggregation helpers, following John's methodology as the paper does:
+
+arithmetic mean for ABC and MLP, harmonic mean for IPC(-ratios), geometric
+mean for MTTF(-ratios).
+"""
+
+import math
+from typing import Iterable, List
+
+
+def _as_list(values: Iterable[float]) -> List[float]:
+    vals = list(values)
+    if not vals:
+        raise ValueError("cannot aggregate an empty sequence")
+    return vals
+
+
+def amean(values: Iterable[float]) -> float:
+    """Arithmetic mean (ABC, MLP)."""
+    vals = _as_list(values)
+    return sum(vals) / len(vals)
+
+
+def hmean(values: Iterable[float]) -> float:
+    """Harmonic mean (IPC)."""
+    vals = _as_list(values)
+    if any(v <= 0 for v in vals):
+        raise ValueError("harmonic mean requires positive values")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (MTTF)."""
+    vals = _as_list(values)
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,50 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+The harness prints the same rows/series the paper's tables and figures
+report; these helpers keep the output aligned and diff-friendly.
+"""
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _fmt(value, width: int, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:>{width}.{precision}f}"
+    return f"{value!s:>{width}}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    precision: int = 3,
+    min_width: int = 8,
+) -> str:
+    """Fixed-width table with a header rule."""
+    rows = [list(r) for r in rows]
+    widths: List[int] = []
+    for col, h in enumerate(headers):
+        w = max(min_width, len(h))
+        for r in rows:
+            cell = r[col]
+            text = (f"{cell:.{precision}f}" if isinstance(cell, float)
+                    else str(cell))
+            w = max(w, len(text))
+        widths.append(w)
+    lines = ["  ".join(f"{h:>{w}}" for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(
+            _fmt(cell, w, precision) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Dict[str, Number],
+                  precision: int = 3) -> str:
+    """One figure series as ``name: key=value key=value ...``."""
+    body = " ".join(
+        f"{k}={v:.{precision}f}" if isinstance(v, float) else f"{k}={v}"
+        for k, v in points.items()
+    )
+    return f"{name}: {body}"

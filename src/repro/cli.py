@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+    list                 available workloads, policies and machines
+    run                  simulate one (workload, machine, policy) point
+    compare              sweep policies on one workload, print a table
+    scaling              Core-1..Core-4 sweep for one workload/policy pair
+"""
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.common.params import (
+    BASELINE, CORE1, CORE2, CORE3, CORE4, MachineParams, PrefetcherParams,
+)
+from repro.core.runahead import ALL_POLICIES, EXTENSION_POLICIES, get_policy
+from repro.sim import simulate
+from repro.workloads.catalog import ALL_WORKLOADS, get_workload
+
+MACHINES: Dict[str, MachineParams] = {
+    "baseline": BASELINE,
+    "core-1": CORE1,
+    "core-2": CORE2,
+    "core-3": CORE3,
+    "core-4": CORE4,
+    "baseline+l3pf": BASELINE.with_prefetcher(
+        PrefetcherParams(levels=("l3",)), name="baseline+l3pf"),
+    "baseline+allpf": BASELINE.with_prefetcher(
+        PrefetcherParams(levels=("l1", "l2", "l3")), name="baseline+allpf"),
+}
+
+
+def _add_size_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-n", "--instructions", type=int, default=10_000,
+                   help="measured committed instructions (default 10000)")
+    p.add_argument("-w", "--warmup", type=int, default=20_000,
+                   help="warmup instructions (default 20000)")
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads (memory-intensive first):")
+    for w in ALL_WORKLOADS:
+        tag = "mem" if w.memory_intensive else "cmp"
+        print(f"  {w.name:<12} [{tag}] {w.description}")
+    print("\npolicies:")
+    for p in ALL_POLICIES:
+        print(f"  {p.name:<10} kind={p.kind} early={p.early} "
+              f"flush={p.flush_at_exit} lean={p.lean}")
+    for p in EXTENSION_POLICIES:
+        print(f"  {p.name:<10} kind={p.kind} (extension)")
+    print("\nmachines:")
+    for name, m in MACHINES.items():
+        print(f"  {name:<16} ROB={m.core.rob_size} IQ={m.core.iq_size} "
+              f"prefetcher={'yes' if m.prefetcher else 'no'}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    machine = MACHINES[args.machine]
+    r = simulate(args.workload, machine, args.policy,
+                 instructions=args.instructions, warmup=args.warmup)
+    print(f"{r.workload} on {r.machine} under {r.policy}:")
+    print(f"  instructions   {r.instructions}")
+    print(f"  cycles         {r.cycles}")
+    print(f"  IPC            {r.ipc:.4f}")
+    print(f"  MLP            {r.mlp:.2f}")
+    print(f"  LLC MPKI       {r.mpki:.1f}")
+    print(f"  ABC            {r.abc_total}")
+    print(f"  AVF            {r.avf:.4f}")
+    for s, v in r.abc.items():
+        print(f"    {s:<4}         {v}")
+    print(f"  runahead intervals {r.runahead_triggers}, "
+          f"flush triggers {r.flush_triggers}, "
+          f"branch mispredicts {r.branch_mispredicts}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    machine = MACHINES[args.machine]
+    policies = args.policies or [p.name for p in ALL_POLICIES]
+    base = simulate(args.workload, machine, "OOO",
+                    instructions=args.instructions, warmup=args.warmup)
+    rows: List[List] = []
+    for name in policies:
+        pol = get_policy(name)
+        r = base if pol.name == "OOO" else simulate(
+            args.workload, machine, pol,
+            instructions=args.instructions, warmup=args.warmup)
+        rows.append([pol.name, r.ipc, r.ipc_rel(base), r.mttf_rel(base),
+                     r.abc_rel(base), r.mlp])
+    print(f"{args.workload} on {machine.name} "
+          f"({args.instructions} instructions):\n")
+    print(format_table(
+        ["policy", "IPC", "IPC_rel", "MTTF_rel", "ABC_rel", "MLP"], rows))
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.workloads.catalog import ALL_WORKLOADS, EXTRA_WORKLOADS
+    from repro.workloads.characterize import characterize_all
+    names = args.workloads or [
+        w.name for w in ALL_WORKLOADS + EXTRA_WORKLOADS]
+    profiles = characterize_all(names, MACHINES[args.machine],
+                                instructions=args.instructions,
+                                warmup=args.warmup)
+    rows = [[p.name, "mem" if p.memory_intensive else "cmp", p.character,
+             p.ipc, p.mpki, p.mlp, p.mispredicts_per_kinst,
+             p.head_blocked_share]
+            for p in profiles]
+    print(format_table(
+        ["workload", "set", "character", "IPC", "MPKI", "MLP",
+         "misp/kinst", "blocked share"], rows))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.isa.tracefile import load_trace, save_trace
+    if args.action == "dump":
+        spec = get_workload(args.workload)
+        n = save_trace(spec.build_trace(), args.path, limit=args.limit)
+        print(f"wrote {n} uops of {spec.name!r} to {args.path}")
+        return 0
+    # replay
+    trace = load_trace(args.path)
+    machine = MACHINES[args.machine]
+    r = simulate(trace, machine, args.policy,
+                 instructions=args.instructions, warmup=args.warmup)
+    print(f"replayed {r.workload!r} under {r.policy}: "
+          f"ipc={r.ipc:.3f} abc={r.abc_total} avf={r.avf:.4f}")
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    rows: List[List] = []
+    for machine in (CORE1, CORE2, CORE3, CORE4):
+        base = simulate(args.workload, machine, "OOO",
+                        instructions=args.instructions, warmup=args.warmup)
+        r = simulate(args.workload, machine, args.policy,
+                     instructions=args.instructions, warmup=args.warmup)
+        rows.append([machine.name, machine.core.rob_size,
+                     base.abc_total / base.instructions,
+                     r.abc_total / r.instructions,
+                     r.mttf_rel(base), r.ipc_rel(base)])
+    print(f"{args.workload} under {args.policy} across core generations:\n")
+    print(format_table(
+        ["machine", "ROB", "OoO ABC/inst", f"{args.policy} ABC/inst",
+         "MTTF_rel", "IPC_rel"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reliability-Aware Runahead (HPCA 2022) simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads/policies/machines")
+
+    p = sub.add_parser("run", help="simulate one point")
+    p.add_argument("workload")
+    p.add_argument("policy", nargs="?", default="OOO")
+    p.add_argument("-m", "--machine", default="baseline",
+                   choices=sorted(MACHINES))
+    _add_size_args(p)
+
+    p = sub.add_parser("compare", help="sweep policies on one workload")
+    p.add_argument("workload")
+    p.add_argument("policies", nargs="*",
+                   help="policy names (default: the paper's eight)")
+    p.add_argument("-m", "--machine", default="baseline",
+                   choices=sorted(MACHINES))
+    _add_size_args(p)
+
+    p = sub.add_parser("scaling", help="Core-1..4 sweep")
+    p.add_argument("workload")
+    p.add_argument("policy", nargs="?", default="RAR")
+    _add_size_args(p)
+
+    p = sub.add_parser("characterize",
+                       help="measure workload characteristics")
+    p.add_argument("workloads", nargs="*",
+                   help="names (default: full catalog incl. extras)")
+    p.add_argument("-m", "--machine", default="baseline",
+                   choices=sorted(MACHINES))
+    _add_size_args(p)
+
+    p = sub.add_parser("trace", help="dump/replay trace files")
+    p.add_argument("action", choices=("dump", "replay"))
+    p.add_argument("path", help="trace file (.trace or .trace.gz)")
+    p.add_argument("-k", "--workload", default="mcf",
+                   help="catalog workload to dump")
+    p.add_argument("-p", "--policy", default="OOO")
+    p.add_argument("-m", "--machine", default="baseline",
+                   choices=sorted(MACHINES))
+    p.add_argument("-l", "--limit", type=int, default=100_000,
+                   help="max uops to dump")
+    _add_size_args(p)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    get_workload  # imported for side-effect-free validation below
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "scaling": cmd_scaling,
+        "trace": cmd_trace,
+        "characterize": cmd_characterize,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Shared configuration, enums and utilities for the simulator."""
+
+from repro.common.enums import Mode, SquashCause, UopClass
+from repro.common.params import (
+    BASELINE,
+    BIT_BUDGET,
+    CORE1,
+    CORE2,
+    CORE3,
+    CORE4,
+    CacheParams,
+    CoreParams,
+    DramParams,
+    MachineParams,
+    PrefetcherParams,
+)
+
+__all__ = [
+    "Mode",
+    "SquashCause",
+    "UopClass",
+    "CoreParams",
+    "CacheParams",
+    "DramParams",
+    "PrefetcherParams",
+    "MachineParams",
+    "BASELINE",
+    "CORE1",
+    "CORE2",
+    "CORE3",
+    "CORE4",
+    "BIT_BUDGET",
+]

@@ -1,0 +1,69 @@
+"""Enumerations shared across the simulator.
+
+The integer values matter for speed: hot-path code compares against the
+``int`` value of these enums directly, so they are ``IntEnum`` subclasses.
+"""
+
+from enum import IntEnum
+
+
+class UopClass(IntEnum):
+    """Micro-op classes understood by the core and the FU pool.
+
+    The class determines the functional unit used, its latency, and how the
+    ACE model charges functional-unit bits (64-bit integer units vs.
+    128-bit floating-point units, per Table II of the paper).
+    """
+
+    NOP = 0
+    INT_ADD = 1
+    INT_MUL = 2
+    INT_DIV = 3
+    FP_ADD = 4
+    FP_MUL = 5
+    FP_DIV = 6
+    LOAD = 7
+    STORE = 8
+    BRANCH = 9
+    #: flag-setting compare/test: executes on an integer ALU but writes no
+    #: renamed register (keeps realistic dest density ~65-70%)
+    INT_CMP = 10
+
+    @property
+    def is_mem(self) -> bool:
+        return self in (UopClass.LOAD, UopClass.STORE)
+
+    @property
+    def is_fp(self) -> bool:
+        return self in (UopClass.FP_ADD, UopClass.FP_MUL, UopClass.FP_DIV)
+
+    @property
+    def has_dest(self) -> bool:
+        """Whether a uop of this class writes a destination register."""
+        return self not in (UopClass.NOP, UopClass.STORE, UopClass.BRANCH,
+                            UopClass.INT_CMP)
+
+
+class Mode(IntEnum):
+    """Execution mode of the core."""
+
+    NORMAL = 0
+    RUNAHEAD = 1
+    #: Pipeline drained by the FLUSH (Weaver et al.) mechanism, waiting for
+    #: the blocking load to return before refetching.
+    FLUSH_STALL = 2
+
+
+class SquashCause(IntEnum):
+    """Why a dynamic uop instance was squashed.
+
+    Every squashed instance is un-ACE regardless of cause; the cause is kept
+    for attribution statistics and tests.
+    """
+
+    NONE = 0
+    BRANCH_MISPREDICT = 1
+    RUNAHEAD_EXIT_FLUSH = 2
+    FLUSH_MECHANISM = 3
+    RUNAHEAD_SPECULATIVE = 4
+    END_OF_SIM = 5

@@ -1,0 +1,207 @@
+"""Machine configuration parameters.
+
+Encodes the paper's Table I (four scaled core generations), Table II (the
+baseline out-of-order core, modelled after Precise Runahead Execution's
+setup) and Table III (per-entry bit budgets used by the ACE model).
+
+All parameter containers are frozen dataclasses so configurations are
+hashable and can be used as keys in the experiment result cache.
+"""
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.common.enums import UopClass
+
+#: Bits of vulnerable state per entry in each back-end structure (Table III)
+#: and per register class (Table II).  Functional-unit widths are charged
+#: per execution cycle.
+BIT_BUDGET: Dict[str, int] = {
+    "rob": 120,
+    "iq": 80,
+    "lq": 120,
+    "sq": 184,
+    "int_reg": 64,
+    "fp_reg": 128,
+    "int_fu": 64,
+    "fp_fu": 128,
+}
+
+
+@dataclass(frozen=True)
+class FuParams:
+    """One functional-unit class: how many units, and its latency.
+
+    ``pipelined`` units accept a new uop every cycle; non-pipelined units
+    (dividers) are busy for the full latency.
+    """
+
+    count: int
+    latency: int
+    pipelined: bool = True
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Out-of-order core sizing (Tables I and II)."""
+
+    rob_size: int = 192
+    iq_size: int = 92
+    lq_size: int = 64
+    sq_size: int = 64
+    int_regs: int = 168
+    fp_regs: int = 168
+    width: int = 4
+    #: Front-end depth in stages; a redirect (mispredict, flush refetch)
+    #: costs this many cycles before new uops reach dispatch.
+    frontend_depth: int = 8
+    #: Number of architectural registers per class; the rename substrate
+    #: reserves this many physical registers for committed state.
+    arch_regs: int = 32
+    #: 4-bit countdown timer used by the early-start trigger (Section III-D).
+    head_timer_init: int = 15
+    #: TR only triggers if the blocking load was issued to memory fewer than
+    #: this many cycles before the full-window stall (Section V-D).
+    tr_recency_cycles: int = 250
+    #: Stalling Slice Table size (PRE), fully associative.
+    sst_size: int = 128
+    #: Precise Register Deallocation Queue size (PRE).
+    prdq_size: int = 192
+    fus: Tuple[Tuple[int, FuParams], ...] = (
+        (int(UopClass.INT_ADD), FuParams(count=3, latency=1)),
+        (int(UopClass.INT_MUL), FuParams(count=1, latency=3)),
+        (int(UopClass.INT_DIV), FuParams(count=1, latency=18, pipelined=False)),
+        (int(UopClass.FP_ADD), FuParams(count=1, latency=3)),
+        (int(UopClass.FP_MUL), FuParams(count=1, latency=5)),
+        (int(UopClass.FP_DIV), FuParams(count=1, latency=6, pipelined=False)),
+    )
+
+    def fu_params(self) -> Dict[int, FuParams]:
+        return dict(self.fus)
+
+    @property
+    def total_bits(self) -> int:
+        """Total unprotected back-end bits N, used in the AVF denominator."""
+        return (
+            self.rob_size * BIT_BUDGET["rob"]
+            + self.iq_size * BIT_BUDGET["iq"]
+            + self.lq_size * BIT_BUDGET["lq"]
+            + self.sq_size * BIT_BUDGET["sq"]
+            + self.int_regs * BIT_BUDGET["int_reg"]
+            + self.fp_regs * BIT_BUDGET["fp_reg"]
+        )
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """One cache level (sizes in bytes, latency in core cycles)."""
+
+    size: int
+    assoc: int
+    latency: int
+    line_size: int = 64
+    mshrs: int = 0  # 0 means unlimited
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.line_size * self.assoc)
+
+
+@dataclass(frozen=True)
+class DramParams:
+    """DDR3-style memory timing, expressed in *core* cycles.
+
+    Defaults approximate DDR3-1600 behind a 2.66 GHz core: the paper's
+    tRP-tCL-tRCD of 11-11-11 memory cycles at 800 MHz maps to ~36 core
+    cycles each (2.66 GHz / 800 MHz ≈ 3.3×).
+    """
+
+    ranks: int = 4
+    banks_per_rank: int = 8
+    row_size: int = 4096
+    #: Activate (tRCD), precharge (tRP) and CAS (tCL) in core cycles.
+    t_rcd: int = 36
+    t_rp: int = 36
+    t_cl: int = 36
+    #: Minimum gap between data bursts on the shared bus (bandwidth model).
+    bus_cycles_per_access: int = 4
+    #: Fixed controller/interconnect overhead per access.
+    controller_latency: int = 20
+
+    @property
+    def num_banks(self) -> int:
+        return self.ranks * self.banks_per_rank
+
+    @property
+    def row_hit_latency(self) -> int:
+        return self.controller_latency + self.t_cl
+
+    @property
+    def row_miss_latency(self) -> int:
+        return self.controller_latency + self.t_rp + self.t_rcd + self.t_cl
+
+
+@dataclass(frozen=True)
+class PrefetcherParams:
+    """Stream/stride prefetcher configuration (Section V-F).
+
+    Defaults model the paper's "aggressive" 16-stream prefetcher: once a
+    stream is confident, issue ``degree`` lines starting ``distance``
+    strides ahead of the stream head on every training access.
+    """
+
+    streams: int = 16
+    degree: int = 4
+    distance: int = 8
+    #: Cache levels the prefetcher trains at and fills into:
+    #: ("l3",) for the +L3 configuration, ("l1", "l2", "l3") for +ALL.
+    levels: Tuple[str, ...] = ("l3",)
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """A complete machine: core + cache hierarchy + DRAM (+ prefetcher)."""
+
+    name: str = "baseline"
+    core: CoreParams = field(default_factory=CoreParams)
+    l1i: CacheParams = field(default_factory=lambda: CacheParams(32 * 1024, 4, 2))
+    l1d: CacheParams = field(
+        default_factory=lambda: CacheParams(32 * 1024, 8, 4, mshrs=20)
+    )
+    l2: CacheParams = field(default_factory=lambda: CacheParams(256 * 1024, 8, 8))
+    l3: CacheParams = field(default_factory=lambda: CacheParams(1024 * 1024, 16, 30))
+    dram: DramParams = field(default_factory=DramParams)
+    prefetcher: Optional[PrefetcherParams] = None
+    #: When set, virtual pages are mapped to pseudo-random physical frames
+    #: (deterministic in the seed) before DRAM address decoding — modelling
+    #: OS page allocation, which breaks the perfect row-buffer locality
+    #: that identity mapping gives to large streams. None = identity
+    #: mapping (the default used throughout the paper reproduction).
+    page_shuffle_seed: Optional[int] = None
+
+    def with_core(self, core: CoreParams, name: Optional[str] = None) -> "MachineParams":
+        return replace(self, core=core, name=name or self.name)
+
+    def with_prefetcher(
+        self, prefetcher: PrefetcherParams, name: Optional[str] = None
+    ) -> "MachineParams":
+        return replace(self, prefetcher=prefetcher, name=name or self.name)
+
+
+def _scaled_core(rob: int, iq: int, lq: int, sq: int, regs: int) -> CoreParams:
+    return CoreParams(
+        rob_size=rob, iq_size=iq, lq_size=lq, sq_size=sq, int_regs=regs, fp_regs=regs
+    )
+
+
+#: Table I — four OoO core generations (Nehalem→Ice Lake-like scaling).
+CORE1 = MachineParams(name="core-1", core=_scaled_core(128, 36, 48, 32, 120))
+CORE2 = MachineParams(name="core-2", core=_scaled_core(192, 92, 64, 64, 168))
+CORE3 = MachineParams(name="core-3", core=_scaled_core(224, 97, 64, 60, 180))
+CORE4 = MachineParams(name="core-4", core=_scaled_core(352, 128, 128, 72, 256))
+
+#: Table II — the baseline machine used throughout the evaluation
+#: (identical core sizing to CORE2).
+BASELINE = MachineParams(name="baseline", core=CORE2.core)
+
+SCALED_MACHINES: Tuple[MachineParams, ...] = (CORE1, CORE2, CORE3, CORE4)

@@ -1,0 +1,55 @@
+"""The paper's contribution: the OoO core with runahead mechanisms.
+
+Public surface:
+
+- :class:`OutOfOrderCore` — the cycle-level simulator.
+- :class:`RunaheadPolicy` and the named policy constants (OOO, FLUSH, TR,
+  TR_EARLY, PRE, PRE_EARLY, RAR_LATE, RAR) spanning the paper's Table IV
+  design space.
+"""
+
+from repro.core.core import OutOfOrderCore
+from repro.core.fu import FuPool
+from repro.core.issue_queue import IssueQueue
+from repro.core.lsq import LoadStoreQueues
+from repro.core.prdq import Prdq
+from repro.core.regfile import RegisterFiles
+from repro.core.rob import ReorderBuffer
+from repro.core.runahead import (
+    ALL_POLICIES,
+    FLUSH,
+    OOO,
+    PRE,
+    PRE_EARLY,
+    RAR,
+    RAR_LATE,
+    TR,
+    TR_EARLY,
+    RunaheadPolicy,
+    get_policy,
+    policy_names,
+)
+from repro.core.sst import StallingSliceTable
+
+__all__ = [
+    "OutOfOrderCore",
+    "ReorderBuffer",
+    "IssueQueue",
+    "LoadStoreQueues",
+    "RegisterFiles",
+    "FuPool",
+    "StallingSliceTable",
+    "Prdq",
+    "RunaheadPolicy",
+    "OOO",
+    "FLUSH",
+    "TR",
+    "TR_EARLY",
+    "PRE",
+    "PRE_EARLY",
+    "RAR_LATE",
+    "RAR",
+    "ALL_POLICIES",
+    "get_policy",
+    "policy_names",
+]

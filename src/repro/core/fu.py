@@ -1,0 +1,80 @@
+"""Functional-unit pool (Table II).
+
+Pipelined units accept one uop per unit per cycle; non-pipelined units
+(dividers) are busy for their full latency. Loads, stores and branches use
+an integer-add unit for address generation / condition evaluation.
+"""
+
+from typing import Dict, List
+
+from repro.common.enums import UopClass
+from repro.common.params import CoreParams, FuParams
+
+#: uop class -> FU class actually used
+_FU_CLASS = {
+    int(UopClass.NOP): int(UopClass.INT_ADD),
+    int(UopClass.INT_ADD): int(UopClass.INT_ADD),
+    int(UopClass.INT_MUL): int(UopClass.INT_MUL),
+    int(UopClass.INT_DIV): int(UopClass.INT_DIV),
+    int(UopClass.FP_ADD): int(UopClass.FP_ADD),
+    int(UopClass.FP_MUL): int(UopClass.FP_MUL),
+    int(UopClass.FP_DIV): int(UopClass.FP_DIV),
+    int(UopClass.LOAD): int(UopClass.INT_ADD),
+    int(UopClass.STORE): int(UopClass.INT_ADD),
+    int(UopClass.BRANCH): int(UopClass.INT_ADD),
+    int(UopClass.INT_CMP): int(UopClass.INT_ADD),
+}
+
+
+def fu_class_for(cls: int) -> int:
+    return _FU_CLASS[cls]
+
+
+class FuPool:
+    def __init__(self, core: CoreParams):
+        self.params: Dict[int, FuParams] = core.fu_params()
+        #: pipelined classes: uops issued this cycle (reset every cycle)
+        self._issued_now: Dict[int, int] = {c: 0 for c in self.params}
+        #: non-pipelined classes: per-unit next-free cycle
+        self._unit_free: Dict[int, List[int]] = {
+            c: [0] * p.count for c, p in self.params.items() if not p.pipelined
+        }
+        self._now = -1
+
+    def _roll(self, cycle: int) -> None:
+        if cycle != self._now:
+            self._now = cycle
+            for c in self._issued_now:
+                self._issued_now[c] = 0
+
+    def latency(self, uop_cls: int) -> int:
+        return self.params[fu_class_for(uop_cls)].latency
+
+    def exec_cycles(self, uop_cls: int) -> int:
+        """Cycles a committed uop occupied a unit (for FU ACE accounting)."""
+        return self.params[fu_class_for(uop_cls)].latency
+
+    def can_issue(self, uop_cls: int, cycle: int) -> bool:
+        self._roll(cycle)
+        fc = fu_class_for(uop_cls)
+        p = self.params[fc]
+        if p.pipelined:
+            return self._issued_now[fc] < p.count
+        return any(free <= cycle for free in self._unit_free[fc])
+
+    def issue(self, uop_cls: int, cycle: int) -> int:
+        """Reserve a unit; returns the completion (writeback) cycle."""
+        self._roll(cycle)
+        fc = fu_class_for(uop_cls)
+        p = self.params[fc]
+        if p.pipelined:
+            if self._issued_now[fc] >= p.count:
+                raise OverflowError(f"FU class {fc} over-issued at {cycle}")
+            self._issued_now[fc] += 1
+            return cycle + p.latency
+        units = self._unit_free[fc]
+        for i, free in enumerate(units):
+            if free <= cycle:
+                units[i] = cycle + p.latency
+                return cycle + p.latency
+        raise OverflowError(f"non-pipelined FU class {fc} busy at {cycle}")

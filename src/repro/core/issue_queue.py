@@ -1,0 +1,76 @@
+"""Issue queue with ready-list wakeup/select.
+
+Dispatch inserts uops with a pending-producer count; completion events
+decrement it (wakeup) and move zero-pending uops to the ready list, from
+which select pulls oldest-first each cycle. Occupancy counts both waiting
+and ready-but-unissued uops — an IQ entry is released at *issue*, which is
+also the end of its ACE-vulnerable interval.
+"""
+
+from collections import deque
+from typing import Deque, List
+
+from repro.isa.uop import DynUop
+
+
+class IssueQueue:
+    def __init__(self, size: int):
+        self.size = size
+        self._waiting: set = set()
+        self._ready: Deque[DynUop] = deque()
+        #: extra entries claimed by runahead slice uops (lean runahead uses
+        #: the *free* IQ entries, per PRE)
+        self.runahead_used = 0
+
+    def __len__(self) -> int:
+        return len(self._waiting) + len(self._ready) + self.runahead_used
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.size
+
+    @property
+    def free(self) -> int:
+        return max(0, self.size - len(self))
+
+    def insert(self, uop: DynUop) -> None:
+        if self.full:
+            raise OverflowError("IQ full")
+        if uop.pending == 0:
+            self._ready.append(uop)
+        else:
+            self._waiting.add(uop)
+
+    def wakeup(self, uop: DynUop) -> None:
+        """Producer completed: move a waiting uop with no more pending
+        producers into the ready list."""
+        if uop.pending == 0 and uop in self._waiting:
+            self._waiting.discard(uop)
+            self._ready.append(uop)
+
+    def pop_ready(self) -> DynUop:
+        return self._ready.popleft()
+
+    def requeue(self, uop: DynUop) -> None:
+        """Put a selected uop back (structural hazard: FU/MSHR busy)."""
+        self._ready.appendleft(uop)
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    def squash(self, pred) -> int:
+        """Drop all queued uops matching ``pred``; returns count dropped."""
+        dropped = [u for u in self._waiting if pred(u)]
+        for u in dropped:
+            self._waiting.discard(u)
+        n = len(dropped)
+        kept = [u for u in self._ready if not pred(u)]
+        n += len(self._ready) - len(kept)
+        self._ready = deque(kept)
+        return n
+
+    def clear(self) -> None:
+        self._waiting.clear()
+        self._ready.clear()
+        self.runahead_used = 0

@@ -1,0 +1,59 @@
+"""Load and store queues.
+
+Occupancy-only model: entries are allocated at dispatch (dispatch stalls
+when the relevant queue is full) and released at commit or squash. Timing
+of the memory accesses themselves is handled by the hierarchy; the LSQ's
+simulator role is (a) back-pressure and (b) the ACE-vulnerable state its
+entries hold between execute and commit (120 b/entry LQ, 184 b/entry SQ).
+
+Store-to-load forwarding and memory-order checking are not modelled: the
+synthetic workloads keep load and store footprints on distinct lines, so
+forwarding would never fire (documented substitution, DESIGN.md §2).
+"""
+
+from repro.isa.uop import DynUop
+
+
+class LoadStoreQueues:
+    def __init__(self, lq_size: int, sq_size: int):
+        self.lq_size = lq_size
+        self.sq_size = sq_size
+        self.lq_used = 0
+        self.sq_used = 0
+
+    @property
+    def lq_full(self) -> bool:
+        return self.lq_used >= self.lq_size
+
+    @property
+    def sq_full(self) -> bool:
+        return self.sq_used >= self.sq_size
+
+    def can_allocate(self, uop: DynUop) -> bool:
+        if uop.static.is_load:
+            return not self.lq_full
+        if uop.static.is_store:
+            return not self.sq_full
+        return True
+
+    def allocate(self, uop: DynUop) -> None:
+        if uop.static.is_load:
+            if self.lq_full:
+                raise OverflowError("LQ full")
+            self.lq_used += 1
+            uop.in_lq = True
+        elif uop.static.is_store:
+            if self.sq_full:
+                raise OverflowError("SQ full")
+            self.sq_used += 1
+            uop.in_sq = True
+
+    def release(self, uop: DynUop) -> None:
+        if uop.in_lq:
+            self.lq_used -= 1
+            uop.in_lq = False
+        elif uop.in_sq:
+            self.sq_used -= 1
+            uop.in_sq = False
+        if self.lq_used < 0 or self.sq_used < 0:
+            raise RuntimeError("LSQ underflow")

@@ -1,0 +1,121 @@
+"""Runahead policy definitions — the paper's Table IV design space.
+
+A policy is a point on three axes:
+
+- ``early``: initiate runahead as soon as a long-latency load blocks commit
+  at the ROB head (4-bit countdown timer), instead of waiting for a
+  full-ROB stall.
+- ``flush_at_exit``: squash the whole back-end when the blocking load
+  returns and refetch from the blocking load's PC. Everything squashed is
+  un-ACE — this is the reliability optimisation.
+- ``lean``: execute only the backward slices of future long-latency loads
+  (SST-filtered, PRDQ register management) instead of every future
+  instruction.
+
+``FLUSH`` (Weaver et al.) is not a runahead technique: it flushes *before*
+the memory access is serviced and idles until the data returns, so it is
+represented with ``kind="flush"``.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class RunaheadPolicy:
+    name: str
+    #: "ooo" (baseline, no mechanism), "flush" (Weaver), "runahead"
+    kind: str
+    early: bool = False
+    flush_at_exit: bool = False
+    lean: bool = False
+    #: Runahead-buffer mode (Hashemi & Patt, MICRO 2015): instead of
+    #: re-fetching the whole future stream through the front-end, replay
+    #: only the stalling load's dependence chain out of a small buffer —
+    #: non-chain uops cost no fetch bandwidth at all, but a mispredicted
+    #: branch ends the replay (the buffer assumes a straight loop).
+    buffer: bool = False
+    #: Vector-runahead batching factor (Naithani et al., ISCA 2021):
+    #: slice instances from consecutive loop iterations are vectorised,
+    #: so ``vector`` slice executions share one issue/IQ slot. 0 = scalar.
+    vector: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ooo", "flush", "runahead", "throttle"):
+            raise ValueError(f"unknown policy kind {self.kind!r}")
+        if self.kind != "runahead" and (self.early or self.flush_at_exit
+                                        or self.lean or self.buffer
+                                        or self.vector):
+            raise ValueError(f"{self.name}: axes only apply to runahead")
+        if (self.buffer or self.vector) and not self.lean:
+            raise ValueError(f"{self.name}: buffer/vector modes are "
+                             "slice-based and require lean=True")
+        if self.vector < 0:
+            raise ValueError("vector width must be >= 0")
+
+    @property
+    def is_runahead(self) -> bool:
+        return self.kind == "runahead"
+
+
+OOO = RunaheadPolicy("OOO", "ooo")
+FLUSH = RunaheadPolicy("FLUSH", "flush")
+TR = RunaheadPolicy("TR", "runahead", early=False, flush_at_exit=True,
+                    lean=False)
+TR_EARLY = RunaheadPolicy("TR-EARLY", "runahead", early=True,
+                          flush_at_exit=True, lean=False)
+PRE = RunaheadPolicy("PRE", "runahead", early=False, flush_at_exit=False,
+                     lean=True)
+PRE_EARLY = RunaheadPolicy("PRE-EARLY", "runahead", early=True,
+                           flush_at_exit=False, lean=True)
+RAR_LATE = RunaheadPolicy("RAR-LATE", "runahead", early=False,
+                          flush_at_exit=True, lean=True)
+RAR = RunaheadPolicy("RAR", "runahead", early=True, flush_at_exit=True,
+                     lean=True)
+
+#: Extension: the runahead buffer (Hashemi & Patt, MICRO 2015) — replay
+#: the stalling dependence chain from a small buffer. Like PRE it keeps
+#: the window at exit; unlike PRE it spends no front-end bandwidth on
+#: non-chain instructions (but cannot cross a mispredicted branch).
+RA_BUFFER = RunaheadPolicy("RA-BUFFER", "runahead", early=False,
+                           flush_at_exit=False, lean=True, buffer=True)
+
+#: Extension: reliability-aware *vector* runahead — RAR's early+flush
+#: optimisations on top of vectorised slice execution (Naithani et al.,
+#: ISCA 2021): consecutive iterations' slice instances share issue slots.
+VEC_RAR = RunaheadPolicy("VEC-RAR", "runahead", early=True,
+                         flush_at_exit=True, lean=True, vector=8)
+
+#: Extension beyond the paper's evaluated set: dispatch throttling
+#: (Soundararajan et al., discussed in Section VI-C) — when a long-latency
+#: miss blocks the head, dispatch is rate-limited instead of flushed, so
+#: less vulnerable state accumulates at a smaller performance cost than
+#: FLUSH but with a weaker reliability gain.
+THROTTLE = RunaheadPolicy("THROTTLE", "throttle")
+
+#: The paper's eight evaluated configurations (Section V).
+ALL_POLICIES: List[RunaheadPolicy] = [
+    OOO, FLUSH, TR, TR_EARLY, PRE, PRE_EARLY, RAR_LATE, RAR,
+]
+
+#: Extra design points implemented on top of the paper's set.
+EXTENSION_POLICIES: List[RunaheadPolicy] = [THROTTLE, RA_BUFFER, VEC_RAR]
+
+_BY_NAME: Dict[str, RunaheadPolicy] = {
+    p.name: p for p in ALL_POLICIES + EXTENSION_POLICIES
+}
+
+
+def get_policy(name: str) -> RunaheadPolicy:
+    """Look up a policy by its paper name (case-insensitive, '_'≡'-')."""
+    key = name.upper().replace("_", "-")
+    try:
+        return _BY_NAME[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def policy_names() -> List[str]:
+    return [p.name for p in ALL_POLICIES]

@@ -1,0 +1,48 @@
+"""Stalling Slice Table (PRE, Naithani et al. HPCA 2020).
+
+Fully-associative, LRU-replaced table of PCs known to belong to the
+backward slice of a stall-causing (LLC-missing) load. During lean runahead
+only uops whose PC hits in the SST are executed; everything else is skipped
+at fetch bandwidth. The table is trained whenever a load turns out to be an
+LLC miss: the load's PC and the PCs of its address-generating backward
+slice are inserted.
+"""
+
+from collections import OrderedDict
+from typing import Iterable
+
+
+class StallingSliceTable:
+    def __init__(self, size: int = 128):
+        self.size = size
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.lookups = 0
+        self.insertions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._entries
+
+    def lookup(self, pc: int) -> bool:
+        self.lookups += 1
+        if pc in self._entries:
+            self._entries.move_to_end(pc)
+            self.hits += 1
+            return True
+        return False
+
+    def insert(self, pc: int) -> None:
+        if pc in self._entries:
+            self._entries.move_to_end(pc)
+            return
+        if len(self._entries) >= self.size:
+            self._entries.popitem(last=False)
+        self._entries[pc] = None
+        self.insertions += 1
+
+    def train_slice(self, pcs: Iterable[int]) -> None:
+        for pc in pcs:
+            self.insert(pc)

@@ -1,0 +1,7 @@
+"""Front-end substrate: branch prediction and the fetch pipe."""
+
+from repro.frontend.btb import Btb
+from repro.frontend.fetch import FrontEnd
+from repro.frontend.tage import TageScL
+
+__all__ = ["TageScL", "Btb", "FrontEnd"]

@@ -1,0 +1,8 @@
+"""Instruction model: static trace uops and dynamic in-flight instances."""
+
+from repro.isa.trace import Trace
+from repro.isa.tracefile import load_trace, save_trace
+from repro.isa.uop import NO_ADDR, DynUop, StaticUop
+
+__all__ = ["StaticUop", "DynUop", "Trace", "NO_ADDR", "save_trace",
+           "load_trace"]

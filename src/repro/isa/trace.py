@@ -1,0 +1,90 @@
+"""Rewindable, lazily-materialised instruction trace.
+
+The core fetches by index so that squash recovery (branch mispredict,
+FLUSH refetch, runahead-exit flush) can simply rewind the fetch cursor:
+the trace deterministically replays the same static uops.
+
+Traces are produced by workload generators (``repro.workloads``) as plain
+Python generators of :class:`StaticUop`; the trace buffers what has been
+generated so far and extends on demand.
+"""
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.isa.uop import StaticUop
+
+
+class Trace:
+    """Buffered view over a generator of :class:`StaticUop`.
+
+    Args:
+        source: iterator yielding StaticUops in program order. The uops'
+            ``idx`` fields must equal their position in the stream.
+        name: human-readable workload name (propagated into results).
+    """
+
+    def __init__(self, source: Iterator[StaticUop], name: str = "trace"):
+        self._source = source
+        self._buf: List[StaticUop] = []
+        self._exhausted = False
+        self.name = name
+
+    def __len__(self) -> int:
+        """Number of uops materialised so far (grows on demand)."""
+        return len(self._buf)
+
+    def get(self, idx: int) -> Optional[StaticUop]:
+        """Return the uop at ``idx``, or None past the end of the stream."""
+        buf = self._buf
+        while idx >= len(buf) and not self._exhausted:
+            try:
+                uop = next(self._source)
+            except StopIteration:
+                self._exhausted = True
+                break
+            if uop.idx != len(buf):
+                raise ValueError(
+                    f"trace uop idx {uop.idx} out of order (expected {len(buf)})"
+                )
+            buf.append(uop)
+        if idx < len(buf):
+            return buf[idx]
+        return None
+
+    def slice_producers(self, idx: int, max_depth: int = 64) -> List[int]:
+        """Backward address-slice of the uop at ``idx``.
+
+        Walks the ``srcs`` chains transitively (bounded by ``max_depth``
+        uops) and returns producer trace indices, oldest first.  This is
+        the ground-truth slice the Stalling Slice Table learns from.
+        """
+        uop = self.get(idx)
+        if uop is None:
+            return []
+        seen = set()
+        stack = list(uop.srcs)
+        while stack and len(seen) < max_depth:
+            i = stack.pop()
+            if i in seen or i < 0:
+                continue
+            seen.add(i)
+            producer = self.get(i)
+            if producer is not None:
+                stack.extend(producer.srcs)
+        return sorted(seen)
+
+    @classmethod
+    def from_list(cls, uops: List[StaticUop], name: str = "trace") -> "Trace":
+        trace = cls(iter(()), name=name)
+        trace._buf = list(uops)
+        trace._exhausted = True
+        for pos, uop in enumerate(trace._buf):
+            if uop.idx != pos:
+                raise ValueError(f"uop idx {uop.idx} != position {pos}")
+        return trace
+
+    @classmethod
+    def from_factory(
+        cls, factory: Callable[[], Iterator[StaticUop]], name: str = "trace"
+    ) -> "Trace":
+        return cls(factory(), name=name)

@@ -1,0 +1,85 @@
+"""Trace persistence: save/load the static uop stream.
+
+A simple line-oriented text format (optionally gzip-compressed by file
+extension) so traces can be archived, diffed, shipped to collaborators, or
+produced by external tools (e.g. a binary-instrumentation pipeline) and
+replayed through the simulator:
+
+    #repro-trace v1 name=<name>
+    <idx> <pc> <cls> <addr> <taken> <target> <src>[,<src>...]
+
+Fields are integers except ``taken`` (0/1); ``srcs`` is ``-`` when empty.
+"""
+
+import gzip
+import io
+from typing import Iterator, List, TextIO, Union
+
+from repro.isa.trace import Trace
+from repro.isa.uop import StaticUop
+
+MAGIC = "#repro-trace v1"
+
+
+def _open(path: str, mode: str) -> TextIO:
+    if path.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, mode + "b"))
+    return open(path, mode)
+
+
+def save_trace(trace_or_uops: Union[Trace, List[StaticUop]], path: str,
+               limit: int = 1_000_000, name: str = "") -> int:
+    """Write up to ``limit`` uops; returns the number written.
+
+    Accepts a :class:`Trace` (materialising lazily up to the limit) or a
+    plain list of :class:`StaticUop`.
+    """
+    if isinstance(trace_or_uops, Trace):
+        def uops() -> Iterator[StaticUop]:
+            for i in range(limit):
+                u = trace_or_uops.get(i)
+                if u is None:
+                    return
+                yield u
+        trace_name = name or trace_or_uops.name
+        source = uops()
+    else:
+        trace_name = name or "trace"
+        source = iter(trace_or_uops[:limit])
+
+    written = 0
+    with _open(path, "w") as f:
+        f.write(f"{MAGIC} name={trace_name}\n")
+        for u in source:
+            srcs = ",".join(str(s) for s in u.srcs) if u.srcs else "-"
+            f.write(f"{u.idx} {u.pc} {u.cls} {u.addr} "
+                    f"{1 if u.taken else 0} {u.target} {srcs}\n")
+            written += 1
+    return written
+
+
+def load_trace(path: str) -> Trace:
+    """Read a saved trace back into a rewindable :class:`Trace`."""
+    with _open(path, "r") as f:
+        header = f.readline().rstrip("\n")
+        if not header.startswith(MAGIC):
+            raise ValueError(f"{path}: not a repro trace file")
+        name = "trace"
+        if "name=" in header:
+            name = header.split("name=", 1)[1] or "trace"
+        uops: List[StaticUop] = []
+        for lineno, line in enumerate(f, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 7:
+                raise ValueError(f"{path}:{lineno}: malformed record")
+            idx, pc, cls, addr, taken, target, srcs_s = parts
+            srcs = (() if srcs_s == "-"
+                    else tuple(int(x) for x in srcs_s.split(",")))
+            uops.append(StaticUop(
+                idx=int(idx), pc=int(pc), cls=int(cls), srcs=srcs,
+                addr=int(addr), taken=taken == "1", target=int(target),
+            ))
+    return Trace.from_list(uops, name=name)

@@ -1,0 +1,174 @@
+"""Micro-op representations.
+
+A :class:`StaticUop` is one element of the *dynamic instruction trace* of a
+workload (the program already unrolled in execution order), so re-fetching
+after a squash deterministically replays the same instructions, addresses
+and branch outcomes.  A :class:`DynUop` is one in-flight instance of a
+static uop; the same static uop can be instantiated several times (branch
+wrong-path recovery, FLUSH refetch, runahead-exit flush all re-fetch).
+
+Both classes use ``__slots__``: the simulator allocates one DynUop per
+dynamic instruction and these are the hottest objects in the system.
+"""
+
+from typing import Optional, Tuple
+
+from repro.common.enums import UopClass
+
+#: Sentinel address for non-memory uops.
+NO_ADDR = -1
+
+
+class StaticUop:
+    """One trace element. Immutable once created.
+
+    Attributes:
+        idx: position in the trace (program order).
+        pc: instruction address; loops repeat PCs so predictors can learn.
+        cls: :class:`UopClass` value (stored as int for speed).
+        srcs: trace indices of producer uops this uop reads. For loads and
+            stores these are the *address-generating* producers, which is
+            what backward-slice identification (the SST) walks.
+        addr: byte address touched by loads/stores, ``NO_ADDR`` otherwise.
+        taken: branch outcome (meaningless for non-branches).
+        target: branch target PC (for BTB modelling).
+    """
+
+    __slots__ = ("idx", "pc", "cls", "srcs", "addr", "taken", "target")
+
+    def __init__(
+        self,
+        idx: int,
+        pc: int,
+        cls: int,
+        srcs: Tuple[int, ...] = (),
+        addr: int = NO_ADDR,
+        taken: bool = False,
+        target: int = 0,
+    ):
+        self.idx = idx
+        self.pc = pc
+        self.cls = cls
+        self.srcs = srcs
+        self.addr = addr
+        self.taken = taken
+        self.target = target
+
+    @property
+    def uop_class(self) -> UopClass:
+        return UopClass(self.cls)
+
+    @property
+    def is_load(self) -> bool:
+        return self.cls == UopClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.cls == UopClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.cls == UopClass.BRANCH
+
+    @property
+    def is_mem(self) -> bool:
+        return self.cls == UopClass.LOAD or self.cls == UopClass.STORE
+
+    @property
+    def is_fp(self) -> bool:
+        return UopClass.FP_ADD <= self.cls <= UopClass.FP_DIV
+
+    @property
+    def has_dest(self) -> bool:
+        return self.cls not in (UopClass.NOP, UopClass.STORE, UopClass.BRANCH,
+                                UopClass.INT_CMP)
+
+    def __repr__(self) -> str:
+        return (
+            f"StaticUop(idx={self.idx}, pc={self.pc:#x}, "
+            f"cls={UopClass(self.cls).name}, srcs={self.srcs}, addr={self.addr})"
+        )
+
+
+class DynUop:
+    """One dynamic, in-flight instance of a static uop.
+
+    Timestamps are cycle numbers, ``-1`` when the event has not happened.
+    ACE accounting reads the timestamps at commit; squashed instances are
+    charged nothing (see ``repro.reliability.ace``).
+    """
+
+    __slots__ = (
+        "static",
+        "seq",
+        "wrong_path",
+        "runahead",
+        "inv",
+        "pending",
+        "consumers",
+        "dispatch_cycle",
+        "issue_cycle",
+        "done_cycle",
+        "commit_cycle",
+        "completed",
+        "squashed",
+        "squash_cause",
+        "mem_level",
+        "llc_miss",
+        "counted_miss",
+        "predicted_taken",
+        "mem_issue_cycle",
+        "in_lq",
+        "in_sq",
+    )
+
+    def __init__(self, static: StaticUop, seq: int, wrong_path: bool = False,
+                 runahead: bool = False):
+        self.static = static
+        self.seq = seq
+        self.wrong_path = wrong_path
+        self.runahead = runahead
+        #: invalid during runahead: (transitively) depends on the blocking load
+        self.inv = False
+        #: number of unresolved producers; issue-eligible at zero
+        self.pending = 0
+        #: dispatched consumers waiting on this uop's result
+        self.consumers: list = []
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.done_cycle = -1
+        self.commit_cycle = -1
+        self.completed = False
+        self.squashed = False
+        self.squash_cause = 0
+        #: which level serviced a memory uop: "l1", "l2", "l3", "dram"
+        self.mem_level: Optional[str] = None
+        self.llc_miss = False
+        #: whether this uop incremented the outstanding-miss (MLP) counter
+        self.counted_miss = False
+        self.predicted_taken = False
+        self.mem_issue_cycle = -1
+        self.in_lq = False
+        self.in_sq = False
+
+    @property
+    def mispredicted(self) -> bool:
+        return (
+            self.static.cls == UopClass.BRANCH
+            and not self.wrong_path
+            and self.predicted_taken != self.static.taken
+        )
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            f
+            for f, on in (
+                ("W", self.wrong_path),
+                ("R", self.runahead),
+                ("I", self.inv),
+                ("S", self.squashed),
+                ("C", self.completed),
+            )
+            if on
+        )
+        return f"DynUop(seq={self.seq}, {self.static!r}, flags={flags or '-'})"

@@ -1,0 +1,8 @@
+"""Memory-hierarchy substrate: caches, DRAM and prefetching."""
+
+from repro.memory.cache import Cache
+from repro.memory.dram import Dram
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.prefetcher import StridePrefetcher
+
+__all__ = ["Cache", "Dram", "MemoryHierarchy", "AccessResult", "StridePrefetcher"]

@@ -1,0 +1,68 @@
+"""DDR3-style DRAM timing model.
+
+Models ranks × banks with open-page row buffers, per-bank busy times and a
+shared data bus with a fixed per-access occupancy (the bandwidth ceiling).
+All times are in core cycles (see :class:`repro.common.params.DramParams`
+for the DDR3-1600 → 2.66 GHz mapping).
+
+The model is deliberately first-order: it reproduces the latency *spread*
+(row hits vs. row conflicts), bank-level parallelism and the bandwidth wall
+that shape memory-level parallelism, which is what runahead exploits.
+"""
+
+from typing import Dict, Tuple
+
+from repro.common.params import DramParams
+
+
+class Dram:
+    def __init__(self, params: DramParams):
+        self.params = params
+        self._row_shift = params.row_size.bit_length() - 1
+        nb = params.num_banks
+        if nb & (nb - 1):
+            raise ValueError("number of banks must be a power of two")
+        self._bank_mask = nb - 1
+        self._bank_shift = nb.bit_length() - 1
+        #: per-bank (open_row, next_free_cycle)
+        self._banks: Dict[int, Tuple[int, int]] = {}
+        self._bus_free = 0
+        self.accesses = 0
+        self.row_hits = 0
+        self.row_conflicts = 0
+
+    def _map(self, addr: int) -> Tuple[int, int]:
+        """Address → (bank, row): row-interleaved across banks."""
+        row_global = addr >> self._row_shift
+        bank = row_global & self._bank_mask
+        row = row_global >> self._bank_shift
+        return bank, row
+
+    def access(self, addr: int, arrive_cycle: int) -> int:
+        """Service one line read/write; returns data-ready cycle."""
+        p = self.params
+        bank, row = self._map(addr)
+        open_row, next_free = self._banks.get(bank, (-1, 0))
+        start = arrive_cycle if arrive_cycle > next_free else next_free
+        if row == open_row:
+            latency = p.row_hit_latency
+            busy = p.bus_cycles_per_access  # back-to-back column reads (tCCD)
+            self.row_hits += 1
+        else:
+            latency = p.row_miss_latency
+            busy = p.t_rp + p.t_rcd + p.bus_cycles_per_access
+            self.row_conflicts += 1
+        data_cycle = start + latency
+        # Shared data bus: consecutive bursts cannot overlap.
+        if data_cycle < self._bus_free:
+            data_cycle = self._bus_free
+        self._bus_free = data_cycle + p.bus_cycles_per_access
+        # The bank frees once the row is open and the burst has issued —
+        # NOT when the data reaches the core; row hits pipeline at tCCD.
+        self._banks[bank] = (row, start + busy)
+        self.accesses += 1
+        return data_cycle
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0

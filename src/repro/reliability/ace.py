@@ -1,0 +1,162 @@
+"""ACE bit accounting (Mukherjee et al., as configured in Section IV).
+
+An *ACE bit-cycle* is one bit of microarchitectural state that must be
+correct, held for one cycle. Charging happens at commit time, per
+structure, over the intervals of Figure 2:
+
+- ROB entry: dispatch → commit (120 bits)
+- IQ entry: dispatch → issue (80 bits)
+- LQ entry: execute → commit (120 bits); SQ entry: 184 bits
+- physical register: writeback → commit (64/128 bits)
+- functional unit: width × execution cycles
+
+Only instances that architecturally commit are charged. NOPs, wrong-path
+uops, runahead-speculative uops and every squashed instance (mispredict
+recovery, FLUSH, runahead-exit flush) are un-ACE — this single rule is what
+makes flushing-at-exit a reliability optimisation.
+
+:class:`BlockedWindows` implements the Figure 5 attribution experiments:
+the total ACE charge that falls inside "ROB head blocked by an LLC miss"
+windows and inside "full-ROB stall" windows.
+"""
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List
+
+from repro.common.params import BIT_BUDGET
+from repro.isa.uop import DynUop
+
+STRUCTURES = ("rob", "iq", "lq", "sq", "rf", "fu")
+
+
+class BlockedWindows:
+    """Disjoint, append-only set of [start, end) cycle windows.
+
+    Supports O(log n) overlap queries via prefix sums; used to attribute
+    ACE charge to the miss-shadow windows of Figure 5.
+    """
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+        self._prefix: List[int] = [0]  # cumulative window length
+        self._open_start = -1
+
+    def open(self, cycle: int) -> None:
+        if self._open_start < 0:
+            self._open_start = cycle
+
+    @property
+    def is_open(self) -> bool:
+        return self._open_start >= 0
+
+    def close(self, cycle: int) -> None:
+        if self._open_start < 0:
+            return
+        start = self._open_start
+        self._open_start = -1
+        if cycle <= start:
+            return
+        if self._starts and start < self._ends[-1]:
+            # Merge with the previous window if they touch/overlap.
+            start = max(start, self._ends[-1])
+            if cycle <= start:
+                return
+        self._starts.append(start)
+        self._ends.append(cycle)
+        self._prefix.append(self._prefix[-1] + (cycle - start))
+
+    def overlap(self, a: int, b: int) -> int:
+        """Total window time intersecting [a, b); includes an open window."""
+        if b <= a:
+            return 0
+        total = 0
+        starts, ends, prefix = self._starts, self._ends, self._prefix
+        if starts:
+            # Windows with end > a and start < b intersect [a, b).
+            lo = bisect_right(ends, a)
+            hi = bisect_left(starts, b)
+            if hi > lo:
+                total += prefix[hi] - prefix[lo]
+                if starts[lo] < a:  # clip partial overlap at the left edge
+                    total -= a - starts[lo]
+                if ends[hi - 1] > b:  # clip at the right edge
+                    total -= ends[hi - 1] - b
+        if self._open_start >= 0 and b > self._open_start:
+            total += b - max(a, self._open_start)
+        return total
+
+    @property
+    def total_time(self) -> int:
+        return self._prefix[-1]
+
+    @property
+    def count(self) -> int:
+        return len(self._starts)
+
+
+class AceAccountant:
+    """Accumulates ACE bit-cycles per structure as uops commit.
+
+    With ``record_intervals=True`` every charged (structure, start, end,
+    bits) interval is also retained, enabling post-hoc analyses such as
+    Monte-Carlo fault injection (``repro.reliability.fault_injection``)
+    and windowed AVF timelines.
+    """
+
+    def __init__(self, fu_exec_cycles, record_intervals: bool = False) -> None:
+        """``fu_exec_cycles(cls) -> int`` maps uop class to FU occupancy."""
+        self.bits: Dict[str, int] = {s: 0 for s in STRUCTURES}
+        self._fu_exec_cycles = fu_exec_cycles
+        #: Figure 5 attribution targets
+        self.head_blocked = BlockedWindows()
+        self.full_stall = BlockedWindows()
+        self.bits_in_head_blocked = 0
+        self.bits_in_full_stall = 0
+        self.committed_charged = 0
+        self.record_intervals = record_intervals
+        #: (structure, start_cycle, end_cycle, bits) when recording
+        self.intervals: List[tuple] = []
+
+    def _charge(self, structure: str, start: int, end: int,
+                bits_per_entry: int) -> None:
+        if end <= start:
+            return
+        self.bits[structure] += bits_per_entry * (end - start)
+        self.bits_in_head_blocked += (
+            bits_per_entry * self.head_blocked.overlap(start, end))
+        self.bits_in_full_stall += (
+            bits_per_entry * self.full_stall.overlap(start, end))
+        if self.record_intervals:
+            self.intervals.append((structure, start, end, bits_per_entry))
+
+    def charge_commit(self, uop: DynUop) -> None:
+        """Charge a committing, correct-path uop (the only ACE case)."""
+        st = uop.static
+        if st.cls == 0:  # NOP: architecturally dead, un-ACE by definition
+            return
+        d, i, w, c = (uop.dispatch_cycle, uop.issue_cycle, uop.done_cycle,
+                      uop.commit_cycle)
+
+        self._charge("rob", d, c, BIT_BUDGET["rob"])
+        if i >= 0:
+            self._charge("iq", d, i, BIT_BUDGET["iq"])
+            if st.is_load:
+                self._charge("lq", i, c, BIT_BUDGET["lq"])
+            elif st.is_store:
+                self._charge("sq", i, c, BIT_BUDGET["sq"])
+        if st.has_dest and w >= 0:
+            self._charge("rf", w, c,
+                         BIT_BUDGET["fp_reg" if st.is_fp else "int_reg"])
+        # Functional units: width × execution cycles, anchored at issue.
+        fu_start = i if i >= 0 else d
+        self._charge("fu", fu_start, fu_start + self._fu_exec_cycles(st.cls),
+                     BIT_BUDGET["fp_fu" if st.is_fp else "int_fu"])
+        self.committed_charged += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.bits.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.bits)

@@ -1,0 +1,102 @@
+"""What-if modelling of circuit-level protection (Section VI-A).
+
+The paper's related work discusses protecting core structures directly:
+parity/ECC on latency-sensitive structures costs area, power and cycle
+time (CLEAR reports ~14% area/power for parity on an OoO core), which is
+why the paper pursues a microarchitectural mechanism instead. This module
+answers the complementary question: *if* a designer protected some subset
+of structures, what residual vulnerability would remain — and how does
+that compare with deploying RAR?
+
+The model is exact within ACE methodology: protecting a structure removes
+its ACE contribution (detection+correction makes its bits non-vulnerable);
+the listed overheads are the literature's first-order costs, provided so
+studies can weigh MTTF against area/cycle-time budgets.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping
+
+from repro.reliability.ace import STRUCTURES
+
+#: First-order cost estimates for parity/ECC on core structures, from the
+#: literature the paper cites (CLEAR, Stojanovic et al.): fractional area
+#: overhead and whether the structure is cycle-time critical.
+PROTECTION_COSTS: Dict[str, Dict[str, float]] = {
+    "rob": {"area": 0.05, "latency_critical": 1.0},
+    "iq": {"area": 0.04, "latency_critical": 1.0},
+    "lq": {"area": 0.02, "latency_critical": 0.0},
+    "sq": {"area": 0.02, "latency_critical": 0.0},
+    "rf": {"area": 0.03, "latency_critical": 1.0},
+    "fu": {"area": 0.02, "latency_critical": 1.0},
+}
+
+
+@dataclass(frozen=True)
+class ProtectionPlan:
+    """A set of structures to protect with detection/correction codes."""
+
+    structures: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        unknown = self.structures - set(STRUCTURES)
+        if unknown:
+            raise ValueError(f"unknown structures: {sorted(unknown)}")
+
+    @classmethod
+    def of(cls, *structures: str) -> "ProtectionPlan":
+        return cls(frozenset(structures))
+
+    @property
+    def area_overhead(self) -> float:
+        """Summed fractional area cost of the plan."""
+        return sum(PROTECTION_COSTS[s]["area"] for s in self.structures)
+
+    @property
+    def touches_cycle_time(self) -> bool:
+        """True when any protected structure is latency-critical — the
+        showstopper the paper cites for ROB/IQ/RF coding."""
+        return any(PROTECTION_COSTS[s]["latency_critical"] > 0
+                   for s in self.structures)
+
+
+def residual_abc(abc: Mapping[str, int], plan: ProtectionPlan) -> int:
+    """ABC remaining after the plan's structures become non-vulnerable."""
+    return sum(v for s, v in abc.items() if s not in plan.structures)
+
+
+def mttf_gain(abc: Mapping[str, int], plan: ProtectionPlan) -> float:
+    """MTTF improvement factor from protection alone (same runtime)."""
+    total = sum(abc.values())
+    rest = residual_abc(abc, plan)
+    if total <= 0:
+        raise ValueError("ABC must be positive")
+    return float("inf") if rest == 0 else total / rest
+
+
+def rank_single_structures(abc: Mapping[str, int]) -> Iterable[str]:
+    """Structures in decreasing order of protection payoff."""
+    return sorted((s for s in abc), key=lambda s: abc[s], reverse=True)
+
+
+def cheapest_plan_for_target(abc: Mapping[str, int],
+                             target_gain: float) -> ProtectionPlan:
+    """Greedy minimal-area plan achieving at least ``target_gain`` MTTF.
+
+    Greedily protects the structure with the best remaining
+    ABC-removed-per-area ratio until the target is met.
+    """
+    if target_gain <= 1.0:
+        return ProtectionPlan(frozenset())
+    chosen: set = set()
+    while True:
+        plan = ProtectionPlan(frozenset(chosen))
+        if mttf_gain(abc, plan) >= target_gain:
+            return plan
+        candidates = [s for s in abc if s not in chosen and abc[s] > 0]
+        if not candidates:
+            raise ValueError(
+                f"target {target_gain}x unreachable even with full protection")
+        best = max(candidates,
+                   key=lambda s: abc[s] / PROTECTION_COSTS[s]["area"])
+        chosen.add(best)

@@ -1,0 +1,162 @@
+"""Top-level simulation API.
+
+The one-call entry point for users and for the benchmark harness::
+
+    from repro import simulate, BASELINE, RAR, get_workload
+
+    result = simulate(get_workload("mcf"), BASELINE, RAR, instructions=50_000)
+    print(result.ipc, result.abc_total)
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.common.params import MachineParams
+from repro.core.core import OutOfOrderCore
+from repro.core.runahead import RunaheadPolicy, get_policy
+from repro.isa.trace import Trace
+from repro.reliability.metrics import mttf_relative, normalized_abc
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.catalog import get_workload
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Everything a study needs from one simulation run."""
+
+    workload: str
+    machine: str
+    policy: str
+    instructions: int
+    cycles: int
+    ipc: float
+    mlp: float
+    mpki: float
+    abc: Dict[str, int] = field(default_factory=dict)
+    abc_total: int = 0
+    total_bits: int = 0
+    #: Figure 5 attribution
+    abc_head_blocked: int = 0
+    abc_full_stall: int = 0
+    runahead_triggers: int = 0
+    runahead_cycles: int = 0
+    runahead_prefetches: int = 0
+    runahead_uops_examined: int = 0
+    runahead_uops_executed: int = 0
+    squashed_uops: int = 0
+    flush_triggers: int = 0
+    branch_mispredicts: int = 0
+    demand_llc_misses: int = 0
+
+    @property
+    def avf(self) -> float:
+        return self.abc_total / (self.total_bits * self.cycles)
+
+    def mttf_rel(self, baseline: "SimResult") -> float:
+        """This run's MTTF normalised to a baseline run (higher = better)."""
+        return mttf_relative(baseline.abc_total, baseline.cycles,
+                             self.abc_total, self.cycles)
+
+    def abc_rel(self, baseline: "SimResult") -> float:
+        """This run's ABC normalised to a baseline run (lower = better)."""
+        return normalized_abc(baseline.abc_total, self.abc_total)
+
+    def ipc_rel(self, baseline: "SimResult") -> float:
+        return self.ipc / baseline.ipc if baseline.ipc else float("inf")
+
+
+def simulate(
+    workload: Union[WorkloadSpec, Trace, str],
+    machine: MachineParams,
+    policy: Union[RunaheadPolicy, str],
+    instructions: int = 30_000,
+    warmup: int = 20_000,
+    seed: Optional[int] = None,
+) -> SimResult:
+    """Run one workload on one machine under one policy.
+
+    Args:
+        workload: a catalog name, a :class:`WorkloadSpec`, or a raw trace.
+        machine: machine configuration (e.g. ``repro.BASELINE``).
+        policy: a :class:`RunaheadPolicy` or its name (e.g. ``"RAR"``).
+        instructions: committed instructions measured (after warmup).
+        warmup: committed instructions simulated before counters reset —
+            warms caches, predictor and the SST.
+        seed: trace RNG seed override.
+
+    Returns:
+        a :class:`SimResult` with the measured window's statistics.
+    """
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    regions = []
+    if isinstance(workload, WorkloadSpec):
+        name = workload.name
+        trace = workload.build_trace(seed=seed)
+        regions = workload.resident_regions()
+    else:
+        name = workload.name
+        trace = workload
+    if isinstance(policy, str):
+        policy = get_policy(policy)
+    if instructions <= 0:
+        raise ValueError("instructions must be positive")
+
+    core = OutOfOrderCore(machine, trace, policy, seed=seed or 0)
+    for level, base, size in regions:
+        core.mem.preload(base, size, level)
+    if warmup > 0:
+        core.run(warmup)
+    start = _snapshot(core)
+    core.run(instructions)
+    return _delta_result(core, start, name)
+
+
+def _snapshot(core: OutOfOrderCore) -> Dict[str, int]:
+    snap = core.stats.snapshot()
+    snap["_cycle"] = core.cycle
+    snap["_abc"] = dict(core.ace.bits)
+    snap["_abc_hb"] = core.ace.bits_in_head_blocked
+    snap["_abc_fs"] = core.ace.bits_in_full_stall
+    return snap
+
+
+def _delta_result(core: OutOfOrderCore, start: Dict[str, int],
+                  name: str) -> SimResult:
+    s = core.stats
+    cycles = core.cycle - start["_cycle"]
+    committed = s.committed - start["committed"]
+    abc = {k: v - start["_abc"][k] for k, v in core.ace.bits.items()}
+    mlp_cycles = s.mlp_cycles - start["mlp_cycles"]
+    mlp_sum = s.mlp_sum - start["mlp_sum"]
+    demand_misses = s.demand_llc_misses - start["demand_llc_misses"]
+    return SimResult(
+        workload=name,
+        machine=core.machine.name,
+        policy=core.policy.name,
+        instructions=committed,
+        cycles=cycles,
+        ipc=committed / cycles if cycles else 0.0,
+        mlp=mlp_sum / mlp_cycles if mlp_cycles else 0.0,
+        mpki=1000.0 * demand_misses / committed if committed else 0.0,
+        abc=abc,
+        abc_total=sum(abc.values()),
+        total_bits=core.machine.core.total_bits,
+        abc_head_blocked=core.ace.bits_in_head_blocked - start["_abc_hb"],
+        abc_full_stall=core.ace.bits_in_full_stall - start["_abc_fs"],
+        runahead_triggers=s.runahead_triggers - start["runahead_triggers"],
+        runahead_cycles=s.runahead_cycles - start["runahead_cycles"],
+        runahead_prefetches=s.runahead_prefetches - start["runahead_prefetches"],
+        runahead_uops_examined=(s.runahead_uops_examined
+                                - start["runahead_uops_examined"]),
+        runahead_uops_executed=(s.runahead_uops_executed
+                                - start["runahead_uops_executed"]),
+        squashed_uops=(
+            s.squashed_mispredict + s.squashed_runahead_flush
+            + s.squashed_flush_mechanism
+            - start["squashed_mispredict"] - start["squashed_runahead_flush"]
+            - start["squashed_flush_mechanism"]),
+        flush_triggers=s.flush_triggers - start["flush_triggers"],
+        branch_mispredicts=s.branch_mispredicted - start["branch_mispredicted"],
+        demand_llc_misses=demand_misses,
+    )

@@ -1,0 +1,43 @@
+"""Synthetic SPEC-like workload generators.
+
+SPEC CPU2006/2017 traces are not redistributable, so the evaluation runs on
+deterministic synthetic workloads whose *characteristics* (MPKI, dependent
+vs. independent misses, branch predictability, instruction mix) are tuned
+per benchmark to match the behaviour the paper describes. See DESIGN.md
+section 2 for the substitution rationale.
+"""
+
+from repro.workloads.base import BranchSpec, SlotSpec, WorkloadSpec, make_body
+from repro.workloads.catalog import (
+    ALL_WORKLOADS,
+    COMPUTE_WORKLOADS,
+    MEMORY_WORKLOADS,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.patterns import (
+    MixPattern,
+    PatternSpec,
+    PointerChasePattern,
+    RandomPattern,
+    StreamPattern,
+    build_pattern,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "SlotSpec",
+    "BranchSpec",
+    "make_body",
+    "PatternSpec",
+    "StreamPattern",
+    "PointerChasePattern",
+    "RandomPattern",
+    "MixPattern",
+    "build_pattern",
+    "MEMORY_WORKLOADS",
+    "COMPUTE_WORKLOADS",
+    "ALL_WORKLOADS",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,322 @@
+"""Workload specification and trace generation.
+
+A workload is described by a *loop body*: a short list of :class:`SlotSpec`
+entries (one per static instruction) that the generator unrolls into an
+infinite dynamic trace. Slots keep the same PC across iterations, so branch
+predictors and the Stalling Slice Table see learnable, program-like PC
+streams; addresses and branch outcomes vary per iteration according to the
+slot's pattern/branch specification.
+
+Dependencies are expressed as ``(iteration_delta, slot_index)`` pairs and
+resolved to absolute trace indices during unrolling. Loads drawn from a
+*dependent* address pattern (pointer chasing) additionally gain a dynamic
+dependence on the previous load of the same pattern — that is what makes
+chase misses serialise and makes runahead unable to prefetch them.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.enums import UopClass
+from repro.isa.trace import Trace
+from repro.isa.uop import NO_ADDR, StaticUop
+from repro.workloads.patterns import AddressPattern, PatternSpec
+
+
+@dataclass(frozen=True)
+class BranchSpec:
+    """Behaviour of one static branch slot.
+
+    kinds:
+        ``loop``   — taken except every ``period``-th iteration (back-edge).
+        ``biased`` — independently taken with probability ``bias``.
+        ``data``   — taken with probability ``bias`` *and* data-dependent on
+                     the most recent load, so it is unpredictable noise to
+                     the predictor and INV in runahead when that load is in
+                     the blocking load's shadow.
+    """
+
+    kind: str = "loop"
+    bias: float = 0.5
+    period: int = 64
+
+
+@dataclass(frozen=True)
+class SlotSpec:
+    """One static instruction of the loop body."""
+
+    cls: int
+    #: producer references as (iteration_delta, slot_index); delta 0 means
+    #: "earlier in the same iteration", 1 means "previous iteration", ...
+    srcs: Tuple[Tuple[int, int], ...] = ()
+    #: pattern id (key into WorkloadSpec.patterns) for loads/stores
+    pattern: Optional[str] = None
+    branch: Optional[BranchSpec] = None
+
+
+@dataclass
+class WorkloadSpec:
+    """A named synthetic workload.
+
+    Attributes:
+        name: benchmark name (e.g. ``"mcf"``).
+        memory_intensive: which evaluation set the workload belongs to.
+        body: the loop body (slots).
+        patterns: address-pattern specs keyed by the ids slots reference.
+        pc_base: base address for slot PCs.
+        seed: default RNG seed; traces are reproducible given (name, seed).
+        description: one-line characterisation (for docs/reports).
+    """
+
+    name: str
+    memory_intensive: bool
+    body: Tuple[SlotSpec, ...]
+    patterns: Dict[str, PatternSpec] = field(default_factory=dict)
+    pc_base: int = 0x400000
+    seed: int = 12345
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise ValueError("workload body must not be empty")
+        for slot in self.body:
+            if UopClass(slot.cls).is_mem and slot.pattern not in self.patterns:
+                raise ValueError(
+                    f"{self.name}: mem slot references unknown pattern "
+                    f"{slot.pattern!r}"
+                )
+
+    def build_trace(self, seed: Optional[int] = None) -> Trace:
+        """Materialise a fresh, rewindable trace for this workload."""
+        return Trace(
+            self._generate(self.seed if seed is None else seed), name=self.name
+        )
+
+    def resident_regions(self) -> List[Tuple[str, int, int]]:
+        """(level, base, size) regions that are cache-resident in steady
+        state — the simulator preloads these instead of simulating the
+        hundreds of thousands of warmup instructions they would need."""
+        out: List[Tuple[str, int, int]] = []
+        seen = set()
+
+        def walk(spec: PatternSpec) -> None:
+            if spec.resident and (spec.base, spec.working_set) not in seen:
+                seen.add((spec.base, spec.working_set))
+                out.append((spec.resident, spec.base, spec.working_set))
+            for _, sub in spec.mix_parts:
+                walk(sub)
+
+        for spec in self.patterns.values():
+            walk(spec)
+        return out
+
+    def _generate(self, seed: int) -> Iterator[StaticUop]:
+        rng = random.Random(seed)
+        body = self.body
+        nslots = len(body)
+        engines: Dict[str, AddressPattern] = {
+            pid: spec.build() for pid, spec in self.patterns.items()
+        }
+        # Dynamic state threaded across iterations:
+        last_load_by_pattern: Dict[str, int] = {}
+        last_load_idx = -1
+        idx = 0
+        t = 0
+        while True:
+            base_idx = t * nslots
+            for s, slot in enumerate(body):
+                pc = self.pc_base + s * 4
+                srcs: List[int] = []
+                for delta, prod_slot in slot.srcs:
+                    prod_iter = t - delta
+                    if prod_iter < 0:
+                        continue
+                    prod_idx = prod_iter * nslots + prod_slot
+                    if prod_idx < idx:
+                        srcs.append(prod_idx)
+                addr = NO_ADDR
+                taken = False
+                target = 0
+                cls = slot.cls
+                if slot.pattern is not None:
+                    engine = engines[slot.pattern]
+                    addr = engine.next_addr(rng)
+                    if engine.dependent:
+                        prev = last_load_by_pattern.get(slot.pattern, -1)
+                        if prev >= 0:
+                            srcs.append(prev)
+                    if cls == UopClass.LOAD:
+                        last_load_by_pattern[slot.pattern] = idx
+                        last_load_idx = idx
+                elif cls == UopClass.BRANCH:
+                    spec = slot.branch or BranchSpec()
+                    if spec.kind == "loop":
+                        taken = (t % spec.period) != spec.period - 1
+                    elif spec.kind == "biased":
+                        taken = rng.random() < spec.bias
+                    elif spec.kind == "data":
+                        taken = rng.random() < spec.bias
+                        if last_load_idx >= 0:
+                            srcs.append(last_load_idx)
+                    else:
+                        raise ValueError(f"unknown branch kind {spec.kind!r}")
+                    target = self.pc_base if taken else pc + 4
+                yield StaticUop(
+                    idx=idx,
+                    pc=pc,
+                    cls=cls,
+                    srcs=tuple(srcs),
+                    addr=addr,
+                    taken=taken,
+                    target=target,
+                )
+                idx += 1
+            t += 1
+
+
+def make_body(
+    rng: random.Random,
+    n_slots: int = 64,
+    load_frac: float = 0.22,
+    store_frac: float = 0.08,
+    branch_frac: float = 0.12,
+    fp_frac: float = 0.0,
+    nop_frac: float = 0.01,
+    chain: float = 0.3,
+    hard_branch_frac: float = 0.0,
+    load_consume: float = 0.35,
+    pattern_weights: Optional[Dict[str, float]] = None,
+) -> Tuple[SlotSpec, ...]:
+    """Build a randomised loop body with the requested characteristics.
+
+    Args:
+        rng: seeded RNG (body structure is deterministic given the seed).
+        n_slots: static instructions per loop iteration.
+        load_frac/store_frac/branch_frac/fp_frac/nop_frac: class mix; the
+            remainder are integer ALU ops.
+        chain: probability an ALU op extends the most recent dependence
+            chain instead of reading a distant producer — higher values
+            mean deeper chains and lower ILP (lbm-like IQ pressure).
+        hard_branch_frac: fraction of branches that are data-dependent
+            noise (mcf/gcc-like mispredicts in the miss shadow).
+        load_consume: probability an ALU/FP op reads the latest load's
+            value. This controls what fraction of the window becomes
+            (transitively) miss-dependent — the knob that decides whether
+            a blocked LLC miss turns into a full-ROB stall (independent
+            work drains, the ROB fills) or an IQ-full stall (dependent
+            work piles up in the issue queue first).
+        pattern_weights: pattern-id → weight; each memory slot is assigned
+            a pattern id drawn from this distribution (default: all "main").
+    """
+    if pattern_weights is None:
+        pattern_weights = {"main": 1.0}
+    pattern_ids = list(pattern_weights)
+    weights = [pattern_weights[p] for p in pattern_ids]
+
+    def pick_pattern() -> str:
+        return rng.choices(pattern_ids, weights=weights)[0]
+
+    slots: List[SlotSpec] = []
+    #: earlier slots producing register values, split so that address
+    #: computation can stay independent of loaded data
+    alu_producers: List[int] = []   # int ALU results (never loads)
+    load_producers: List[int] = []  # load results
+    fp_producers: List[int] = []
+
+    def pick_producer(pool: List[int], s: int,
+                      may_consume_load: bool = False
+                      ) -> Tuple[Tuple[int, int], ...]:
+        """One or two producers; same iteration when possible, else prior."""
+        picks: List[Tuple[int, int]] = []
+        if may_consume_load and load_producers and rng.random() < load_consume:
+            prod = load_producers[-1]
+            picks.append((0, prod) if prod < s else (1, prod))
+        n = 1 if rng.random() < 0.6 else 2
+        while len(picks) < n and pool:
+            if rng.random() < chain:
+                prod = pool[-1]
+            else:
+                prod = pool[rng.randrange(len(pool))]
+            # A slot can only read same-iteration values produced earlier.
+            picks.append((0, prod) if prod < s else (1, prod))
+        return tuple(picks)
+
+    n_loads = max(1, round(n_slots * load_frac))
+    n_stores = round(n_slots * store_frac)
+    n_branches = max(1, round(n_slots * branch_frac))
+    n_fp = round(n_slots * fp_frac)
+    n_nops = round(n_slots * nop_frac)
+    classes: List[int] = (
+        [int(UopClass.LOAD)] * n_loads
+        + [int(UopClass.STORE)] * n_stores
+        + [int(UopClass.BRANCH)] * (n_branches - 1)
+        + [int(UopClass.NOP)] * n_nops
+    )
+    # Divides are rare in real code (~0.5%); one every ~25 FP / ~50 int ops
+    # keeps the single non-pipelined divider from dominating runtime.
+    fp_classes = ([UopClass.FP_ADD] * 14 + [UopClass.FP_MUL] * 10
+                  + [UopClass.FP_DIV])
+    for i in range(n_fp):
+        classes.append(int(fp_classes[i % len(fp_classes)]))
+    # Dest-less compares/tests keep integer dest density ≈ 62-66% of the
+    # window, so the 192-entry ROB fills *before* the 136 free renaming
+    # registers run out — PRE's premise that free registers exist at a
+    # full-window stall (otherwise lean runahead cannot allocate slices).
+    int_classes = [UopClass.INT_ADD] * 24 + [UopClass.INT_CMP] * 16 \
+        + [UopClass.INT_MUL] * 9 + [UopClass.INT_DIV]
+    i = 0
+    while len(classes) < n_slots - 1:
+        classes.append(int(int_classes[i % len(int_classes)]))
+        i += 1
+    classes = classes[: n_slots - 1]
+    rng.shuffle(classes)
+
+    n_hard = round(n_branches * hard_branch_frac)
+    branch_specs: List[BranchSpec] = [
+        BranchSpec(kind="data", bias=0.5) for _ in range(n_hard)
+    ]
+    while len(branch_specs) < n_branches - 1:
+        branch_specs.append(BranchSpec(kind="biased", bias=0.9))
+    rng.shuffle(branch_specs)
+    branch_iter = iter(branch_specs)
+
+    for s, cls in enumerate(classes):
+        if cls == UopClass.LOAD:
+            # Address generation reads ALU results only: streaming/strided
+            # loads issue independently of earlier loads' data (pointer
+            # chasing adds its data dependence dynamically, per pattern).
+            slots.append(
+                SlotSpec(cls=cls, srcs=pick_producer(alu_producers, s)[:1],
+                         pattern=pick_pattern())
+            )
+            load_producers.append(s)
+        elif cls == UopClass.STORE:
+            slots.append(
+                SlotSpec(cls=cls,
+                         srcs=pick_producer(alu_producers, s,
+                                            may_consume_load=True),
+                         pattern=pick_pattern())
+            )
+        elif cls == UopClass.BRANCH:
+            slots.append(SlotSpec(cls=cls, srcs=(), branch=next(branch_iter)))
+        elif cls == UopClass.NOP:
+            slots.append(SlotSpec(cls=cls))
+        elif UopClass(cls).is_fp:
+            slots.append(SlotSpec(cls=cls,
+                                  srcs=pick_producer(fp_producers, s,
+                                                     may_consume_load=True)))
+            fp_producers.append(s)
+        elif cls == UopClass.INT_CMP:
+            slots.append(SlotSpec(cls=cls,
+                                  srcs=pick_producer(alu_producers, s,
+                                                     may_consume_load=True)))
+        else:
+            slots.append(SlotSpec(cls=cls,
+                                  srcs=pick_producer(alu_producers, s,
+                                                     may_consume_load=True)))
+            alu_producers.append(s)
+    # Loop back-edge: a highly predictable taken branch closes the body.
+    slots.append(SlotSpec(cls=int(UopClass.BRANCH), srcs=(),
+                          branch=BranchSpec(kind="loop", period=256)))
+    return tuple(slots)

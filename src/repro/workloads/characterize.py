@@ -1,0 +1,77 @@
+"""Programmatic workload characterisation.
+
+The paper classifies benchmarks by their baseline-core behaviour
+(MPKI > 8 ⇒ memory-intensive) and reasons about per-benchmark character
+(MLP, mispredicts in the miss shadow). This module measures exactly those
+properties for any workload — catalog, extended, or user-defined — so a
+study can verify a workload behaves as intended before using it.
+"""
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from repro.common.params import BASELINE, MachineParams
+from repro.sim import simulate
+from repro.workloads.base import WorkloadSpec
+
+#: the paper's classification threshold
+MPKI_THRESHOLD = 8.0
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Measured baseline-core character of one workload."""
+
+    name: str
+    ipc: float
+    mpki: float
+    mlp: float
+    mispredicts_per_kinst: float
+    head_blocked_share: float
+
+    @property
+    def memory_intensive(self) -> bool:
+        """The paper's rule: MPKI > 8 on the baseline OoO core."""
+        return self.mpki > MPKI_THRESHOLD
+
+    @property
+    def character(self) -> str:
+        """Coarse label used in reports: how the workload stresses the
+        machine. Thresholds follow the catalog's observed clusters."""
+        if not self.memory_intensive:
+            return "compute-bound"
+        if self.mlp < 2.5 and self.mispredicts_per_kinst > 20:
+            return "pointer-chasing/branchy"
+        if self.mlp >= 2.5:
+            return "streaming"
+        return "irregular memory-bound"
+
+
+def characterize(
+    workload: Union[str, WorkloadSpec],
+    machine: MachineParams = BASELINE,
+    instructions: int = 8_000,
+    warmup: int = 15_000,
+) -> WorkloadProfile:
+    """Measure one workload's baseline character."""
+    r = simulate(workload, machine, "OOO",
+                 instructions=instructions, warmup=warmup)
+    return WorkloadProfile(
+        name=r.workload,
+        ipc=r.ipc,
+        mpki=r.mpki,
+        mlp=r.mlp,
+        mispredicts_per_kinst=1000.0 * r.branch_mispredicts / r.instructions,
+        head_blocked_share=(r.abc_head_blocked / r.abc_total
+                            if r.abc_total else 0.0),
+    )
+
+
+def characterize_all(
+    workloads: Sequence[Union[str, WorkloadSpec]],
+    machine: MachineParams = BASELINE,
+    instructions: int = 8_000,
+    warmup: int = 15_000,
+) -> List[WorkloadProfile]:
+    return [characterize(w, machine, instructions, warmup)
+            for w in workloads]

@@ -1,0 +1,65 @@
+"""Bootstrap confidence intervals."""
+
+import pytest
+
+from repro.analysis.bootstrap import BootstrapCI, bootstrap_ci, paired_difference_ci
+from repro.analysis.stats import amean, gmean
+
+
+class TestBootstrapCI:
+    def test_constant_sample_zero_width(self):
+        ci = bootstrap_ci([2.0] * 10, amean)
+        assert ci.estimate == 2.0
+        assert ci.lo == ci.hi == 2.0
+        assert ci.width == 0.0
+
+    def test_contains_estimate(self):
+        ci = bootstrap_ci([1.0, 2.0, 3.0, 4.0, 5.0], amean)
+        assert ci.estimate in ci
+        assert ci.lo <= ci.estimate <= ci.hi
+
+    def test_spread_widens_interval(self):
+        tight = bootstrap_ci([1.0, 1.1, 0.9, 1.05, 0.95], amean, seed=1)
+        wide = bootstrap_ci([0.1, 2.0, 0.5, 3.0, 1.0], amean, seed=1)
+        assert wide.width > tight.width
+
+    def test_deterministic(self):
+        a = bootstrap_ci([1, 2, 3, 4], amean, seed=9)
+        b = bootstrap_ci([1, 2, 3, 4], amean, seed=9)
+        assert (a.lo, a.hi) == (b.lo, b.hi)
+
+    def test_works_with_gmean(self):
+        ci = bootstrap_ci([1.0, 2.0, 4.0, 8.0], gmean)
+        assert 1.0 < ci.lo <= ci.estimate <= ci.hi < 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], amean)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], amean, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], amean, resamples=3)
+
+    def test_str_format(self):
+        s = str(BootstrapCI(1.5, 1.2, 1.8, 0.95, 1000))
+        assert "1.500" in s and "95% CI" in s
+
+
+class TestPairedDifference:
+    def test_clear_effect_is_significant(self):
+        a = [5.0, 5.2, 4.9, 5.1, 5.3, 4.8]
+        b = [1.0, 1.1, 0.9, 1.0, 1.2, 0.8]
+        ci, significant = paired_difference_ci(a, b, amean)
+        assert significant
+        assert ci.lo > 0
+
+    def test_no_effect_not_significant(self):
+        a = [1.0, 2.0, 3.0, 4.0, 2.5, 1.5]
+        b = [1.1, 1.9, 3.1, 3.9, 2.4, 1.6]
+        ci, significant = paired_difference_ci(a, b, amean, seed=4)
+        assert not significant
+        assert 0.0 in ci
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_difference_ci([1], [1, 2], amean)

@@ -1,0 +1,69 @@
+"""First-order energy accounting."""
+
+import pytest
+
+from repro.analysis.energy import (
+    DEFAULT_MODEL,
+    EnergyModel,
+    energy_delay_product,
+    energy_per_instruction,
+)
+from repro.sim import SimResult
+
+
+def result(**kw):
+    base = dict(workload="w", machine="m", policy="p", instructions=1000,
+                cycles=2000, ipc=0.5, mlp=1.0, mpki=10.0, abc={},
+                abc_total=0, total_bits=1, demand_llc_misses=10)
+    base.update(kw)
+    return SimResult(**base)
+
+
+class TestEnergyModel:
+    def test_components_sum_to_total(self):
+        e = DEFAULT_MODEL.energy(result())
+        assert e["total"] == pytest.approx(
+            sum(v for k, v in e.items() if k != "total"))
+
+    def test_commit_component(self):
+        m = EnergyModel(commit=2.0, speculative=0, fetch_only=0,
+                        llc_miss=0, static_per_cycle=0)
+        assert m.energy(result())["total"] == 2000.0
+
+    def test_speculative_work_costs(self):
+        lean = result(runahead_uops_examined=1000, runahead_uops_executed=200)
+        fat = result(runahead_uops_examined=1000, runahead_uops_executed=1000)
+        assert DEFAULT_MODEL.energy(fat)["total"] > \
+            DEFAULT_MODEL.energy(lean)["total"]
+
+    def test_squashed_work_costs(self):
+        clean = result()
+        squashy = result(squashed_uops=5000)
+        assert DEFAULT_MODEL.energy(squashy)["total"] > \
+            DEFAULT_MODEL.energy(clean)["total"]
+
+    def test_epi_and_edp(self):
+        r = result()
+        epi = energy_per_instruction(r)
+        assert epi > 0
+        assert energy_delay_product(r) == pytest.approx(epi * 2.0)
+
+    def test_no_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            energy_per_instruction(result(instructions=0))
+
+
+class TestPolicyEnergyOrdering:
+    def test_lean_beats_traditional_runahead(self):
+        """PRE's energy claim: lean runahead executes far fewer
+        speculative uops than TR for similar prefetch benefit."""
+        from repro import BASELINE, simulate
+        tr = simulate("libquantum", BASELINE, "TR",
+                      instructions=2000, warmup=3000)
+        pre = simulate("libquantum", BASELINE, "PRE",
+                       instructions=2000, warmup=3000)
+        if tr.runahead_uops_examined and pre.runahead_uops_examined:
+            tr_frac = tr.runahead_uops_executed / tr.runahead_uops_examined
+            pre_frac = pre.runahead_uops_executed / pre.runahead_uops_examined
+            assert pre_frac < tr_frac
+        assert energy_per_instruction(pre) < energy_per_instruction(tr)

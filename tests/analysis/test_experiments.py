@@ -1,0 +1,65 @@
+"""Experiment runner caching."""
+
+import os
+
+from repro.analysis.experiments import ExperimentRunner, RunKey
+from repro.common.params import BASELINE
+from repro.core.runahead import OOO
+
+
+class TestRunKey:
+    def test_round_trip_string(self):
+        k = RunKey("mcf", "baseline", "RAR", 1000, 500, "abc123")
+        assert k.as_str() == "mcf|baseline|RAR|1000|500|abc123"
+
+    def test_digest_distinguishes_configs(self):
+        from dataclasses import replace
+        from repro.common.params import BASELINE
+        same_name = replace(BASELINE, l3=replace(BASELINE.l3, latency=99))
+        assert RunKey.digest(BASELINE) != RunKey.digest(same_name)
+
+    def test_digest_stable(self):
+        from repro.common.params import BASELINE
+        assert RunKey.digest(BASELINE) == RunKey.digest(BASELINE)
+
+    def test_distinct_keys(self):
+        a = RunKey("mcf", "baseline", "RAR", 1000, 500)
+        b = RunKey("mcf", "baseline", "PRE", 1000, 500)
+        assert a.as_str() != b.as_str()
+
+
+class TestRunnerCache:
+    def test_memoisation(self):
+        r = ExperimentRunner(instructions=600, warmup=200)
+        first = r.run("x264", BASELINE, OOO)
+        second = r.run("x264", BASELINE, OOO)
+        assert first is second  # cached object, not a re-run
+
+    def test_policy_by_name(self):
+        r = ExperimentRunner(instructions=600, warmup=200)
+        res = r.run("x264", BASELINE, "ooo")
+        assert res.policy == "OOO"
+
+    def test_run_matrix_shape(self):
+        r = ExperimentRunner(instructions=600, warmup=200)
+        out = r.run_matrix(["x264"], BASELINE, ["OOO", "RAR"])
+        assert set(out) == {"OOO", "RAR"}
+        assert set(out["OOO"]) == {"x264"}
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        path = os.path.join(str(tmp_path), "cache.json")
+        r1 = ExperimentRunner(instructions=600, warmup=200, cache_path=path)
+        first = r1.run("x264", BASELINE, OOO)
+        assert os.path.exists(path)
+
+        r2 = ExperimentRunner(instructions=600, warmup=200, cache_path=path)
+        second = r2.run("x264", BASELINE, OOO)
+        assert second.ipc == first.ipc
+        assert second.abc_total == first.abc_total
+
+    def test_corrupt_disk_cache_ignored(self, tmp_path):
+        path = os.path.join(str(tmp_path), "cache.json")
+        with open(path, "w") as f:
+            f.write("{not json")
+        r = ExperimentRunner(instructions=600, warmup=200, cache_path=path)
+        assert r.run("x264", BASELINE, OOO).instructions > 0

@@ -1,0 +1,64 @@
+"""ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plots import bar_chart, scatter, stacked_bars
+
+
+class TestBarChart:
+    def test_scaling(self):
+        out = bar_chart({"a": 2.0, "b": 1.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_values_printed(self):
+        out = bar_chart({"rar": 4.821}, width=5)
+        assert "4.82" in out
+
+    def test_title(self):
+        out = bar_chart({"a": 1}, title="MTTF")
+        assert out.startswith("MTTF")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0})
+
+
+class TestStackedBars:
+    def test_segments_and_legend(self):
+        out = stacked_bars(
+            {"mcf": {"rob": 3.0, "iq": 1.0}},
+            segments=("rob", "iq"), width=8)
+        assert "█=rob" in out and "▓=iq" in out
+        assert "█" * 6 in out  # rob = 3/4 of the bar
+
+    def test_missing_segment_treated_as_zero(self):
+        out = stacked_bars({"x": {"rob": 1.0}}, segments=("rob", "iq"))
+        assert "x" in out
+
+
+class TestScatter:
+    def test_points_plotted(self):
+        out = scatter({"rar": (1.2, 4.8), "pre": (1.38, 1.0)},
+                      width=30, height=8)
+        assert "R" in out and "P" in out
+        assert "R=rar" in out
+
+    def test_single_point(self):
+        out = scatter({"solo": (1.0, 1.0)})
+        assert "S" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter({})
+
+    def test_doctests(self):
+        import doctest
+        import repro.analysis.plots as mod
+        result = doctest.testmod(mod)
+        assert result.failed == 0

@@ -1,0 +1,23 @@
+"""Module-level shared runner semantics."""
+
+import repro.analysis.experiments as exp
+
+
+class TestSharedRunner:
+    def setup_method(self):
+        exp._SHARED = None
+
+    def teardown_method(self):
+        exp._SHARED = None
+
+    def test_first_caller_fixes_sizes(self):
+        a = exp.shared_runner(instructions=500, warmup=100)
+        b = exp.shared_runner(instructions=9999, warmup=9999)
+        assert a is b
+        assert b.instructions == 500
+        assert b.warmup == 100
+
+    def test_default_sizes(self):
+        r = exp.shared_runner()
+        assert r.instructions == 30_000
+        assert r.warmup == 5_000

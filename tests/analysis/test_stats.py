@@ -1,0 +1,38 @@
+"""Aggregation helpers (John's methodology)."""
+
+import pytest
+
+from repro.analysis.stats import amean, gmean, hmean
+
+
+class TestMeans:
+    def test_amean(self):
+        assert amean([1, 2, 3]) == 2.0
+
+    def test_hmean(self):
+        assert hmean([1, 1, 1]) == 1.0
+        assert hmean([2, 2]) == 2.0
+        assert hmean([1, 3]) == pytest.approx(1.5)
+
+    def test_gmean(self):
+        assert gmean([4, 1]) == pytest.approx(2.0)
+        assert gmean([8]) == pytest.approx(8.0)
+
+    def test_mean_inequality(self):
+        """hmean <= gmean <= amean for positive inputs."""
+        vals = [0.5, 1.3, 2.2, 9.4]
+        assert hmean(vals) <= gmean(vals) <= amean(vals)
+
+    def test_empty_rejected(self):
+        for fn in (amean, hmean, gmean):
+            with pytest.raises(ValueError):
+                fn([])
+
+    def test_nonpositive_rejected_for_ratio_means(self):
+        with pytest.raises(ValueError):
+            hmean([1, 0])
+        with pytest.raises(ValueError):
+            gmean([1, -2])
+
+    def test_amean_accepts_zero(self):
+        assert amean([0, 2]) == 1.0

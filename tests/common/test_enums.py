@@ -1,0 +1,47 @@
+"""Uop class semantics the rest of the simulator relies on."""
+
+from repro.common.enums import Mode, SquashCause, UopClass
+
+
+class TestUopClass:
+    def test_mem_classes(self):
+        assert UopClass.LOAD.is_mem
+        assert UopClass.STORE.is_mem
+        assert not UopClass.INT_ADD.is_mem
+        assert not UopClass.BRANCH.is_mem
+
+    def test_fp_classes(self):
+        assert UopClass.FP_ADD.is_fp
+        assert UopClass.FP_MUL.is_fp
+        assert UopClass.FP_DIV.is_fp
+        assert not UopClass.INT_MUL.is_fp
+        assert not UopClass.LOAD.is_fp
+
+    def test_dest_writers(self):
+        writers = {c for c in UopClass if c.has_dest}
+        assert UopClass.LOAD in writers
+        assert UopClass.INT_ADD in writers
+        assert UopClass.FP_DIV in writers
+        # Stores, branches, NOPs and compares write no renamed register.
+        assert UopClass.STORE not in writers
+        assert UopClass.BRANCH not in writers
+        assert UopClass.NOP not in writers
+        assert UopClass.INT_CMP not in writers
+
+    def test_values_stable(self):
+        # Hot paths compare raw ints; the mapping must never change.
+        assert int(UopClass.NOP) == 0
+        assert int(UopClass.LOAD) == 7
+        assert int(UopClass.STORE) == 8
+        assert int(UopClass.BRANCH) == 9
+
+
+class TestModes:
+    def test_mode_values(self):
+        assert Mode.NORMAL == 0
+        assert Mode.RUNAHEAD == 1
+        assert Mode.FLUSH_STALL == 2
+
+    def test_squash_causes_distinct(self):
+        values = [int(c) for c in SquashCause]
+        assert len(values) == len(set(values))

@@ -1,0 +1,40 @@
+"""Shared test fixtures.
+
+Also makes the suite runnable without an installed package (the offline
+environment lacks `wheel`, so `pip install -e .` may be unavailable):
+``src/`` is prepended to ``sys.path`` when ``repro`` is not importable.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.common.params import BASELINE, MachineParams
+from repro.workloads.catalog import get_workload
+
+
+@pytest.fixture(scope="session")
+def baseline() -> MachineParams:
+    return BASELINE
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A short, memory-light trace for fast core tests."""
+    return get_workload("x264").build_trace()
+
+
+def tiny_simulate(workload, policy, instructions=1500, warmup=500,
+                  machine=BASELINE):
+    """Small-budget simulation helper used across integration tests."""
+    from repro.sim import simulate
+    return simulate(workload, machine, policy,
+                    instructions=instructions, warmup=warmup)

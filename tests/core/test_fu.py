@@ -1,0 +1,80 @@
+"""Functional-unit pool."""
+
+import pytest
+
+from repro.common.enums import UopClass
+from repro.common.params import CoreParams
+from repro.core.fu import FuPool, fu_class_for
+
+
+def pool():
+    return FuPool(CoreParams())
+
+
+class TestMapping:
+    def test_mem_and_branch_use_int_add(self):
+        assert fu_class_for(int(UopClass.LOAD)) == int(UopClass.INT_ADD)
+        assert fu_class_for(int(UopClass.STORE)) == int(UopClass.INT_ADD)
+        assert fu_class_for(int(UopClass.BRANCH)) == int(UopClass.INT_ADD)
+        assert fu_class_for(int(UopClass.INT_CMP)) == int(UopClass.INT_ADD)
+
+    def test_latencies(self):
+        p = pool()
+        assert p.latency(int(UopClass.INT_ADD)) == 1
+        assert p.latency(int(UopClass.INT_MUL)) == 3
+        assert p.latency(int(UopClass.INT_DIV)) == 18
+        assert p.latency(int(UopClass.FP_MUL)) == 5
+        assert p.latency(int(UopClass.LOAD)) == 1  # AGU
+
+
+class TestPipelined:
+    def test_per_cycle_limit(self):
+        p = pool()
+        cls = int(UopClass.INT_ADD)
+        for _ in range(3):  # 3 int-add units
+            assert p.can_issue(cls, 10)
+            p.issue(cls, 10)
+        assert not p.can_issue(cls, 10)
+        assert p.can_issue(cls, 11)  # fresh cycle
+
+    def test_over_issue_raises(self):
+        p = pool()
+        cls = int(UopClass.INT_ADD)
+        for _ in range(3):
+            p.issue(cls, 5)
+        with pytest.raises(OverflowError):
+            p.issue(cls, 5)
+
+    def test_completion_cycle(self):
+        p = pool()
+        assert p.issue(int(UopClass.FP_ADD), 10) == 13
+
+
+class TestNonPipelined:
+    def test_divider_busy_for_full_latency(self):
+        p = pool()
+        cls = int(UopClass.INT_DIV)
+        done = p.issue(cls, 0)
+        assert done == 18
+        assert not p.can_issue(cls, 5)
+        assert not p.can_issue(cls, 17)
+        assert p.can_issue(cls, 18)
+
+    def test_fp_div(self):
+        p = pool()
+        cls = int(UopClass.FP_DIV)
+        p.issue(cls, 0)
+        assert not p.can_issue(cls, 3)
+        assert p.can_issue(cls, 6)
+
+    def test_busy_issue_raises(self):
+        p = pool()
+        cls = int(UopClass.INT_DIV)
+        p.issue(cls, 0)
+        with pytest.raises(OverflowError):
+            p.issue(cls, 1)
+
+    def test_exec_cycles_for_ace(self):
+        p = pool()
+        assert p.exec_cycles(int(UopClass.INT_DIV)) == 18
+        assert p.exec_cycles(int(UopClass.LOAD)) == 1

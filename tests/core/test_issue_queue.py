@@ -1,0 +1,89 @@
+"""Issue queue wakeup/select."""
+
+import pytest
+
+from repro.common.enums import UopClass
+from repro.core.issue_queue import IssueQueue
+from repro.isa.uop import DynUop, StaticUop
+
+
+def dyn(seq, pending=0):
+    u = DynUop(StaticUop(idx=seq, pc=0, cls=int(UopClass.INT_ADD)), seq=seq)
+    u.pending = pending
+    return u
+
+
+class TestInsertSelect:
+    def test_ready_at_insert(self):
+        iq = IssueQueue(size=4)
+        u = dyn(1)
+        iq.insert(u)
+        assert iq.ready_count == 1
+        assert iq.pop_ready() is u
+
+    def test_waiting_until_wakeup(self):
+        iq = IssueQueue(size=4)
+        u = dyn(1, pending=2)
+        iq.insert(u)
+        assert iq.ready_count == 0
+        u.pending -= 1
+        iq.wakeup(u)
+        assert iq.ready_count == 0  # still one producer outstanding
+        u.pending -= 1
+        iq.wakeup(u)
+        assert iq.ready_count == 1
+
+    def test_wakeup_of_unknown_uop_is_noop(self):
+        iq = IssueQueue(size=4)
+        iq.wakeup(dyn(9))
+        assert iq.ready_count == 0
+
+    def test_requeue_preserves_front(self):
+        iq = IssueQueue(size=4)
+        a, b = dyn(1), dyn(2)
+        iq.insert(a)
+        iq.insert(b)
+        got = iq.pop_ready()
+        iq.requeue(got)
+        assert iq.pop_ready() is got
+
+
+class TestOccupancy:
+    def test_full_counts_waiting_ready_and_runahead(self):
+        iq = IssueQueue(size=3)
+        iq.insert(dyn(1))
+        iq.insert(dyn(2, pending=1))
+        iq.runahead_used = 1
+        assert iq.full
+        assert iq.free == 0
+        with pytest.raises(OverflowError):
+            iq.insert(dyn(3))
+
+    def test_free(self):
+        iq = IssueQueue(size=5)
+        iq.insert(dyn(1))
+        assert iq.free == 4
+
+
+class TestSquash:
+    def test_squash_predicate(self):
+        iq = IssueQueue(size=8)
+        keep, drop = dyn(1), dyn(2)
+        drop.squashed = True
+        wait_drop = dyn(3, pending=1)
+        wait_drop.squashed = True
+        iq.insert(keep)
+        iq.insert(drop)
+        iq.insert(wait_drop)
+        n = iq.squash(lambda u: u.squashed)
+        assert n == 2
+        assert len(iq) == 1
+        assert iq.pop_ready() is keep
+
+    def test_clear(self):
+        iq = IssueQueue(size=8)
+        iq.insert(dyn(1))
+        iq.runahead_used = 3
+        iq.clear()
+        assert len(iq) == 0
+        assert iq.runahead_used == 0

@@ -1,0 +1,129 @@
+"""Load/store queues and physical register file accounting."""
+
+import pytest
+
+from repro.common.enums import UopClass
+from repro.core.lsq import LoadStoreQueues
+from repro.core.regfile import RegisterFiles
+from repro.isa.uop import DynUop, StaticUop
+
+
+def dyn(cls, seq=1):
+    return DynUop(StaticUop(idx=seq, pc=0, cls=int(cls), addr=0x100), seq=seq)
+
+
+class TestLsq:
+    def test_load_allocation(self):
+        lsq = LoadStoreQueues(2, 2)
+        u = dyn(UopClass.LOAD)
+        lsq.allocate(u)
+        assert lsq.lq_used == 1 and u.in_lq
+        lsq.release(u)
+        assert lsq.lq_used == 0 and not u.in_lq
+
+    def test_store_allocation(self):
+        lsq = LoadStoreQueues(2, 1)
+        u = dyn(UopClass.STORE)
+        lsq.allocate(u)
+        assert lsq.sq_used == 1 and u.in_sq
+        assert lsq.sq_full
+        assert not lsq.can_allocate(dyn(UopClass.STORE, 2))
+        assert lsq.can_allocate(dyn(UopClass.LOAD, 3))
+
+    def test_non_mem_always_allocatable(self):
+        lsq = LoadStoreQueues(0, 0)
+        u = dyn(UopClass.INT_ADD)
+        assert lsq.can_allocate(u)
+        lsq.allocate(u)  # no-op
+        lsq.release(u)   # no-op
+
+    def test_overflow(self):
+        lsq = LoadStoreQueues(1, 1)
+        lsq.allocate(dyn(UopClass.LOAD, 1))
+        with pytest.raises(OverflowError):
+            lsq.allocate(dyn(UopClass.LOAD, 2))
+
+    def test_double_release_detected(self):
+        lsq = LoadStoreQueues(1, 1)
+        u = dyn(UopClass.LOAD)
+        lsq.allocate(u)
+        lsq.release(u)
+        u.in_lq = True  # corrupt deliberately
+        with pytest.raises(RuntimeError):
+            lsq.release(u)
+
+
+class TestRegFiles:
+    def test_initial_free_excludes_architectural(self):
+        r = RegisterFiles(168, 168, arch_regs=32)
+        assert r.int_free == 136
+        assert r.fp_free == 136
+
+    def test_int_alloc_release(self):
+        r = RegisterFiles(40, 40, arch_regs=32)
+        u = dyn(UopClass.LOAD)
+        r.allocate(u)
+        assert r.int_free == 7
+        r.release(u)
+        assert r.int_free == 8
+
+    def test_fp_alloc(self):
+        r = RegisterFiles(40, 40, arch_regs=32)
+        u = dyn(UopClass.FP_MUL)
+        r.allocate(u)
+        assert r.fp_free == 7
+        assert r.int_free == 8
+
+    def test_no_dest_no_alloc(self):
+        r = RegisterFiles(40, 40, arch_regs=32)
+        for cls in (UopClass.STORE, UopClass.BRANCH, UopClass.NOP,
+                    UopClass.INT_CMP):
+            r.allocate(dyn(cls))
+        assert r.int_free == 8 and r.fp_free == 8
+
+    def test_exhaustion(self):
+        r = RegisterFiles(34, 34, arch_regs=32)
+        r.allocate(dyn(UopClass.INT_ADD, 1))
+        r.allocate(dyn(UopClass.INT_ADD, 2))
+        assert not r.can_allocate(dyn(UopClass.INT_ADD, 3))
+        with pytest.raises(OverflowError):
+            r.allocate(dyn(UopClass.INT_ADD, 3))
+
+    def test_overfree_detected(self):
+        r = RegisterFiles(40, 40, arch_regs=32)
+        with pytest.raises(RuntimeError):
+            r.release(dyn(UopClass.INT_ADD))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegisterFiles(32, 168, arch_regs=32)
+
+
+class TestRunaheadLending:
+    def test_borrow_and_return(self):
+        r = RegisterFiles(40, 40, arch_regs=32)
+        r.runahead_borrow(fp=False)
+        assert r.int_free == 7 and r.runahead_int == 1
+        r.runahead_return(fp=False)
+        assert r.int_free == 8 and r.runahead_int == 0
+
+    def test_return_all(self):
+        r = RegisterFiles(40, 40, arch_regs=32)
+        for _ in range(3):
+            r.runahead_borrow(fp=False)
+        r.runahead_borrow(fp=True)
+        r.runahead_return_all()
+        assert r.int_free == 8 and r.fp_free == 8
+        assert r.runahead_int == 0 and r.runahead_fp == 0
+
+    def test_borrow_exhaustion(self):
+        r = RegisterFiles(33, 40, arch_regs=32)
+        r.runahead_borrow(fp=False)
+        assert not r.runahead_available(fp=False)
+        with pytest.raises(OverflowError):
+            r.runahead_borrow(fp=False)
+
+    def test_unbalanced_return_detected(self):
+        r = RegisterFiles(40, 40, arch_regs=32)
+        with pytest.raises(RuntimeError):
+            r.runahead_return(fp=False)

@@ -1,0 +1,73 @@
+"""Observer hook: event emission and behavioural neutrality."""
+
+from repro.common.enums import SquashCause
+from repro.common.params import BASELINE
+from repro.core.core import OutOfOrderCore
+from repro.core.runahead import FLUSH, OOO, RAR
+from repro.workloads.catalog import get_workload
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, event, cycle, **data):
+        self.events.append((event, cycle, data))
+
+    def names(self):
+        return [e for e, _, _ in self.events]
+
+
+def run(workload, policy, observer=None, instructions=2000):
+    spec = get_workload(workload)
+    core = OutOfOrderCore(BASELINE, spec.build_trace(), policy,
+                          observer=observer)
+    for level, base, size in spec.resident_regions():
+        core.mem.preload(base, size, level)
+    core.run(instructions)
+    return core
+
+
+class TestEvents:
+    def test_commit_events_match_counter(self):
+        rec = Recorder()
+        core = run("x264", OOO, rec)
+        commits = rec.names().count("commit")
+        assert commits == core.stats.committed
+
+    def test_runahead_events_paired_and_ordered(self):
+        rec = Recorder()
+        core = run("libquantum", RAR, rec)
+        enters = [c for e, c, _ in rec.events if e == "runahead_enter"]
+        exits = [c for e, c, _ in rec.events if e == "runahead_exit"]
+        assert len(enters) == core.stats.runahead_triggers
+        # Every completed interval's exit follows its entry.
+        for i, x in enumerate(exits):
+            assert x >= enters[i]
+
+    def test_flush_events(self):
+        rec = Recorder()
+        core = run("libquantum", FLUSH, rec)
+        assert rec.names().count("flush_enter") == core.stats.flush_triggers
+        assert "squash" in rec.names()
+
+    def test_squash_event_carries_cause(self):
+        rec = Recorder()
+        run("mcf", OOO, rec)
+        causes = {d["cause"] for e, _, d in rec.events if e == "squash"}
+        assert SquashCause.BRANCH_MISPREDICT in causes
+
+    def test_mispredict_events(self):
+        rec = Recorder()
+        core = run("mcf", OOO, rec)
+        assert rec.names().count("mispredict") == \
+            core.stats.branch_mispredicted
+
+
+class TestNeutrality:
+    def test_observer_does_not_change_results(self):
+        plain = run("libquantum", RAR)
+        observed = run("libquantum", RAR, Recorder())
+        assert plain.cycle == observed.cycle
+        assert plain.stats.committed == observed.stats.committed
+        assert plain.ace.total == observed.ace.total

@@ -1,0 +1,82 @@
+"""Runahead policy definitions (paper Table IV)."""
+
+import pytest
+
+from repro.core.runahead import (
+    ALL_POLICIES,
+    FLUSH,
+    OOO,
+    PRE,
+    PRE_EARLY,
+    RAR,
+    RAR_LATE,
+    TR,
+    TR_EARLY,
+    RunaheadPolicy,
+    get_policy,
+    policy_names,
+)
+
+
+class TestTable4Matrix:
+    """The (early, flush, lean) axes exactly as the paper's Table IV."""
+
+    def test_tr(self):
+        assert (TR.early, TR.flush_at_exit, TR.lean) == (False, True, False)
+
+    def test_tr_early(self):
+        assert (TR_EARLY.early, TR_EARLY.flush_at_exit, TR_EARLY.lean) == \
+            (True, True, False)
+
+    def test_pre(self):
+        assert (PRE.early, PRE.flush_at_exit, PRE.lean) == (False, False, True)
+
+    def test_pre_early(self):
+        assert (PRE_EARLY.early, PRE_EARLY.flush_at_exit, PRE_EARLY.lean) == \
+            (True, False, True)
+
+    def test_rar_late(self):
+        assert (RAR_LATE.early, RAR_LATE.flush_at_exit, RAR_LATE.lean) == \
+            (False, True, True)
+
+    def test_rar(self):
+        assert (RAR.early, RAR.flush_at_exit, RAR.lean) == (True, True, True)
+
+    def test_rar_is_pre_plus_two_optimisations(self):
+        assert RAR.lean == PRE.lean
+        assert RAR.early and RAR.flush_at_exit
+        assert not PRE.early and not PRE.flush_at_exit
+
+    def test_non_runahead_kinds(self):
+        assert OOO.kind == "ooo" and not OOO.is_runahead
+        assert FLUSH.kind == "flush" and not FLUSH.is_runahead
+        assert RAR.is_runahead
+
+
+class TestRegistry:
+    def test_all_eight(self):
+        assert len(ALL_POLICIES) == 8
+        assert len(set(p.name for p in ALL_POLICIES)) == 8
+
+    def test_get_policy_names(self):
+        assert get_policy("RAR") is RAR
+        assert get_policy("rar-late") is RAR_LATE
+        assert get_policy("rar_late") is RAR_LATE
+        assert get_policy("pre_early") is PRE_EARLY
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            get_policy("warp-speed")
+
+    def test_policy_names(self):
+        assert "RAR" in policy_names()
+        assert "OOO" in policy_names()
+
+    def test_axes_only_for_runahead(self):
+        with pytest.raises(ValueError):
+            RunaheadPolicy("BAD", "flush", early=True)
+        with pytest.raises(ValueError):
+            RunaheadPolicy("BAD", "sideways")
+
+    def test_hashable(self):
+        {RAR: 1, PRE: 2}

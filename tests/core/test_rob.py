@@ -1,0 +1,111 @@
+"""Reorder buffer and the RAR head countdown timer."""
+
+import pytest
+
+from repro.common.enums import UopClass
+from repro.core.rob import ReorderBuffer
+from repro.isa.uop import DynUop, StaticUop
+
+
+def dyn(seq, idx=None):
+    return DynUop(
+        StaticUop(idx=idx if idx is not None else seq, pc=0x400000,
+                  cls=int(UopClass.INT_ADD)), seq=seq)
+
+
+class TestFifo:
+    def test_push_pop_order(self):
+        rob = ReorderBuffer(size=4)
+        uops = [dyn(i) for i in range(3)]
+        for u in uops:
+            rob.push(u)
+        assert rob.head is uops[0]
+        assert rob.pop_head() is uops[0]
+        assert rob.head is uops[1]
+
+    def test_full(self):
+        rob = ReorderBuffer(size=2)
+        rob.push(dyn(1))
+        rob.push(dyn(2))
+        assert rob.full
+        with pytest.raises(OverflowError):
+            rob.push(dyn(3))
+
+    def test_len_and_iter(self):
+        rob = ReorderBuffer(size=8)
+        for i in range(5):
+            rob.push(dyn(i))
+        assert len(rob) == 5
+        assert [u.seq for u in rob] == [0, 1, 2, 3, 4]
+
+
+class TestSquash:
+    def test_squash_younger(self):
+        rob = ReorderBuffer(size=8)
+        uops = [dyn(i) for i in range(6)]
+        for u in uops:
+            rob.push(u)
+        squashed = rob.squash_younger(2)
+        assert [u.seq for u in squashed] == [3, 4, 5]
+        assert len(rob) == 3
+        assert rob.head is uops[0]
+
+    def test_squash_younger_none_match(self):
+        rob = ReorderBuffer(size=8)
+        rob.push(dyn(1))
+        assert rob.squash_younger(5) == []
+
+    def test_squash_all(self):
+        rob = ReorderBuffer(size=8)
+        for i in range(4):
+            rob.push(dyn(i))
+        squashed = rob.squash_all()
+        assert len(squashed) == 4
+        assert len(rob) == 0
+        assert rob.head is None
+
+
+class TestHeadTimer:
+    def test_counts_down_while_same_head(self):
+        rob = ReorderBuffer(size=8, timer_init=15)
+        rob.push(dyn(1))
+        rob.advance_timer(1)  # reset cycle for the new head
+        assert not rob.head_timer_expired
+        for _ in range(14):
+            rob.advance_timer(1)
+        assert not rob.head_timer_expired
+        rob.advance_timer(1)
+        assert rob.head_timer_expired
+
+    def test_resets_on_new_head(self):
+        rob = ReorderBuffer(size=8, timer_init=15)
+        a, b = dyn(1), dyn(2)
+        rob.push(a)
+        rob.push(b)
+        for _ in range(20):
+            rob.advance_timer(1)
+        assert rob.head_timer_expired
+        rob.pop_head()
+        rob.advance_timer(1)
+        assert not rob.head_timer_expired
+        assert rob.timer_remaining == 15
+
+    def test_bulk_advance_equivalent_to_steps(self):
+        a = ReorderBuffer(size=8, timer_init=15)
+        b = ReorderBuffer(size=8, timer_init=15)
+        a.push(dyn(1))
+        b.push(dyn(1, idx=1))
+        for _ in range(9):
+            a.advance_timer(1)
+        b.advance_timer(9)
+        assert a.timer_remaining == b.timer_remaining
+
+    def test_empty_rob_no_expiry(self):
+        rob = ReorderBuffer(size=8)
+        rob.advance_timer(100)
+        assert not rob.head_timer_expired
+
+    def test_four_bit_semantics(self):
+        """The paper's counter is 4 bits: init value must fit."""
+        rob = ReorderBuffer(size=8, timer_init=15)
+        assert rob.timer_init <= 0b1111

@@ -1,0 +1,64 @@
+"""Robustness across extreme machine geometries.
+
+Every policy must run to completion — no deadlocks, no resource-accounting
+violations — on cores far smaller and far larger than the paper's
+baseline, with shallow and deep front-ends.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.params import BASELINE, CoreParams
+from repro.core.core import OutOfOrderCore
+from repro.core.runahead import ALL_POLICIES, OOO, RAR
+from repro.workloads.catalog import get_workload
+
+CONFIGS = {
+    "tiny": CoreParams(rob_size=16, iq_size=8, lq_size=6, sq_size=6,
+                       int_regs=48, fp_regs=48),
+    "narrow-iq": replace(BASELINE.core, iq_size=12),
+    "small-lsq": replace(BASELINE.core, lq_size=8, sq_size=4),
+    "huge": CoreParams(rob_size=512, iq_size=256, lq_size=192, sq_size=128,
+                       int_regs=512, fp_regs=512),
+    "shallow": replace(BASELINE.core, frontend_depth=2),
+    "deep": replace(BASELINE.core, frontend_depth=20),
+}
+
+
+def _run(config_name, policy, instructions=600):
+    machine = BASELINE.with_core(CONFIGS[config_name], name=config_name)
+    spec = get_workload("soplex")
+    core = OutOfOrderCore(machine, spec.build_trace(), policy)
+    for level, base, size in spec.resident_regions():
+        core.mem.preload(base, size, level)
+    core.run(instructions)
+    return core
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+def test_runs_to_completion(config, policy):
+    core = _run(config, policy)
+    assert core.stats.committed >= 600
+    assert core.ipc > 0
+    # Resource accounting must end internally consistent.
+    assert 0 <= core.lsq.lq_used <= core.lsq.lq_size
+    assert 0 <= core.lsq.sq_used <= core.lsq.sq_size
+    assert 0 <= core.regs.int_free <= core.regs.int_total
+    assert 0 <= core.regs.fp_free <= core.regs.fp_total
+    assert len(core.iq) <= core.iq.size
+
+
+def test_tiny_core_exposes_less_state_than_huge():
+    tiny = _run("tiny", OOO)
+    huge = _run("huge", OOO)
+    assert tiny.ace.total / tiny.stats.committed < \
+        huge.ace.total / huge.stats.committed
+
+
+def test_rar_still_helps_on_tiny_core():
+    base = _run("tiny", OOO, 1200)
+    rar = _run("tiny", RAR, 1200)
+    abc = lambda c: c.ace.total / c.stats.committed  # noqa: E731
+    assert abc(rar) < abc(base)

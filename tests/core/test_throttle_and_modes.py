@@ -1,0 +1,132 @@
+"""Extension policy (THROTTLE) and controller mode-transition paths."""
+
+import pytest
+
+from repro.common.enums import Mode
+from repro.common.params import BASELINE
+from repro.core.core import OutOfOrderCore
+from repro.core.runahead import (
+    ALL_POLICIES,
+    EXTENSION_POLICIES,
+    FLUSH,
+    OOO,
+    RAR,
+    THROTTLE,
+    get_policy,
+)
+from repro.workloads.catalog import get_workload
+
+
+def run_core(workload, policy, instructions=2500):
+    spec = get_workload(workload)
+    core = OutOfOrderCore(BASELINE, spec.build_trace(), policy)
+    for level, base, size in spec.resident_regions():
+        core.mem.preload(base, size, level)
+    core.run(instructions)
+    return core
+
+
+class TestThrottle:
+    def test_registered_as_extension(self):
+        assert THROTTLE in EXTENSION_POLICIES
+        assert THROTTLE not in ALL_POLICIES
+        assert get_policy("throttle") is THROTTLE
+
+    def test_never_enters_other_modes(self):
+        core = run_core("libquantum", THROTTLE)
+        assert core.stats.runahead_triggers == 0
+        assert core.stats.flush_triggers == 0
+
+    def test_between_ooo_and_flush(self):
+        """Throttling trades less performance than FLUSH for a smaller
+        reliability gain (Section VI-C's characterisation)."""
+        base = run_core("libquantum", OOO)
+        thr = run_core("libquantum", THROTTLE)
+        fl = run_core("libquantum", FLUSH)
+        abc = lambda c: c.ace.total / c.stats.committed  # noqa: E731
+        assert abc(thr) < abc(base)          # does reduce exposure
+        assert abc(thr) > abc(fl)            # but less than flushing
+        assert thr.ipc < base.ipc * 1.02     # costs some performance
+        assert thr.ipc > fl.ipc              # but less than flushing
+
+    def test_compute_workload_unaffected(self):
+        base = run_core("exchange2", OOO, 1500)
+        thr = run_core("exchange2", THROTTLE, 1500)
+        assert thr.ipc > base.ipc * 0.95
+
+
+class TestFlushStallMode:
+    def test_enters_and_leaves(self):
+        spec = get_workload("libquantum")
+        core = OutOfOrderCore(BASELINE, spec.build_trace(), FLUSH)
+        for level, base, size in spec.resident_regions():
+            core.mem.preload(base, size, level)
+        modes = set()
+        while core.stats.committed < 2500:
+            if core._step():
+                core.cycle += 1
+            else:
+                core._fast_forward()
+            modes.add(core.mode)
+        assert Mode.FLUSH_STALL in modes
+        assert Mode.RUNAHEAD not in modes
+
+    def test_fetch_gated_during_stall(self):
+        spec = get_workload("libquantum")
+        core = OutOfOrderCore(BASELINE, spec.build_trace(), FLUSH)
+        for level, base, size in spec.resident_regions():
+            core.mem.preload(base, size, level)
+        while core.stats.committed < 2500:
+            if core._step():
+                core.cycle += 1
+            else:
+                core._fast_forward()
+            if core.mode == Mode.FLUSH_STALL:
+                assert not core.frontend.can_fetch(core.cycle)
+                assert len(core.rob) <= 1  # only the blocking load remains
+                break
+        else:
+            pytest.skip("no flush-stall observed in budget")
+
+
+class TestRunaheadInternals:
+    def test_inv_set_contains_blocking(self):
+        spec = get_workload("mcf")
+        core = OutOfOrderCore(BASELINE, spec.build_trace(), RAR)
+        for level, base, size in spec.resident_regions():
+            core.mem.preload(base, size, level)
+        while core.stats.committed < 3000:
+            if core._step():
+                core.cycle += 1
+            else:
+                core._fast_forward()
+            if core.mode == Mode.RUNAHEAD:
+                assert core.blocking is not None
+                assert core.blocking.static.idx in core._ra_inv
+                break
+        else:
+            pytest.skip("no runahead interval observed")
+
+    def test_predictor_history_restored_after_interval(self):
+        spec = get_workload("libquantum")
+        core = OutOfOrderCore(BASELINE, spec.build_trace(), RAR)
+        for level, base, size in spec.resident_regions():
+            core.mem.preload(base, size, level)
+        ckpt = None
+        while core.stats.committed < 3000:
+            was_runahead = core.mode == Mode.RUNAHEAD
+            if core._step():
+                core.cycle += 1
+            else:
+                core._fast_forward()
+            if core.mode == Mode.RUNAHEAD and ckpt is None:
+                ckpt = core._ra_hist_ckpt
+            if was_runahead and core.mode == Mode.NORMAL and ckpt is not None:
+                assert core.predictor.hist == ckpt
+                return
+        pytest.skip("no complete interval observed")
+
+    def test_runahead_examines_future_instructions(self):
+        core = run_core("libquantum", RAR)
+        assert core.stats.runahead_uops_examined >= \
+            core.stats.runahead_uops_executed

@@ -1,0 +1,31 @@
+"""Branch target buffer."""
+
+import pytest
+
+from repro.frontend.btb import Btb
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        b = Btb(entries=16)
+        assert b.lookup(0x4000) == -1
+        b.update(0x4000, 0x5000)
+        assert b.lookup(0x4000) == 0x5000
+
+    def test_alias_eviction(self):
+        b = Btb(entries=16)
+        b.update(0x10, 0xAAA)
+        b.update(0x10 + 16, 0xBBB)  # same index, different tag
+        assert b.lookup(0x10) == -1
+        assert b.lookup(0x10 + 16) == 0xBBB
+
+    def test_stats(self):
+        b = Btb(entries=16)
+        b.lookup(0x4)
+        b.update(0x4, 0x8)
+        b.lookup(0x4)
+        assert b.misses == 1 and b.hits == 1
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            Btb(entries=100)

@@ -1,0 +1,89 @@
+"""Front-end pipe timing and wrong-path synthesis."""
+
+from repro.common.enums import UopClass
+from repro.frontend.fetch import FrontEnd, WrongPathSource
+from repro.isa.uop import DynUop, StaticUop
+
+
+def dyn(i=0):
+    return DynUop(StaticUop(idx=i, pc=0x400000, cls=int(UopClass.INT_ADD)),
+                  seq=i + 1)
+
+
+class TestFrontEnd:
+    def test_depth_latency(self):
+        fe = FrontEnd(width=4, depth=8)
+        u = dyn()
+        fe.push(u, cycle=10)
+        assert fe.peek_ready(17) is None
+        assert fe.peek_ready(18) is u
+
+    def test_capacity(self):
+        fe = FrontEnd(width=4, depth=2, capacity=3)
+        for i in range(3):
+            assert fe.can_fetch(0)
+            fe.push(dyn(i), 0)
+        assert fe.full
+        assert not fe.can_fetch(0)
+
+    def test_fifo_order(self):
+        fe = FrontEnd(width=4, depth=1)
+        a, b = dyn(0), dyn(1)
+        fe.push(a, 0)
+        fe.push(b, 0)
+        assert fe.pop() is a
+        assert fe.pop() is b
+
+    def test_redirect_clears_and_gates(self):
+        fe = FrontEnd(width=4, depth=8)
+        fe.push(dyn(), 0)
+        fe.redirect(100)
+        assert len(fe) == 0
+        assert not fe.can_fetch(107)
+        assert fe.can_fetch(108)
+
+    def test_redirect_overrides_previous_gate(self):
+        fe = FrontEnd(width=4, depth=8)
+        fe.redirect(0, penalty=1 << 60)  # parked
+        fe.redirect(50)  # re-steer must reopen
+        assert fe.can_fetch(58)
+
+    def test_next_arrival(self):
+        fe = FrontEnd(width=4, depth=8)
+        assert fe.next_arrival() is None
+        fe.push(dyn(), 5)
+        assert fe.next_arrival() == 13
+
+    def test_iteration(self):
+        fe = FrontEnd(width=4, depth=1)
+        uops = [dyn(i) for i in range(3)]
+        for u in uops:
+            fe.push(u, 0)
+        assert list(fe) == uops
+
+
+class TestWrongPathSource:
+    def test_negative_indices(self):
+        src = WrongPathSource(seed=1)
+        for _ in range(10):
+            assert src.next_uop(100).idx < 0
+
+    def test_deterministic(self):
+        a = WrongPathSource(seed=5)
+        b = WrongPathSource(seed=5)
+        for _ in range(20):
+            ua, ub = a.next_uop(0), b.next_uop(0)
+            assert (ua.cls, ua.addr) == (ub.cls, ub.addr)
+
+    def test_contains_memory_ops(self):
+        src = WrongPathSource(seed=2)
+        classes = {src.next_uop(0).cls for _ in range(32)}
+        assert int(UopClass.LOAD) in classes
+        assert int(UopClass.STORE) in classes
+
+    def test_loads_have_addresses(self):
+        src = WrongPathSource(seed=3)
+        for _ in range(32):
+            u = src.next_uop(0)
+            if u.is_mem:
+                assert u.addr >= 0

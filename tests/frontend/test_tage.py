@@ -1,0 +1,107 @@
+"""TAGE-SC-L predictor learning behaviour."""
+
+import random
+
+from repro.frontend.tage import TageScL
+
+
+class TestBasicLearning:
+    def test_always_taken(self):
+        p = TageScL()
+        for _ in range(200):
+            p.observe(0x4000, True)
+        assert p.predict(0x4000)
+
+    def test_always_not_taken(self):
+        p = TageScL()
+        for _ in range(200):
+            p.observe(0x4000, False)
+        assert not p.predict(0x4000)
+
+    def test_biased_branch_accuracy(self):
+        """A 90%-biased random branch must be predicted ~90% correctly
+        (the statistical corrector must never invert a good prediction)."""
+        p = TageScL()
+        rng = random.Random(1)
+        correct = total = 0
+        for i in range(4000):
+            taken = rng.random() < 0.9
+            pred = p.observe(0x4000, taken)
+            if i > 500:
+                total += 1
+                correct += pred == taken
+        assert correct / total > 0.82
+
+    def test_alternating_pattern_learned(self):
+        p = TageScL()
+        correct = 0
+        for i in range(2000):
+            taken = bool(i & 1)
+            pred = p.observe(0x4000, taken)
+            if i > 1000:
+                correct += pred == taken
+        assert correct / 999 > 0.95
+
+    def test_history_correlated_branches(self):
+        """Second branch repeats the first's outcome: TAGE history should
+        learn the correlation."""
+        p = TageScL()
+        rng = random.Random(7)
+        correct = total = 0
+        for i in range(4000):
+            first = rng.random() < 0.5
+            p.observe(0x1000, first)
+            pred = p.observe(0x2000, first)
+            if i > 2000:
+                total += 1
+                correct += pred == first
+        assert correct / total > 0.9
+
+
+class TestLoopPredictor:
+    def test_fixed_trip_count(self):
+        p = TageScL()
+        correct = total = 0
+        for lap in range(80):
+            for i in range(8):
+                taken = i < 7  # 7 taken, then exit
+                pred = p.observe(0x4000, taken)
+                if lap > 40:
+                    total += 1
+                    correct += pred == taken
+        assert correct / total > 0.97
+
+
+class TestStatsAndHistory:
+    def test_mispredict_rate_tracked(self):
+        p = TageScL()
+        for _ in range(100):
+            p.observe(0x4000, True)
+        assert p.predictions == 100
+        assert p.mispredict_rate < 0.2
+
+    def test_history_shifts(self):
+        p = TageScL()
+        p.shift_history(True)
+        p.shift_history(False)
+        p.shift_history(True)
+        assert p.hist & 0b111 == 0b101
+
+    def test_history_bounded(self):
+        p = TageScL()
+        for _ in range(1000):
+            p.shift_history(True)
+        assert p.hist < (1 << 256)
+
+    def test_observe_returns_prediction_made_before_update(self):
+        p = TageScL()
+        first = p.observe(0x4000, True)
+        assert isinstance(first, bool)
+
+    def test_distinct_pcs_independent(self):
+        p = TageScL()
+        for _ in range(300):
+            p.observe(0x1000, True)
+            p.observe(0x2000, False)
+        assert p.predict(0x1000)
+        assert not p.predict(0x2000)

@@ -1,0 +1,71 @@
+"""TAGE component internals: folding, allocation, corrector polarity."""
+
+import random
+
+from repro.frontend.tage import TageScL, _TaggedTable
+
+
+class TestTaggedTable:
+    def test_fold_reduces_history(self):
+        t = _TaggedTable(size=256, tag_bits=8, hist_len=32)
+        h = (1 << 31) | 1
+        folded = t.fold(h, 8)
+        assert 0 <= folded < (1 << 8)
+
+    def test_fold_respects_history_length(self):
+        t = _TaggedTable(size=256, tag_bits=8, hist_len=8)
+        # Bits beyond hist_len must not affect the fold.
+        assert t.fold(0xFF, 8) == t.fold(0xFFFF00FF & 0xFF | (1 << 20), 8)
+
+    def test_index_in_range(self):
+        t = _TaggedTable(size=256, tag_bits=8, hist_len=16)
+        for pc in (0, 0x400000, 0xFFFFFFFF):
+            assert 0 <= t.index(pc, 0b1010) < 256
+
+    def test_tag_nonzero(self):
+        t = _TaggedTable(size=256, tag_bits=8, hist_len=16)
+        # Tag 0 means "empty", so computed tags must never be 0.
+        for pc in range(0, 4096, 97):
+            assert t.tag(pc, pc * 3) != 0
+
+
+class TestAllocation:
+    def test_mispredicts_allocate_tagged_entries(self):
+        p = TageScL(num_tables=4, table_size=128)
+        rng = random.Random(3)
+        # History-correlated branch that the bimodal alone cannot learn.
+        for _ in range(600):
+            lead = rng.random() < 0.5
+            p.observe(0x111, lead)
+            p.observe(0x222, not lead)
+        allocated = sum(
+            1 for t in p.tables for tag in t.tags if tag != 0)
+        assert allocated > 0
+
+    def test_useful_counters_move(self):
+        p = TageScL(num_tables=4, table_size=128)
+        rng = random.Random(4)
+        for _ in range(800):
+            lead = rng.random() < 0.5
+            p.observe(0x111, lead)
+            p.observe(0x222, lead)
+        useful = sum(u for t in p.tables for u in t.useful)
+        assert useful > 0
+
+
+class TestStatisticalCorrector:
+    def test_flips_only_on_positive_drift(self):
+        """sc >= 12 means 'TAGE persistently wrong' -> flip; negative
+        drift (TAGE right) must never flip."""
+        p = TageScL()
+        p._sc[0x400] = -16  # TAGE has been consistently right
+        base, _, _ = p._tage_predict(0x400)
+        assert p.predict(0x400) == base
+        p._sc[0x400] = 16  # TAGE consistently wrong
+        assert p.predict(0x400) != base
+
+    def test_sc_table_bounded(self):
+        p = TageScL()
+        for pc in range(0, 5000 * 4, 4):
+            p.observe(pc, True)
+        assert len(p._sc) <= 4096

@@ -1,0 +1,111 @@
+"""Trace buffering, rewind determinism and slice walking."""
+
+import pytest
+
+from repro.common.enums import UopClass
+from repro.isa.trace import Trace
+from repro.isa.uop import StaticUop
+from repro.workloads.catalog import get_workload
+
+
+def linear_uops(n):
+    return [
+        StaticUop(idx=i, pc=0x1000 + 4 * i, cls=int(UopClass.INT_ADD),
+                  srcs=(i - 1,) if i else ())
+        for i in range(n)
+    ]
+
+
+class TestTraceBasics:
+    def test_from_list_and_get(self):
+        t = Trace.from_list(linear_uops(10))
+        assert t.get(0).idx == 0
+        assert t.get(9).idx == 9
+        assert t.get(10) is None
+
+    def test_from_list_validates_order(self):
+        uops = linear_uops(3)
+        uops[1].idx = 5
+        with pytest.raises(ValueError):
+            Trace.from_list(uops)
+
+    def test_lazy_materialisation(self):
+        t = Trace(iter(linear_uops(100)))
+        assert len(t) == 0
+        t.get(49)
+        assert len(t) == 50
+        t.get(5)  # going back costs nothing
+        assert len(t) == 50
+
+    def test_out_of_order_generator_rejected(self):
+        def bad():
+            yield StaticUop(idx=3, pc=0, cls=0)
+        with pytest.raises(ValueError):
+            Trace(bad()).get(0)
+
+    def test_exhaustion_returns_none(self):
+        t = Trace(iter(linear_uops(5)))
+        assert t.get(100) is None
+        assert len(t) == 5
+
+    def test_rewind_returns_identical_objects(self):
+        """Squash recovery relies on get(i) being stable."""
+        t = Trace(iter(linear_uops(20)))
+        first = t.get(7)
+        t.get(19)
+        assert t.get(7) is first
+
+
+class TestSliceProducers:
+    def test_linear_chain(self):
+        t = Trace.from_list(linear_uops(10))
+        slice_ = t.slice_producers(5, max_depth=64)
+        assert slice_ == [0, 1, 2, 3, 4]
+
+    def test_depth_bound(self):
+        t = Trace.from_list(linear_uops(100))
+        assert len(t.slice_producers(99, max_depth=8)) <= 8
+
+    def test_diamond(self):
+        uops = [
+            StaticUop(idx=0, pc=0, cls=int(UopClass.INT_ADD)),
+            StaticUop(idx=1, pc=4, cls=int(UopClass.INT_ADD), srcs=(0,)),
+            StaticUop(idx=2, pc=8, cls=int(UopClass.INT_ADD), srcs=(0,)),
+            StaticUop(idx=3, pc=12, cls=int(UopClass.LOAD), srcs=(1, 2),
+                      addr=0x40),
+        ]
+        t = Trace.from_list(uops)
+        assert t.slice_producers(3) == [0, 1, 2]
+
+    def test_no_producers(self):
+        t = Trace.from_list(linear_uops(3))
+        assert t.slice_producers(0) == []
+
+    def test_out_of_range(self):
+        t = Trace.from_list(linear_uops(3))
+        assert t.slice_producers(99) == []
+
+
+class TestWorkloadTraceDeterminism:
+    def test_same_seed_same_trace(self):
+        w = get_workload("mcf")
+        a, b = w.build_trace(), w.build_trace()
+        for i in range(0, 3000, 7):
+            ua, ub = a.get(i), b.get(i)
+            assert (ua.pc, ua.cls, ua.srcs, ua.addr, ua.taken) == \
+                   (ub.pc, ub.cls, ub.srcs, ub.addr, ub.taken)
+
+    def test_different_seed_differs(self):
+        w = get_workload("mcf")
+        a, b = w.build_trace(seed=1), w.build_trace(seed=2)
+        diff = sum(
+            1 for i in range(2000)
+            if (a.get(i).addr, a.get(i).taken) != (b.get(i).addr, b.get(i).taken)
+        )
+        assert diff > 0
+
+    def test_producers_precede_consumers(self):
+        t = get_workload("soplex").build_trace()
+        for i in range(2000):
+            u = t.get(i)
+            assert all(s < i for s in u.srcs), (i, u.srcs)

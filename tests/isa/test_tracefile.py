@@ -1,0 +1,85 @@
+"""Trace save/load round-tripping."""
+
+import os
+
+import pytest
+
+from repro.isa.tracefile import load_trace, save_trace
+from repro.workloads.catalog import get_workload
+
+
+def fields(u):
+    return (u.idx, u.pc, u.cls, u.addr, u.taken, u.target, u.srcs)
+
+
+class TestRoundTrip:
+    def test_plain(self, tmp_path):
+        path = os.path.join(str(tmp_path), "t.trace")
+        orig = get_workload("mcf").build_trace()
+        n = save_trace(orig, path, limit=500)
+        assert n == 500
+        loaded = load_trace(path)
+        assert loaded.name == "mcf"
+        for i in range(500):
+            assert fields(loaded.get(i)) == fields(orig.get(i))
+        assert loaded.get(500) is None
+
+    def test_gzip(self, tmp_path):
+        path = os.path.join(str(tmp_path), "t.trace.gz")
+        orig = get_workload("x264").build_trace()
+        save_trace(orig, path, limit=300)
+        loaded = load_trace(path)
+        for i in range(300):
+            assert fields(loaded.get(i)) == fields(orig.get(i))
+
+    def test_list_input(self, tmp_path):
+        from repro.common.enums import UopClass
+        from repro.isa.uop import StaticUop
+        uops = [StaticUop(idx=i, pc=4 * i, cls=int(UopClass.INT_ADD))
+                for i in range(10)]
+        path = os.path.join(str(tmp_path), "l.trace")
+        assert save_trace(uops, path, name="handmade") == 10
+        loaded = load_trace(path)
+        assert loaded.name == "handmade"
+        assert len(loaded) == 10
+
+    def test_loaded_trace_simulates(self, tmp_path):
+        """A persisted trace replays identically through the core."""
+        from repro.common.params import BASELINE
+        from repro.core.core import OutOfOrderCore
+        from repro.core.runahead import OOO
+        path = os.path.join(str(tmp_path), "t.trace")
+        spec = get_workload("x264")
+        save_trace(spec.build_trace(), path, limit=4000)
+
+        a = OutOfOrderCore(BASELINE, spec.build_trace(), OOO)
+        a.run(1500)
+        b = OutOfOrderCore(BASELINE, load_trace(path), OOO)
+        b.run(1500)
+        assert a.cycle == b.cycle
+        assert a.ace.total == b.ace.total
+
+
+class TestErrors:
+    def test_not_a_trace(self, tmp_path):
+        path = os.path.join(str(tmp_path), "bogus.txt")
+        with open(path, "w") as f:
+            f.write("hello\n")
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_malformed_record(self, tmp_path):
+        path = os.path.join(str(tmp_path), "bad.trace")
+        with open(path, "w") as f:
+            f.write("#repro-trace v1 name=x\n")
+            f.write("1 2 3\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace(path)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = os.path.join(str(tmp_path), "ok.trace")
+        with open(path, "w") as f:
+            f.write("#repro-trace v1 name=x\n")
+            f.write("\n# a comment\n")
+            f.write("0 4096 1 -1 0 0 -\n")
+        assert len(load_trace(path)) == 1

@@ -1,0 +1,111 @@
+"""Set-associative cache model."""
+
+import pytest
+
+from repro.common.params import CacheParams
+from repro.memory.cache import Cache
+
+
+def cache(size=4096, assoc=4, line=64):
+    return Cache(CacheParams(size=size, assoc=assoc, latency=1,
+                             line_size=line), "t")
+
+
+class TestLookupInsert:
+    def test_cold_miss_then_hit(self):
+        c = cache()
+        assert not c.lookup(0x1000)
+        c.insert(0x1000)
+        assert c.lookup(0x1000)
+
+    def test_same_line_aliases(self):
+        c = cache()
+        c.insert(0x1000)
+        assert c.lookup(0x1004)
+        assert c.lookup(0x103F)
+        assert not c.lookup(0x1040)
+
+    def test_contains_no_side_effects(self):
+        c = cache()
+        c.insert(0x1000)
+        h, m = c.hits, c.misses
+        assert c.contains(0x1000)
+        assert not c.contains(0x2000)
+        assert (c.hits, c.misses) == (h, m)
+
+    def test_stats(self):
+        c = cache()
+        c.lookup(0x0)
+        c.insert(0x0)
+        c.lookup(0x0)
+        assert c.misses == 1 and c.hits == 1
+        assert c.accesses == 2
+        assert c.miss_rate == 0.5
+        c.reset_stats()
+        assert c.accesses == 0
+
+
+class TestLru:
+    def test_eviction_order(self):
+        c = cache(size=256, assoc=4, line=64)  # 1 set, 4 ways
+        for i in range(4):
+            c.insert(i * 64 * 1)  # all map to set 0? line i -> set i%1=0
+        # Touch line 0 to promote it, then insert a 5th line.
+        c.lookup(0)
+        c.insert(4 * 64)
+        assert c.contains(0)          # promoted, survives
+        assert not c.contains(64)     # LRU victim
+        assert c.evictions == 1
+
+    def test_victim_address_reconstruction(self):
+        c = cache(size=256, assoc=1, line=64)  # 1 set, direct... 4 sets
+        # size 256, assoc 1, line 64 -> 4 sets
+        c.insert(0x0)
+        victim = c.insert(0x0 + 4 * 64)  # same set 0
+        assert victim == (0x0, False)
+
+    def test_reinsert_not_eviction(self):
+        c = cache(size=256, assoc=4, line=64)
+        c.insert(0x0)
+        assert c.insert(0x0) is None
+        assert c.evictions == 0
+
+
+class TestDirty:
+    def test_dirty_writeback_counted(self):
+        c = cache(size=256, assoc=1, line=64)
+        c.insert(0x0, dirty=True)
+        c.insert(4 * 64)  # evicts set-0 line
+        assert c.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = cache(size=256, assoc=1, line=64)
+        c.insert(0x0)
+        c.insert(4 * 64)
+        assert c.writebacks == 0
+
+    def test_mark_dirty_later(self):
+        c = cache(size=256, assoc=1, line=64)
+        c.insert(0x0)
+        c.mark_dirty(0x0)
+        c.insert(4 * 64)
+        assert c.writebacks == 1
+
+
+class TestInvalidate:
+    def test_invalidate(self):
+        c = cache()
+        c.insert(0x1000)
+        assert c.invalidate(0x1000)
+        assert not c.contains(0x1000)
+        assert not c.invalidate(0x1000)
+
+
+class TestValidation:
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(CacheParams(size=3 * 64, assoc=1, latency=1), "bad")
+
+    def test_zero_sets_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(CacheParams(size=64, assoc=4, latency=1), "bad")

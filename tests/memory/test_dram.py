@@ -1,0 +1,82 @@
+"""DDR3-style DRAM timing model."""
+
+from repro.common.params import DramParams
+from repro.memory.dram import Dram
+
+
+def dram(**kw):
+    return Dram(DramParams(**kw))
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        d = dram()
+        done = d.access(0x0, 0)
+        assert done == d.params.row_miss_latency
+        assert d.row_conflicts == 1
+
+    def test_same_row_hits(self):
+        d = dram()
+        d.access(0x0, 0)
+        t1 = d.access(0x40, 1000)  # same 4KB row
+        assert t1 - 1000 == d.params.row_hit_latency
+        assert d.row_hits == 1
+
+    def test_row_conflict_pays_full_latency(self):
+        d = dram()
+        d.access(0x0, 0)
+        # Same bank, different row: rows interleave across banks, so the
+        # next row in the same bank is num_banks rows away.
+        other = d.params.row_size * d.params.num_banks
+        t = d.access(other, 1000)
+        assert t - 1000 == d.params.row_miss_latency
+
+    def test_row_hit_rate(self):
+        d = dram()
+        d.access(0x0, 0)
+        for i in range(1, 10):
+            d.access(i * 64, 1000 * i)
+        assert d.row_hit_rate == 9 / 10
+
+
+class TestBankParallelism:
+    def test_different_banks_overlap(self):
+        d = dram()
+        t0 = d.access(0x0, 0)
+        t1 = d.access(d.params.row_size, 0)  # next bank
+        # Bank-parallel: the second access is delayed only by the bus.
+        assert t1 <= t0 + d.params.bus_cycles_per_access
+
+    def test_same_bank_row_hits_pipeline(self):
+        """Back-to-back row hits are spaced by tCCD, not full latency."""
+        d = dram()
+        d.access(0x0, 0)
+        base = d.params.row_miss_latency + 10
+        t1 = d.access(0x40, base)
+        t2 = d.access(0x80, base)
+        assert t2 - t1 <= d.params.bus_cycles_per_access
+
+    def test_busy_bank_queues(self):
+        d = dram()
+        d.access(0x0, 0)
+        conflict_addr = d.params.row_size * d.params.num_banks
+        t1 = d.access(conflict_addr, 1)  # same bank, conflicting row
+        t2 = d.access(conflict_addr + 64, 1)
+        assert t2 > t1  # second waits for the precharge/activate
+
+
+class TestBus:
+    def test_bus_serialises_bursts(self):
+        d = dram()
+        times = sorted(
+            d.access(i * d.params.row_size, 0)
+            for i in range(8)  # 8 different banks, all arrive at cycle 0
+        )
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g >= d.params.bus_cycles_per_access for g in gaps)
+
+    def test_accesses_counted(self):
+        d = dram()
+        for i in range(5):
+            d.access(i * 64, i)
+        assert d.accesses == 5

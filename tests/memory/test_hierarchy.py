@@ -1,0 +1,124 @@
+"""Composed memory hierarchy: levels, MSHRs, merging, preload, prefetch."""
+
+import pytest
+
+from repro.common.params import BASELINE, PrefetcherParams
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def hierarchy(machine=BASELINE):
+    return MemoryHierarchy(machine)
+
+
+class TestLevels:
+    def test_cold_access_goes_to_dram(self):
+        m = hierarchy()
+        r = m.access(0x5000_0000, 0)
+        assert r.level == "dram"
+        assert r.done_cycle > 40
+
+    def test_second_access_hits_l1(self):
+        m = hierarchy()
+        first = m.access(0x5000_0000, 0)
+        r = m.access(0x5000_0000, first.done_cycle + 1)
+        assert r.level == "l1"
+        assert r.done_cycle == first.done_cycle + 1 + BASELINE.l1d.latency
+
+    def test_l1_eviction_leaves_l2(self):
+        m = hierarchy()
+        base = 0x5000_0000
+        done = m.access(base, 0).done_cycle
+        # Fill enough same-set lines to evict base from L1 (8-way).
+        l1_span = BASELINE.l1d.num_sets * 64
+        t = done + 1
+        for i in range(1, 12):
+            t = max(t, m.access(base + i * l1_span, t).done_cycle) + 1
+        r = m.access(base, t + 1)
+        assert r.level in ("l2", "l3")
+
+    def test_probe_level_no_side_effects(self):
+        m = hierarchy()
+        assert m.probe_level(0x5000_0000) == "dram"
+        done = m.access(0x5000_0000, 0).done_cycle
+        assert m.probe_level(0x5000_0000) in ("l1", "dram")
+        assert m.demand_accesses == 1
+
+
+class TestMshr:
+    def test_limit_enforced(self):
+        m = hierarchy()
+        rejected = 0
+        for i in range(25):
+            if m.access(0x5000_0000 + i * 64, 0) is None:
+                rejected += 1
+        assert rejected == 25 - BASELINE.l1d.mshrs
+        assert m.rejected_mshr_full == rejected
+
+    def test_mshrs_free_after_completion(self):
+        m = hierarchy()
+        results = [m.access(0x5000_0000 + i * 64, 0) for i in range(20)]
+        last_done = max(r.done_cycle for r in results)
+        assert m.access(0x6000_0000, last_done + 1) is not None
+
+    def test_merge_does_not_consume_mshr(self):
+        m = hierarchy()
+        m.access(0x5000_0000, 0)
+        in_use = m.mshr_in_use(1)
+        r = m.access(0x5000_0010, 1)  # same line: merge
+        assert r.merged
+        assert m.mshr_in_use(1) == in_use
+
+    def test_merge_returns_original_timing(self):
+        m = hierarchy()
+        first = m.access(0x5000_0000, 0)
+        merged = m.access(0x5000_0000, 5)
+        assert merged.merged
+        assert merged.done_cycle == first.done_cycle
+        assert merged.level == "dram"
+
+
+class TestPreload:
+    def test_l3_preload(self):
+        m = hierarchy()
+        m.preload(0x0800_0000, 64 * 1024, "l3")
+        r = m.access(0x0800_0000, 0)
+        assert r.level == "l3"
+
+    def test_l1_preload(self):
+        m = hierarchy()
+        m.preload(0x0001_0000, 16 * 1024, "l1")
+        r = m.access(0x0001_0000, 0)
+        assert r.level == "l1"
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchy().preload(0, 64, "l2")
+
+
+class TestPrefetcher:
+    def _machine(self, levels):
+        return BASELINE.with_prefetcher(
+            PrefetcherParams(levels=levels), name="pf")
+
+    def test_l3_prefetch_after_stride_training(self):
+        m = hierarchy(self._machine(("l3",)))
+        t = 0
+        for i in range(6):
+            r = m.access(0x5000_0000 + i * 64, t, pc=0x400)
+            t = r.done_cycle + 1
+        assert m.prefetches_issued > 0
+
+    def test_prefetched_line_serviced_early(self):
+        m = hierarchy(self._machine(("l1", "l2", "l3")))
+        t = 0
+        for i in range(8):
+            r = m.access(0x5000_0000 + i * 64, t, pc=0x400)
+            t = r.done_cycle + 1
+        # Far-ahead line should now be covered (outstanding or resident).
+        probe = m.probe_level(0x5000_0000 + 11 * 64)
+        cold = m.probe_level(0x6000_0000)
+        assert cold == "dram"
+        assert m.prefetches_issued > 0
+
+    def test_no_prefetcher_attribute_without_config(self):
+        assert hierarchy().prefetcher is None

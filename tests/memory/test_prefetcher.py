@@ -1,0 +1,96 @@
+"""Region-based stream prefetcher training."""
+
+from repro.common.params import PrefetcherParams
+from repro.memory.prefetcher import StridePrefetcher
+
+
+def pf(**kw):
+    return StridePrefetcher(PrefetcherParams(**kw))
+
+
+class TestTraining:
+    def test_needs_confidence(self):
+        p = pf()
+        assert p.train(0x400, 0x1000) == []     # allocate stream
+        assert p.train(0x400, 0x1040) == []     # first stride observation
+        out = p.train(0x400, 0x1080)            # stride confirmed
+        out = out or p.train(0x400, 0x10C0)
+        assert out, "a confirmed stride must prefetch"
+
+    def test_prefetch_addresses_ahead(self):
+        p = pf(degree=2, distance=4)
+        for i in range(4):
+            p.train(0x400, 0x1000 + i * 64)
+        out = p.train(0x400, 0x1000 + 4 * 64)
+        base = 0x1000 + 4 * 64
+        assert out == [base + 4 * 64, base + 5 * 64]
+
+    def test_negative_stride(self):
+        p = pf(degree=1, distance=1)
+        out = []
+        for i in range(6):
+            out = p.train(0x400, 0x10000 - i * 64)
+        assert out and out[0] < 0x10000 - 5 * 64
+
+    def test_pc_is_irrelevant(self):
+        """Streams are tracked by address region: interleaving PCs over
+        one sequential region still trains (the real-code case)."""
+        p = pf(degree=1, distance=1)
+        out = []
+        for i in range(8):
+            out = p.train(0x400 + (i % 4) * 4, 0x1000 + i * 64)
+        assert out
+
+    def test_repeated_address_ignored(self):
+        p = pf()
+        for _ in range(10):
+            assert p.train(0x400, 0x1000) == []
+
+    def test_resync_within_window(self):
+        """A skipped line must not kill the stream: after a short
+        resynchronisation it prefetches again (no fresh allocation)."""
+        p = pf(degree=1, distance=1)
+        for i in range(4):
+            p.train(0x400, 0x1000 + i * 64)
+        p.train(0x400, 0x1000 + 6 * 64)  # skipped lines 4-5
+        out = []
+        for i in range(7, 10):           # sequential again
+            out = out or p.train(0x400, 0x1000 + i * 64)
+        assert out  # recovered without re-allocating
+        assert p.active_streams == 1
+
+    def test_far_jump_allocates_new_stream(self):
+        p = pf(streams=4)
+        p.train(0x400, 0x1000)
+        p.train(0x400, 0x900_0000)
+        assert p.active_streams == 2
+
+
+class TestStreams:
+    def test_stream_capacity(self):
+        p = pf(streams=2)
+        p.train(0, 0x100_0000)
+        p.train(0, 0x200_0000)
+        p.train(0, 0x300_0000)  # FIFO-evicts the first region
+        assert p.active_streams == 2
+
+    def test_independent_regions(self):
+        p = pf(streams=4, degree=1, distance=1)
+        a = b = []
+        for i in range(6):
+            a = p.train(0, 0x100_0000 + i * 64)
+            b = p.train(0, 0x800_0000 + i * 128)
+        assert a and b
+        assert a[0] - (0x100_0000 + 5 * 64) == 64
+        assert b[0] - (0x800_0000 + 5 * 128) == 128
+
+    def test_interleaved_streams_both_train(self):
+        """Round-robin interleaving of N regions — the catalog's streaming
+        pattern — must keep all of them confident."""
+        p = pf(streams=8, degree=2, distance=2)
+        issued = 0
+        for i in range(12):
+            for r in range(4):
+                out = p.train(0, 0x1000_0000 * (r + 1) + i * 64)
+                issued += len(out)
+        assert issued > 30

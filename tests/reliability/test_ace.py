@@ -1,0 +1,159 @@
+"""ACE accounting: per-structure charges and attribution windows."""
+
+import pytest
+
+from repro.common.enums import UopClass
+from repro.common.params import BIT_BUDGET
+from repro.isa.uop import DynUop, StaticUop
+from repro.reliability.ace import AceAccountant, BlockedWindows
+
+
+def accountant():
+    return AceAccountant(fu_exec_cycles=lambda cls: 2)
+
+
+def committed(cls, dispatch=10, issue=20, done=30, commit=100, seq=1):
+    u = DynUop(StaticUop(idx=seq, pc=0, cls=int(cls), addr=0x40), seq=seq)
+    u.dispatch_cycle = dispatch
+    u.issue_cycle = issue
+    u.done_cycle = done
+    u.commit_cycle = commit
+    u.completed = True
+    return u
+
+
+class TestChargeCommit:
+    def test_alu_charges(self):
+        a = accountant()
+        a.charge_commit(committed(UopClass.INT_ADD))
+        assert a.bits["rob"] == BIT_BUDGET["rob"] * 90   # dispatch->commit
+        assert a.bits["iq"] == BIT_BUDGET["iq"] * 10     # dispatch->issue
+        assert a.bits["rf"] == BIT_BUDGET["int_reg"] * 70  # done->commit
+        assert a.bits["fu"] == BIT_BUDGET["int_fu"] * 2
+        assert a.bits["lq"] == a.bits["sq"] == 0
+
+    def test_load_charges_lq(self):
+        a = accountant()
+        a.charge_commit(committed(UopClass.LOAD))
+        assert a.bits["lq"] == BIT_BUDGET["lq"] * 80  # issue->commit
+        assert a.bits["sq"] == 0
+
+    def test_store_charges_sq_and_no_rf(self):
+        a = accountant()
+        a.charge_commit(committed(UopClass.STORE))
+        assert a.bits["sq"] == BIT_BUDGET["sq"] * 80
+        assert a.bits["rf"] == 0
+
+    def test_fp_uses_wide_budgets(self):
+        a = accountant()
+        a.charge_commit(committed(UopClass.FP_MUL))
+        assert a.bits["rf"] == BIT_BUDGET["fp_reg"] * 70
+        assert a.bits["fu"] == BIT_BUDGET["fp_fu"] * 2
+
+    def test_nop_is_unace(self):
+        a = accountant()
+        a.charge_commit(committed(UopClass.NOP))
+        assert a.total == 0
+
+    def test_cmp_has_no_rf_charge(self):
+        a = accountant()
+        a.charge_commit(committed(UopClass.INT_CMP))
+        assert a.bits["rf"] == 0
+        assert a.bits["rob"] > 0
+
+    def test_total_sums_structures(self):
+        a = accountant()
+        a.charge_commit(committed(UopClass.LOAD))
+        assert a.total == sum(a.bits.values())
+        assert a.committed_charged == 1
+
+
+class TestBlockedWindows:
+    def test_basic_overlap(self):
+        w = BlockedWindows()
+        w.open(10)
+        w.close(20)
+        assert w.overlap(0, 30) == 10
+        assert w.overlap(12, 15) == 3
+        assert w.overlap(5, 12) == 2
+        assert w.overlap(18, 40) == 2
+        assert w.overlap(20, 30) == 0
+
+    def test_multiple_windows(self):
+        w = BlockedWindows()
+        for s, e in ((10, 20), (30, 40), (50, 60)):
+            w.open(s)
+            w.close(e)
+        assert w.overlap(0, 100) == 30
+        assert w.overlap(15, 55) == 5 + 10 + 5
+        assert w.count == 3
+        assert w.total_time == 30
+
+    def test_open_window_counts(self):
+        w = BlockedWindows()
+        w.open(10)
+        assert w.is_open
+        assert w.overlap(0, 50) == 40
+
+    def test_double_open_ignored(self):
+        w = BlockedWindows()
+        w.open(10)
+        w.open(15)
+        w.close(20)
+        assert w.total_time == 10
+
+    def test_close_without_open_ignored(self):
+        w = BlockedWindows()
+        w.close(10)
+        assert w.count == 0
+
+    def test_empty_window_dropped(self):
+        w = BlockedWindows()
+        w.open(10)
+        w.close(10)
+        assert w.count == 0
+
+    def test_degenerate_query(self):
+        w = BlockedWindows()
+        w.open(10)
+        w.close(20)
+        assert w.overlap(15, 15) == 0
+        assert w.overlap(18, 12) == 0
+
+
+class TestAttribution:
+    def test_charge_inside_window_attributed(self):
+        a = accountant()
+        a.head_blocked.open(0)
+        a.head_blocked.close(200)
+        a.charge_commit(committed(UopClass.INT_ADD))
+        # The whole residency is inside the window (incl. 2 FU cycles).
+        expected = (BIT_BUDGET["rob"] * 90 + BIT_BUDGET["iq"] * 10
+                    + BIT_BUDGET["int_reg"] * 70 + BIT_BUDGET["int_fu"] * 2)
+        assert a.bits_in_head_blocked == expected
+
+    def test_charge_outside_window_not_attributed(self):
+        a = accountant()
+        a.head_blocked.open(500)
+        a.head_blocked.close(700)
+        a.charge_commit(committed(UopClass.INT_ADD))
+        assert a.bits_in_head_blocked == 0
+
+    def test_partial_overlap(self):
+        a = accountant()
+        a.head_blocked.open(50)
+        a.head_blocked.close(60)
+        a.charge_commit(committed(UopClass.INT_ADD, dispatch=0, issue=10,
+                                  done=20, commit=100))
+        # ROB interval [0,100) overlaps 10; IQ [0,10) overlaps 0;
+        # RF [20,100) overlaps 10.
+        expected = BIT_BUDGET["rob"] * 10 + BIT_BUDGET["int_reg"] * 10
+        assert a.bits_in_head_blocked == expected
+
+    def test_full_stall_tracked_separately(self):
+        a = accountant()
+        a.full_stall.open(0)
+        a.full_stall.close(1000)
+        a.charge_commit(committed(UopClass.INT_ADD))
+        assert a.bits_in_full_stall > 0
+        assert a.bits_in_head_blocked == 0

@@ -1,0 +1,105 @@
+"""Monte-Carlo fault injection and its agreement with ACE analysis."""
+
+import pytest
+
+from repro.common.params import BASELINE
+from repro.core.core import OutOfOrderCore
+from repro.core.runahead import OOO, RAR
+from repro.reliability.fault_injection import (
+    FaultInjector,
+    InjectionResult,
+    _LiveBits,
+    structure_bits,
+)
+from repro.workloads.catalog import get_workload
+
+
+def run_recording(workload="libquantum", policy=OOO, instructions=2500):
+    spec = get_workload(workload)
+    core = OutOfOrderCore(BASELINE, spec.build_trace(), policy,
+                          record_ace_intervals=True)
+    for level, base, size in spec.resident_regions():
+        core.mem.preload(base, size, level)
+    core.run(instructions)
+    return core
+
+
+class TestLiveBits:
+    def test_levels(self):
+        lb = _LiveBits([(10, 20, 5), (15, 30, 3)])
+        assert lb.live(5) == 0
+        assert lb.live(10) == 5
+        assert lb.live(15) == 8
+        assert lb.live(20) == 3
+        assert lb.live(29) == 3
+        assert lb.live(30) == 0
+
+    def test_empty(self):
+        assert _LiveBits([]).live(100) == 0
+
+
+class TestStructureBits:
+    def test_matches_total(self):
+        bits = structure_bits(BASELINE.core)
+        assert sum(bits.values()) == BASELINE.core.total_bits
+        assert bits["rob"] == 192 * 120
+        assert bits["fu"] == 0  # FUs are not in the AVF denominator
+
+
+class TestInjector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector([], BASELINE.core, cycles=0)
+        inj = FaultInjector([], BASELINE.core, cycles=100)
+        with pytest.raises(ValueError):
+            inj.run(trials=0)
+
+    def test_deterministic_given_seed(self):
+        core = run_recording()
+        a = FaultInjector(core.ace.intervals, BASELINE.core, core.cycle,
+                          seed=7).run(2000)
+        b = FaultInjector(core.ace.intervals, BASELINE.core, core.cycle,
+                          seed=7).run(2000)
+        assert a.hits == b.hits
+        assert a.hits_by_structure == b.hits_by_structure
+
+    def test_no_intervals_no_hits(self):
+        inj = FaultInjector([], BASELINE.core, cycles=1000, seed=3)
+        assert inj.run(500).hits == 0
+
+    def test_empirical_avf_matches_analytical(self):
+        """The campaign must converge to ABC/(N×T) (FU charges excluded
+        from both sides — FUs are not in the strike space)."""
+        core = run_recording()
+        abc_no_fu = core.ace.total - core.ace.bits["fu"]
+        analytical = abc_no_fu / (BASELINE.core.total_bits * core.cycle)
+        inj = FaultInjector(core.ace.intervals, BASELINE.core, core.cycle,
+                            seed=11)
+        result = inj.run(40_000)
+        assert result.empirical_avf == pytest.approx(analytical, rel=0.12)
+
+    def test_rar_reduces_empirical_vulnerability(self):
+        base = run_recording(policy=OOO)
+        rar = run_recording(policy=RAR)
+        fi_base = FaultInjector(base.ace.intervals, BASELINE.core,
+                                base.cycle, seed=5).run(20_000)
+        fi_rar = FaultInjector(rar.ace.intervals, BASELINE.core,
+                               rar.cycle, seed=5).run(20_000)
+        assert fi_rar.empirical_avf < fi_base.empirical_avf * 0.5
+
+    def test_structure_weighting(self):
+        core = run_recording(instructions=1500)
+        result = FaultInjector(core.ace.intervals, BASELINE.core,
+                               core.cycle, seed=9).run(20_000)
+        bits = structure_bits(BASELINE.core)
+        total = sum(bits.values())
+        rob_share = result.trials_by_structure.get("rob", 0) / result.trials
+        assert rob_share == pytest.approx(bits["rob"] / total, abs=0.03)
+
+    def test_result_properties(self):
+        r = InjectionResult(trials=100, hits=25,
+                            hits_by_structure={"rob": 25},
+                            trials_by_structure={"rob": 50})
+        assert r.empirical_avf == 0.25
+        assert r.structure_avf("rob") == 0.5
+        assert r.structure_avf("iq") == 0.0

@@ -1,0 +1,66 @@
+"""Windowed AVF timeline."""
+
+import pytest
+
+from repro.reliability.timeline import avf_timeline
+
+
+class TestTimeline:
+    def test_single_interval_one_window(self):
+        # 10 bits exposed for cycles [0, 50) of a 100-cycle window,
+        # N = 100 bits -> AVF = 10*50/(100*100) = 0.05
+        series = avf_timeline([("rob", 0, 50, 10)], total_bits=100,
+                              cycles=100, window=100)
+        assert series == [(0, pytest.approx(0.05))]
+
+    def test_interval_split_across_windows(self):
+        series = avf_timeline([("rob", 50, 150, 10)], total_bits=100,
+                              cycles=200, window=100)
+        assert series[0] == (0, pytest.approx(10 * 50 / (100 * 100)))
+        assert series[1] == (100, pytest.approx(10 * 50 / (100 * 100)))
+
+    def test_sum_matches_total_abc(self):
+        intervals = [("rob", 3, 97, 7), ("iq", 40, 260, 5),
+                     ("rf", 150, 151, 64)]
+        cycles, n = 300, 1000
+        series = avf_timeline(intervals, n, cycles, window=64)
+        total_from_series = sum(
+            avf * n * min(64, cycles - start) for start, avf in series)
+        expected = sum(b * (e - s) for _, s, e, b in intervals)
+        assert total_from_series == pytest.approx(expected)
+
+    def test_interval_clipped_to_run(self):
+        series = avf_timeline([("rob", -10, 500, 2)], total_bits=10,
+                              cycles=100, window=100)
+        assert series[0][1] == pytest.approx(2 * 100 / (10 * 100))
+
+    def test_window_count(self):
+        series = avf_timeline([], 10, 1050, window=100)
+        assert len(series) == 11
+        assert series[-1][0] == 1000
+        assert all(avf == 0 for _, avf in series)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            avf_timeline([], 10, 100, window=0)
+        with pytest.raises(ValueError):
+            avf_timeline([], 0, 100)
+
+    def test_phase_behaviour_from_simulation(self):
+        """A memory-bound run must show heterogeneous AVF across windows."""
+        from repro.common.params import BASELINE
+        from repro.core.core import OutOfOrderCore
+        from repro.core.runahead import OOO
+        from repro.workloads.catalog import get_workload
+        spec = get_workload("libquantum")
+        core = OutOfOrderCore(BASELINE, spec.build_trace(), OOO,
+                              record_ace_intervals=True)
+        for level, base, size in spec.resident_regions():
+            core.mem.preload(base, size, level)
+        core.run(2500)
+        series = avf_timeline(core.ace.intervals,
+                              BASELINE.core.total_bits, core.cycle,
+                              window=500)
+        values = [v for _, v in series]
+        assert max(values) > 0
+        assert max(values) > 2 * min(values)  # visible phases

@@ -1,0 +1,64 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import MACHINES, build_parser, main
+
+
+class TestParser:
+    def test_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "mcf", "RAR", "-n", "500"])
+        assert args.command == "run"
+        assert args.workload == "mcf"
+        assert args.policy == "RAR"
+        assert args.instructions == 500
+
+    def test_machine_choices(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "mcf", "-m", "cray-1"])
+
+    def test_machines_registry(self):
+        assert "baseline" in MACHINES
+        assert MACHINES["core-4"].core.rob_size == 352
+        assert MACHINES["baseline+l3pf"].prefetcher is not None
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "RAR" in out and "core-4" in out
+        assert "THROTTLE" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "x264", "OOO", "-n", "500", "-w", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "AVF" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "x264", "OOO", "RAR",
+                     "-n", "500", "-w", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "MTTF_rel" in out
+        assert "RAR" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "wolfenstein", "-n", "100", "-w", "0"])
+
+
+class TestCharacterizeCommand:
+    def test_characterize_named(self, capsys):
+        assert main(["characterize", "x264", "-n", "500", "-w", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "character" in out and "x264" in out
+
+    def test_trace_dump_and_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "t.trace")
+        assert main(["trace", "dump", path, "-k", "x264", "-l", "3000"]) == 0
+        assert main(["trace", "replay", path, "-p", "OOO",
+                     "-n", "500", "-w", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import amean, gmean, hmean
+from repro.common.params import CacheParams
+from repro.memory.cache import Cache
+from repro.reliability.ace import BlockedWindows
+
+# ---------------------------------------------------------------- windows
+
+
+@st.composite
+def window_script(draw):
+    """A sequence of monotone open/close events plus a query interval."""
+    n = draw(st.integers(1, 12))
+    t = 0
+    events = []
+    for _ in range(n):
+        t += draw(st.integers(0, 20))
+        start = t
+        t += draw(st.integers(0, 20))
+        events.append((start, t))
+        t += 1
+    a = draw(st.integers(0, t + 10))
+    b = draw(st.integers(0, t + 10))
+    return events, a, b
+
+
+class TestBlockedWindowsProperties:
+    @given(window_script())
+    @settings(max_examples=200, deadline=None)
+    def test_overlap_matches_naive_reference(self, script):
+        events, a, b = script
+        w = BlockedWindows()
+        covered = set()
+        for s, e in events:
+            w.open(s)
+            w.close(e)
+            covered.update(range(s, e))
+        expected = len([c for c in covered if a <= c < b])
+        assert w.overlap(a, b) == expected
+
+    @given(window_script())
+    @settings(max_examples=100, deadline=None)
+    def test_total_time_equals_full_overlap(self, script):
+        events, _, _ = script
+        w = BlockedWindows()
+        for s, e in events:
+            w.open(s)
+            w.close(e)
+        horizon = max((e for _, e in events), default=0) + 1
+        assert w.overlap(0, horizon) == w.total_time
+
+    @given(window_script(), st.integers(0, 300))
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_additive_in_query_split(self, script, mid):
+        events, a, b = script
+        if b < a:
+            a, b = b, a
+        mid = min(max(mid, a), b)
+        w = BlockedWindows()
+        for s, e in events:
+            w.open(s)
+            w.close(e)
+        assert w.overlap(a, b) == w.overlap(a, mid) + w.overlap(mid, b)
+
+
+# ------------------------------------------------------------------ cache
+
+
+class _ReferenceCache:
+    """Dead-simple LRU model to differential-test the real cache."""
+
+    def __init__(self, sets, assoc, line):
+        self.sets = sets
+        self.assoc = assoc
+        self.line = line
+        self.data = {i: [] for i in range(sets)}
+
+    def _key(self, addr):
+        ln = addr // self.line
+        return ln % self.sets, ln // self.sets
+
+    def lookup(self, addr):
+        s, t = self._key(addr)
+        if t in self.data[s]:
+            self.data[s].remove(t)
+            self.data[s].append(t)
+            return True
+        return False
+
+    def insert(self, addr):
+        s, t = self._key(addr)
+        if t in self.data[s]:
+            self.data[s].remove(t)
+        elif len(self.data[s]) >= self.assoc:
+            self.data[s].pop(0)
+        self.data[s].append(t)
+
+
+class TestCacheMatchesReference:
+    @given(st.lists(st.tuples(st.integers(0, 255), st.booleans()),
+                    min_size=1, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_differential(self, ops):
+        real = Cache(CacheParams(size=4 * 4 * 64, assoc=4, latency=1), "t")
+        ref = _ReferenceCache(sets=4, assoc=4, line=64)
+        for line_no, is_insert in ops:
+            addr = line_no * 64
+            if is_insert:
+                real.insert(addr)
+                ref.insert(addr)
+            else:
+                assert real.lookup(addr) == ref.lookup(addr)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_insert_then_contains(self, addrs):
+        c = Cache(CacheParams(size=64 * 1024, assoc=8, latency=1), "t")
+        c.insert(addrs[-1])
+        assert c.contains(addrs[-1])
+
+
+# ------------------------------------------------------------------ means
+
+
+class TestMeanProperties:
+    @given(st.lists(st.floats(0.01, 1e4), min_size=1, max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_ordering(self, vals):
+        assert hmean(vals) <= gmean(vals) * (1 + 1e-9)
+        assert gmean(vals) <= amean(vals) * (1 + 1e-9)
+
+    @given(st.lists(st.floats(0.01, 1e4), min_size=1, max_size=30),
+           st.floats(0.01, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_gmean_scale_invariance(self, vals, k):
+        import pytest
+        assert gmean([v * k for v in vals]) == \
+            pytest.approx(gmean(vals) * k, rel=1e-6)
+
+    @given(st.floats(0.01, 1e4), st.integers(1, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_constant_sequences(self, v, n):
+        import pytest
+        for fn in (amean, hmean, gmean):
+            assert fn([v] * n) == pytest.approx(v, rel=1e-9)
+
+
+# ------------------------------------------------------------------ trace
+
+
+class TestTraceProperties:
+    @given(st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_trace_wellformed(self, seed):
+        """Any seed yields a trace whose producers precede consumers and
+        whose memory ops carry addresses."""
+        from repro.common.enums import UopClass
+        from repro.workloads.catalog import get_workload
+        t = get_workload("soplex").build_trace(seed=seed)
+        for i in range(300):
+            u = t.get(i)
+            assert all(0 <= s < i for s in u.srcs)
+            if u.cls in (int(UopClass.LOAD), int(UopClass.STORE)):
+                assert u.addr >= 0
+            else:
+                assert u.addr == -1
+
+
+# ------------------------------------------------------------------ dram
+
+
+class TestDramProperties:
+    @given(st.lists(st.tuples(st.integers(0, 1 << 22), st.integers(0, 5)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_completion_after_arrival(self, reqs):
+        from repro.common.params import DramParams
+        from repro.memory.dram import Dram
+        d = Dram(DramParams())
+        t = 0
+        for addr, gap in reqs:
+            t += gap
+            done = d.access(addr * 64, t)
+            assert done >= t + d.params.row_hit_latency
+
+    @given(st.lists(st.integers(0, 1 << 22), min_size=2, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_bus_never_double_booked(self, addrs):
+        from repro.common.params import DramParams
+        from repro.memory.dram import Dram
+        d = Dram(DramParams())
+        times = sorted(d.access(a * 64, 0) for a in addrs)
+        for a, b in zip(times, times[1:]):
+            assert b - a >= d.params.bus_cycles_per_access

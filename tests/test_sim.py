@@ -1,0 +1,72 @@
+"""Top-level simulate() API."""
+
+import pytest
+
+from repro import BASELINE, OOO, RAR, SimResult, get_workload, simulate
+
+
+class TestSimulateApi:
+    def test_by_name(self):
+        r = simulate("x264", BASELINE, OOO, instructions=800, warmup=300)
+        assert r.workload == "x264"
+        assert r.policy == "OOO"
+        assert r.machine == "baseline"
+        assert r.instructions >= 800
+        assert r.cycles > 0
+        assert r.ipc > 0
+
+    def test_by_spec_and_policy_name(self):
+        r = simulate(get_workload("x264"), BASELINE, "rar",
+                     instructions=800, warmup=300)
+        assert r.policy == "RAR"
+
+    def test_invalid_instructions(self):
+        with pytest.raises(ValueError):
+            simulate("x264", BASELINE, OOO, instructions=0)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            simulate("quake", BASELINE, OOO, instructions=100)
+
+    def test_abc_structures_present(self):
+        r = simulate("x264", BASELINE, OOO, instructions=800, warmup=300)
+        assert set(r.abc) == {"rob", "iq", "lq", "sq", "rf", "fu"}
+        assert r.abc_total == sum(r.abc.values())
+        assert all(v >= 0 for v in r.abc.values())
+
+    def test_warmup_excluded_from_counters(self):
+        full = simulate("x264", BASELINE, OOO, instructions=800, warmup=0)
+        warm = simulate("x264", BASELINE, OOO, instructions=800, warmup=800)
+        # Measured window sizes match even though total work differs.
+        assert abs(warm.instructions - full.instructions) <= 4
+
+    def test_determinism(self):
+        a = simulate("x264", BASELINE, OOO, instructions=800, warmup=300)
+        b = simulate("x264", BASELINE, OOO, instructions=800, warmup=300)
+        assert a.cycles == b.cycles
+        assert a.abc_total == b.abc_total
+        assert a.ipc == b.ipc
+
+
+class TestSimResultDerived:
+    def _pair(self):
+        base = simulate("x264", BASELINE, OOO, instructions=800, warmup=300)
+        rar = simulate("x264", BASELINE, RAR, instructions=800, warmup=300)
+        return base, rar
+
+    def test_relative_metrics(self):
+        base, rar = self._pair()
+        assert base.mttf_rel(base) == pytest.approx(1.0)
+        assert base.abc_rel(base) == pytest.approx(1.0)
+        assert base.ipc_rel(base) == pytest.approx(1.0)
+        assert rar.mttf_rel(base) > 0
+        assert rar.abc_rel(base) > 0
+
+    def test_avf_in_unit_interval(self):
+        base, _ = self._pair()
+        assert 0 < base.avf < 1
+
+    def test_result_is_frozen(self):
+        base, _ = self._pair()
+        with pytest.raises(AttributeError):
+            base.ipc = 2.0

@@ -1,0 +1,145 @@
+"""Workload body construction and trace generation."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.common.enums import UopClass
+from repro.workloads.base import BranchSpec, SlotSpec, WorkloadSpec, make_body
+from repro.workloads.patterns import PatternSpec
+
+
+def body(seed=7, **kw):
+    return make_body(random.Random(seed), **kw)
+
+
+def spec_for(b, patterns=None):
+    return WorkloadSpec(
+        name="t", memory_intensive=True, body=b,
+        patterns=patterns or {"main": PatternSpec(kind="hot")},
+    )
+
+
+class TestMakeBody:
+    def test_slot_count(self):
+        assert len(body(n_slots=64)) == 64
+
+    def test_class_fractions_roughly_respected(self):
+        b = body(n_slots=200, load_frac=0.25, store_frac=0.10,
+                 branch_frac=0.10)
+        counts = Counter(s.cls for s in b)
+        assert abs(counts[int(UopClass.LOAD)] - 50) <= 2
+        assert abs(counts[int(UopClass.STORE)] - 20) <= 2
+        assert abs(counts[int(UopClass.BRANCH)] - 20) <= 2
+
+    def test_ends_with_loop_backedge(self):
+        b = body()
+        last = b[-1]
+        assert last.cls == int(UopClass.BRANCH)
+        assert last.branch.kind == "loop"
+
+    def test_mem_slots_have_patterns(self):
+        for s in body():
+            if UopClass(s.cls).is_mem:
+                assert s.pattern is not None
+
+    def test_fp_fraction(self):
+        b = body(n_slots=100, fp_frac=0.4)
+        n_fp = sum(1 for s in b if UopClass(s.cls).is_fp)
+        assert 30 <= n_fp <= 45
+
+    def test_hard_branch_fraction(self):
+        b = body(n_slots=200, branch_frac=0.2, hard_branch_frac=0.5)
+        kinds = Counter(s.branch.kind for s in b if s.branch)
+        assert kinds["data"] >= 15
+
+    def test_divides_are_rare(self):
+        b = body(n_slots=400, load_frac=0.1, store_frac=0.05,
+                 branch_frac=0.05)
+        n_div = sum(1 for s in b if s.cls == int(UopClass.INT_DIV))
+        assert n_div <= 0.02 * 400
+
+    def test_deterministic_given_seed(self):
+        assert body(seed=3) == body(seed=3)
+        assert body(seed=3) != body(seed=4)
+
+    def test_src_slots_exist(self):
+        b = body(n_slots=64)
+        for s in b:
+            for delta, slot in s.srcs:
+                assert 0 <= slot < len(b)
+                assert delta in (0, 1)
+
+
+class TestWorkloadSpecValidation:
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", memory_intensive=False, body=())
+
+    def test_unknown_pattern_rejected(self):
+        b = (SlotSpec(cls=int(UopClass.LOAD), pattern="ghost"),)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", memory_intensive=False, body=b,
+                         patterns={})
+
+
+class TestGeneratedTrace:
+    def test_pcs_repeat_per_iteration(self):
+        b = body(n_slots=32)
+        t = spec_for(b).build_trace()
+        for s in range(32):
+            assert t.get(s).pc == t.get(s + 32).pc == t.get(s + 64).pc
+
+    def test_loop_branch_outcome_pattern(self):
+        b = (SlotSpec(cls=int(UopClass.BRANCH),
+                      branch=BranchSpec(kind="loop", period=4)),)
+        t = spec_for(b, patterns={}).build_trace()
+        outcomes = [t.get(i).taken for i in range(8)]
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_data_branch_reads_recent_load(self):
+        b = (
+            SlotSpec(cls=int(UopClass.LOAD), pattern="main"),
+            SlotSpec(cls=int(UopClass.BRANCH),
+                     branch=BranchSpec(kind="data", bias=0.5)),
+        )
+        t = spec_for(b).build_trace()
+        br = t.get(3)  # second iteration's branch
+        assert 2 in br.srcs  # that iteration's load
+
+    def test_chase_load_depends_on_previous_chase_load(self):
+        b = (SlotSpec(cls=int(UopClass.LOAD), pattern="main"),)
+        t = spec_for(
+            b, patterns={"main": PatternSpec(kind="chase",
+                                             working_set=1 << 20)}
+        ).build_trace()
+        second = t.get(1)
+        assert 0 in second.srcs
+        third = t.get(2)
+        assert 1 in third.srcs
+
+    def test_stream_loads_do_not_depend_on_loads(self):
+        b = (SlotSpec(cls=int(UopClass.LOAD), pattern="main"),)
+        t = spec_for(
+            b, patterns={"main": PatternSpec(kind="stream")}
+        ).build_trace()
+        assert t.get(5).srcs == ()
+
+    def test_resident_regions_collected(self):
+        from repro.workloads.patterns import hot_mix
+        spec = spec_for(
+            body(),
+            patterns={"main": hot_mix(PatternSpec(kind="stream"), 0.9)},
+        )
+        regions = spec.resident_regions()
+        levels = {lvl for lvl, _, _ in regions}
+        assert levels == {"l1", "l3"}
+
+    def test_resident_regions_deduped(self):
+        from repro.workloads.patterns import hot_mix
+        shared = hot_mix(PatternSpec(kind="stream"), 0.9)
+        spec = spec_for(body(pattern_weights={"a": 0.5, "b": 0.5}),
+                        patterns={"a": shared, "b": shared})
+        regions = spec.resident_regions()
+        assert len(regions) == len({(b, s) for _, b, s in regions})

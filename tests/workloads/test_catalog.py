@@ -1,0 +1,74 @@
+"""Benchmark catalog integrity."""
+
+import pytest
+
+from repro.workloads.catalog import (
+    ALL_WORKLOADS,
+    COMPUTE_WORKLOADS,
+    MEMORY_WORKLOADS,
+    get_workload,
+    workload_names,
+)
+
+
+class TestCatalog:
+    def test_paper_benchmarks_present(self):
+        names = set(workload_names(memory_only=True))
+        for expected in ("mcf", "lbm", "libquantum", "fotonik", "gems",
+                         "milc", "soplex", "leslie3d", "roms", "astar",
+                         "gcc", "omnetpp", "bwaves", "sphinx"):
+            assert expected in names
+
+    def test_set_sizes(self):
+        assert len(MEMORY_WORKLOADS) == 14
+        assert len(COMPUTE_WORKLOADS) == 8
+        assert len(ALL_WORKLOADS) == 22
+
+    def test_flags_consistent(self):
+        assert all(w.memory_intensive for w in MEMORY_WORKLOADS)
+        assert not any(w.memory_intensive for w in COMPUTE_WORKLOADS)
+
+    def test_unique_names(self):
+        names = [w.name for w in ALL_WORKLOADS]
+        assert len(names) == len(set(names))
+
+    def test_get_workload(self):
+        assert get_workload("mcf").name == "mcf"
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_descriptions_present(self):
+        assert all(w.description for w in ALL_WORKLOADS)
+
+    def test_memory_workloads_have_cold_patterns(self):
+        """Every memory-intensive workload reaches a >LLC cold region."""
+        llc = 1024 * 1024
+        for w in MEMORY_WORKLOADS:
+            def max_ws(spec):
+                own = spec.working_set * (
+                    spec.streams if spec.kind == "stream" else 1)
+                subs = [max_ws(s) for _, s in spec.mix_parts]
+                return max([own] + subs) if spec.kind == "mix" and subs else own
+            assert any(max_ws(p) > llc for p in w.patterns.values()), w.name
+
+    def test_compute_workloads_mostly_cache_resident(self):
+        """Compute set: dominant traffic is cache-resident; only a small
+        residual fraction reaches cold memory (MPKI < 8, not zero)."""
+        llc = 1024 * 1024
+        for w in COMPUTE_WORKLOADS:
+            for p in w.patterns.values():
+                assert p.kind == "mix"
+                cold_weight = sum(
+                    weight for weight, sub in p.mix_parts
+                    if sub.working_set > llc
+                )
+                assert cold_weight <= 0.03, w.name
+
+    def test_seeds_differ_across_benchmarks(self):
+        seeds = {w.seed for w in ALL_WORKLOADS}
+        assert len(seeds) == len(ALL_WORKLOADS)
+
+    def test_traces_buildable(self):
+        for w in ALL_WORKLOADS:
+            t = w.build_trace()
+            assert t.get(100) is not None

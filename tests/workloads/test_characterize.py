@@ -1,0 +1,49 @@
+"""Workload characterisation API."""
+
+from repro.workloads.characterize import (
+    MPKI_THRESHOLD,
+    WorkloadProfile,
+    characterize,
+    characterize_all,
+)
+
+
+def profile(**kw):
+    base = dict(name="x", ipc=1.0, mpki=1.0, mlp=1.0,
+                mispredicts_per_kinst=1.0, head_blocked_share=0.1)
+    base.update(kw)
+    return WorkloadProfile(**base)
+
+
+class TestProfile:
+    def test_classification_rule(self):
+        assert profile(mpki=MPKI_THRESHOLD + 1).memory_intensive
+        assert not profile(mpki=MPKI_THRESHOLD - 1).memory_intensive
+
+    def test_character_labels(self):
+        assert profile(mpki=2).character == "compute-bound"
+        assert profile(mpki=30, mlp=1.8,
+                       mispredicts_per_kinst=45).character == \
+            "pointer-chasing/branchy"
+        assert profile(mpki=30, mlp=5.0,
+                       mispredicts_per_kinst=5).character == "streaming"
+        assert profile(mpki=30, mlp=1.8,
+                       mispredicts_per_kinst=5).character == \
+            "irregular memory-bound"
+
+
+class TestMeasurement:
+    def test_known_characters(self):
+        mcf = characterize("mcf", instructions=1500, warmup=4000)
+        lib = characterize("libquantum", instructions=1500, warmup=4000)
+        x264 = characterize("x264", instructions=1500, warmup=4000)
+        assert mcf.memory_intensive
+        assert mcf.character == "pointer-chasing/branchy"
+        assert lib.memory_intensive
+        assert lib.character == "streaming"
+        assert not x264.memory_intensive
+
+    def test_characterize_all(self):
+        profiles = characterize_all(["x264", "nab"],
+                                    instructions=800, warmup=1200)
+        assert [p.name for p in profiles] == ["x264", "nab"]

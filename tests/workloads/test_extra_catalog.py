@@ -1,0 +1,38 @@
+"""Extended (non-paper) workload catalog."""
+
+import pytest
+
+from repro.workloads.catalog import (
+    ALL_WORKLOADS,
+    EXTRA_WORKLOADS,
+    get_workload,
+)
+
+
+class TestExtraCatalog:
+    def test_not_in_paper_sets(self):
+        paper_names = {w.name for w in ALL_WORKLOADS}
+        for w in EXTRA_WORKLOADS:
+            assert w.name not in paper_names
+
+    def test_lookup_by_name(self):
+        assert get_workload("xalancbmk").memory_intensive
+        assert not get_workload("blender").memory_intensive
+
+    def test_traces_buildable(self):
+        for w in EXTRA_WORKLOADS:
+            assert w.build_trace().get(200) is not None
+
+    def test_unique_seeds(self):
+        seeds = {w.seed for w in EXTRA_WORKLOADS}
+        assert len(seeds) == len(EXTRA_WORKLOADS)
+
+    @pytest.mark.parametrize("name", ["wrf", "gromacs"])
+    def test_simulatable(self, name):
+        from repro import BASELINE, OOO, simulate
+        r = simulate(name, BASELINE, OOO, instructions=800, warmup=1500)
+        assert r.instructions >= 800
+        if get_workload(name).memory_intensive:
+            assert r.mpki > 8
+        else:
+            assert r.mpki < 8

@@ -1,0 +1,153 @@
+"""Address-pattern engine behaviour."""
+
+import random
+
+import pytest
+
+from repro.workloads.patterns import (
+    LINE,
+    HotPattern,
+    MixPattern,
+    PatternSpec,
+    PointerChasePattern,
+    RandomPattern,
+    StreamPattern,
+    build_pattern,
+    hot_mix,
+)
+
+
+def rng():
+    return random.Random(42)
+
+
+class TestStreamPattern:
+    def test_sequential_within_stream(self):
+        p = StreamPattern(working_set=4096, streams=1, stride=LINE, base=0x1000)
+        r = rng()
+        addrs = [p.next_addr(r) for _ in range(4)]
+        assert addrs == [0x1000, 0x1040, 0x1080, 0x10C0]
+
+    def test_round_robin_across_streams(self):
+        p = StreamPattern(working_set=4096, streams=2, stride=LINE, base=0)
+        r = rng()
+        a0, a1, a2 = p.next_addr(r), p.next_addr(r), p.next_addr(r)
+        assert a1 == 4096  # second stream's region
+        assert a2 == a0 + LINE  # first stream advanced
+
+    def test_wraps_within_region(self):
+        p = StreamPattern(working_set=128, streams=1, stride=LINE, base=0x100)
+        r = rng()
+        addrs = [p.next_addr(r) for _ in range(5)]
+        assert all(0x100 <= a < 0x180 for a in addrs)
+        assert addrs[2] == 0x100  # wrapped
+
+    def test_not_dependent(self):
+        assert not StreamPattern(4096).dependent
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(ValueError):
+            StreamPattern(4096, streams=0)
+
+
+class TestPointerChase:
+    def test_dependent(self):
+        assert PointerChasePattern(1 << 20).dependent
+
+    def test_addresses_in_region(self):
+        p = PointerChasePattern(1 << 16, base=0x4000_0000)
+        r = rng()
+        for _ in range(100):
+            a = p.next_addr(r)
+            assert 0x4000_0000 <= a < 0x4000_0000 + (1 << 16)
+            assert a % LINE == 0
+
+    def test_walk_is_irregular(self):
+        p = PointerChasePattern(1 << 20)
+        r = rng()
+        addrs = [p.next_addr(r) for _ in range(50)]
+        deltas = {addrs[i + 1] - addrs[i] for i in range(49)}
+        assert len(deltas) > 10  # no fixed stride
+
+
+class TestRandomAndHot:
+    def test_random_line_aligned_in_region(self):
+        p = RandomPattern(1 << 16, base=0x7000_0000)
+        r = rng()
+        for _ in range(50):
+            a = p.next_addr(r)
+            assert 0x7000_0000 <= a < 0x7000_0000 + (1 << 16)
+            assert a % LINE == 0
+
+    def test_hot_region_is_tiny(self):
+        p = HotPattern()
+        r = rng()
+        lines = {p.next_addr(r) for _ in range(1000)}
+        assert len(lines) <= 16 * 1024 // LINE
+
+
+class TestMixPattern:
+    def test_weights_respected(self):
+        a = HotPattern(base=0x0)
+        b = HotPattern(base=0x1000_0000)
+        m = MixPattern([(0.9, a), (0.1, b)])
+        r = rng()
+        hits_b = sum(1 for _ in range(2000) if m.next_addr(r) >= 0x1000_0000)
+        assert 100 < hits_b < 350
+
+    def test_dependent_follows_selected_part(self):
+        chase = PointerChasePattern(1 << 16)
+        hot = HotPattern()
+        m = MixPattern([(0.5, chase), (0.5, hot)])
+        r = rng()
+        seen = set()
+        for _ in range(100):
+            m.next_addr(r)
+            seen.add(m.dependent)
+        assert seen == {True, False}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MixPattern([])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            MixPattern([(0.0, HotPattern())])
+
+
+class TestPatternSpec:
+    def test_build_all_kinds(self):
+        assert isinstance(build_pattern(PatternSpec(kind="stream")),
+                          StreamPattern)
+        assert isinstance(build_pattern(PatternSpec(kind="chase")),
+                          PointerChasePattern)
+        assert isinstance(build_pattern(PatternSpec(kind="random")),
+                          RandomPattern)
+        assert isinstance(build_pattern(PatternSpec(kind="hot")), HotPattern)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_pattern(PatternSpec(kind="zigzag"))
+
+    def test_specs_hashable(self):
+        {PatternSpec(kind="stream"): 1}
+
+    def test_hot_mix_structure(self):
+        spec = hot_mix(PatternSpec(kind="stream"), 0.8)
+        assert spec.kind == "mix"
+        weights = [w for w, _ in spec.mix_parts]
+        assert abs(sum(weights) - 1.0) < 1e-9
+        residents = {s.resident for _, s in spec.mix_parts}
+        assert "l1" in residents and "l3" in residents
+
+    def test_hot_mix_validates_fraction(self):
+        with pytest.raises(ValueError):
+            hot_mix(PatternSpec(kind="stream"), 1.5)
+
+    def test_hot_mix_regions_disjoint(self):
+        spec = hot_mix(PatternSpec(kind="stream", base=0x1000_0000,
+                                   working_set=32 << 20), 0.8)
+        regions = [(s.base, s.base + s.working_set) for _, s in spec.mix_parts]
+        regions.sort()
+        for (a0, a1), (b0, b1) in zip(regions, regions[1:]):
+            assert a1 <= b0, "address regions must not overlap"
