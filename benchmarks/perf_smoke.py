@@ -1,0 +1,68 @@
+"""Perf smoke: one short telemetry-profiled run, appended to BENCH_obs.json.
+
+Run from the repo root (CI does this on every push)::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--out BENCH_obs.json]
+
+Appends one record with the simulated-KIPS throughput of the standard
+(mcf, baseline, RAR) point so the host-performance trajectory of the
+simulator is tracked over time. The file is a JSON list of records.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_obs.json")
+    parser.add_argument("--workload", default="mcf")
+    parser.add_argument("--policy", default="RAR")
+    parser.add_argument("-n", "--instructions", type=int, default=8000)
+    parser.add_argument("-w", "--warmup", type=int, default=4000)
+    args = parser.parse_args(argv)
+
+    from repro import BASELINE, Telemetry, simulate
+
+    tele = Telemetry(profile=True)
+    result = simulate(args.workload, BASELINE, args.policy,
+                      instructions=args.instructions, warmup=args.warmup,
+                      telemetry=tele)
+    prof = tele.profiler
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "workload": result.workload,
+        "policy": result.policy,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": round(result.ipc, 4),
+        "kips": round(prof.kips, 2),
+        "cycles_per_second": round(prof.cycles_per_second, 1),
+        "wall_seconds": round(prof.wall_seconds, 3),
+        "python": platform.python_version(),
+        "host": platform.machine(),
+    }
+    history = []
+    if os.path.exists(args.out):
+        try:
+            with open(args.out) as f:
+                history = json.load(f)
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(record)
+    with open(args.out, "w") as f:
+        json.dump(history, f, indent=1)
+        f.write("\n")
+    print(f"{record['kips']} KIPS ({record['cycles_per_second']} cycles/s) "
+          f"-> {args.out} ({len(history)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ from repro.common.params import (
     PrefetcherParams,
 )
 from repro.core.core import OutOfOrderCore
+from repro.obs import Telemetry
 from repro.core.runahead import (
     ALL_POLICIES,
     EXTENSION_POLICIES,
@@ -61,6 +62,7 @@ __all__ = [
     "simulate",
     "SimResult",
     "OutOfOrderCore",
+    "Telemetry",
     "ExperimentRunner",
     "RunaheadPolicy",
     "OOO",

@@ -5,6 +5,13 @@ Subcommands:
     run                  simulate one (workload, machine, policy) point
     compare              sweep policies on one workload, print a table
     scaling              Core-1..Core-4 sweep for one workload/policy pair
+    report               render a --stats-out JSON file as tables
+
+``run`` exposes the telemetry subsystem: ``--stats-out`` (hierarchical
+stats + timeline JSON), ``--trace-out`` (Chrome trace-event JSON for
+Perfetto), ``--timeline-out`` (JSONL/CSV interval samples),
+``--interval`` (sampling period), ``--profile`` / ``--profile-stages``
+(host-side KIPS and stage shares) and ``--heartbeat`` (progress lines).
 """
 
 import argparse
@@ -57,10 +64,33 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_telemetry(args: argparse.Namespace):
+    """A Telemetry matching the run flags, or None when all are off."""
+    wants = (args.stats_out or args.trace_out or args.timeline_out
+             or args.interval or args.profile or args.profile_stages
+             or args.heartbeat)
+    if not wants:
+        return None
+    from repro.obs import Telemetry
+    interval = args.interval
+    if not interval and (args.stats_out or args.timeline_out):
+        interval = 1000
+    return Telemetry(
+        interval=interval,
+        trace=bool(args.trace_out),
+        profile=bool(args.stats_out) or args.profile,
+        profile_stages=args.profile_stages,
+        heartbeat_s=args.heartbeat,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     machine = MACHINES[args.machine]
-    r = simulate(args.workload, machine, args.policy,
-                 instructions=args.instructions, warmup=args.warmup)
+    policy = args.policy_opt or args.policy
+    telemetry = _build_telemetry(args)
+    r = simulate(args.workload, machine, policy,
+                 instructions=args.instructions, warmup=args.warmup,
+                 telemetry=telemetry)
     print(f"{r.workload} on {r.machine} under {r.policy}:")
     print(f"  instructions   {r.instructions}")
     print(f"  cycles         {r.cycles}")
@@ -74,6 +104,31 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"  runahead intervals {r.runahead_triggers}, "
           f"flush triggers {r.flush_triggers}, "
           f"branch mispredicts {r.branch_mispredicts}")
+    if telemetry is not None:
+        if args.stats_out:
+            telemetry.write_stats(args.stats_out, r)
+            print(f"  stats          -> {args.stats_out}")
+        if args.trace_out:
+            telemetry.write_trace(args.trace_out)
+            print(f"  trace          -> {args.trace_out} "
+                  f"(open in ui.perfetto.dev)")
+        if args.timeline_out:
+            n = telemetry.write_timeline(args.timeline_out)
+            print(f"  timeline       -> {args.timeline_out} ({n} samples)")
+        if telemetry.profiler is not None:
+            prof = telemetry.profiler
+            print(f"  host           {prof.kips:.1f} KIPS, "
+                  f"{prof.cycles_per_second:.0f} cycles/s")
+            shares = prof.stage_shares()
+            if shares:
+                print("  stage shares   " + " ".join(
+                    f"{k.lstrip('_')}={v:.1%}" for k, v in shares.items()))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_stats, render_report
+    print(render_report(load_stats(args.path)))
     return 0
 
 
@@ -161,9 +216,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="simulate one point")
     p.add_argument("workload")
     p.add_argument("policy", nargs="?", default="OOO")
+    p.add_argument("--policy", dest="policy_opt", default=None,
+                   metavar="NAME", help="policy (alternative to positional)")
     p.add_argument("-m", "--machine", default="baseline",
                    choices=sorted(MACHINES))
+    p.add_argument("--stats-out", metavar="FILE",
+                   help="write hierarchical stats + timeline JSON")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write Chrome trace-event JSON (Perfetto)")
+    p.add_argument("--timeline-out", metavar="FILE",
+                   help="write interval samples (.csv or JSONL)")
+    p.add_argument("--interval", type=int, default=0, metavar="N",
+                   help="sample the pipeline every N cycles "
+                        "(default 1000 when --stats/timeline-out is set)")
+    p.add_argument("--profile", action="store_true",
+                   help="report host-side simulated-KIPS throughput")
+    p.add_argument("--profile-stages", action="store_true",
+                   help="also time pipeline stages (slows simulation)")
+    p.add_argument("--heartbeat", type=float, default=0.0, metavar="SEC",
+                   help="progress line on stderr every SEC wall seconds")
     _add_size_args(p)
+
+    p = sub.add_parser("report", help="render a --stats-out file as tables")
+    p.add_argument("path", help="stats JSON written by run --stats-out")
 
     p = sub.add_parser("compare", help="sweep policies on one workload")
     p.add_argument("workload")
@@ -207,6 +282,7 @@ def main(argv=None) -> int:
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
+        "report": cmd_report,
         "compare": cmd_compare,
         "scaling": cmd_scaling,
         "trace": cmd_trace,

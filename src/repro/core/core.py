@@ -25,6 +25,7 @@ Mechanism summary (see DESIGN.md §4 for the full matrix):
 """
 
 import heapq
+from functools import partial
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.enums import Mode, SquashCause, UopClass
@@ -43,6 +44,7 @@ from repro.frontend.tage import TageScL
 from repro.isa.trace import Trace
 from repro.isa.uop import DynUop
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.registry import StatsRegistry
 from repro.reliability.ace import AceAccountant
 
 _EV_WB = 0        # writeback: a dispatched uop's result is ready
@@ -55,10 +57,45 @@ _BRANCH = int(UopClass.BRANCH)
 _NOP = int(UopClass.NOP)
 
 
-class SimStats:
-    """Raw counters accumulated during simulation (see ``SimResult``)."""
+#: SimStats attribute → hierarchical registry name (gem5-style dotted
+#: paths, one namespace per component; see docs/metrics.md).
+STAT_NAMES = {
+    "committed": "core.commit.committed",
+    "cycles": "core.clock.cycles",
+    "runahead_triggers": "core.runahead.triggers",
+    "runahead_cycles": "core.runahead.cycles",
+    "runahead_uops_examined": "core.runahead.uops_examined",
+    "runahead_uops_executed": "core.runahead.uops_executed",
+    "runahead_prefetches": "core.runahead.prefetches",
+    "flush_triggers": "core.flush.triggers",
+    "flush_stall_cycles": "core.flush.stall_cycles",
+    "squashed_mispredict": "core.squash.mispredict",
+    "squashed_runahead_flush": "core.squash.runahead_flush",
+    "squashed_flush_mechanism": "core.squash.flush_mechanism",
+    "demand_llc_misses": "core.commit.llc_missing_loads",
+    "mlp_sum": "core.mlp.sum",
+    "mlp_cycles": "core.mlp.busy_cycles",
+    "branch_resolved": "core.branch.resolved",
+    "branch_mispredicted": "core.branch.mispredicted",
+    "fast_forwarded_cycles": "core.clock.fast_forwarded",
+    "ra_trigger_rob_sum": "core.runahead.trigger_rob_sum",
+    "ra_stall_iq": "core.runahead.stall_iq",
+    "ra_stall_prdq": "core.runahead.stall_prdq",
+    "ra_stall_resume": "core.runahead.stall_resume",
+    "ra_stall_diverged": "core.runahead.stall_diverged",
+}
 
-    def __init__(self) -> None:
+
+class SimStats:
+    """Raw counters accumulated during simulation (see ``SimResult``).
+
+    Implemented on top of the hierarchical stats registry: every counter
+    is a plain int attribute (so the per-cycle hot path pays nothing) and
+    is *bound* into :attr:`registry` under its dotted name, where the
+    telemetry layer reads, deltas and dumps it.
+    """
+
+    def __init__(self, registry: Optional[StatsRegistry] = None) -> None:
         self.committed = 0
         self.cycles = 0
         self.runahead_triggers = 0
@@ -86,8 +123,13 @@ class SimStats:
         self.ra_stall_resume = 0
         self.ra_stall_diverged = 0
 
+        self.registry = registry if registry is not None else StatsRegistry()
+        for attr, name in STAT_NAMES.items():
+            self.registry.scalar(name, getter=partial(getattr, self, attr))
+
     def snapshot(self) -> Dict[str, int]:
-        return dict(self.__dict__)
+        return {k: v for k, v in self.__dict__.items()
+                if isinstance(v, int)}
 
 
 class OutOfOrderCore:
@@ -108,13 +150,20 @@ class OutOfOrderCore:
         seed: int = 0,
         record_ace_intervals: bool = False,
         observer=None,
+        telemetry=None,
     ):
         """``observer``, when provided, is called as
         ``observer(event, cycle, **data)`` on notable pipeline events:
         ``commit`` (uop), ``squash`` (uops, cause), ``runahead_enter`` /
         ``runahead_exit`` (blocking), ``flush_enter`` / ``flush_exit``,
-        and ``mispredict`` (branch). Purely observational — the simulation
-        is bit-identical with or without one."""
+        ``mispredict`` (branch), ``sst_hit`` / ``sst_train`` (pc) and
+        ``runahead_prefetch`` (pc, level). Purely observational — the
+        simulation is bit-identical with or without one.
+
+        ``telemetry``, a :class:`repro.obs.Telemetry`, attaches itself to
+        the observer hook, the memory hierarchy and the run loop; the
+        core's :attr:`registry` carries its hierarchical stats whether or
+        not a telemetry object is attached."""
         self.machine = machine
         self.trace = trace
         self.policy = policy
@@ -136,7 +185,10 @@ class OutOfOrderCore:
         self.ace = AceAccountant(self.fus.exec_cycles,
                                  record_intervals=record_ace_intervals)
         self.observer = observer
+        self.telemetry = None
         self.stats = SimStats()
+        self.registry = self.stats.registry
+        self._register_component_stats()
 
         self.cycle = 0
         self.mode = Mode.NORMAL
@@ -179,17 +231,82 @@ class OutOfOrderCore:
             + machine.dram.row_miss_latency + 60,
         }
 
+        if telemetry is not None:
+            telemetry.attach(self)
+
+    # ---------------------------------------------------------- registry
+
+    def _register_component_stats(self) -> None:
+        """Bind memory/ACE/machine stats and derived formulas into the
+        hierarchical registry (``SimStats`` binds its own counters)."""
+        reg = self.registry
+        mem = self.mem
+        for attr, name in (
+            ("demand_accesses", "mem.l1d.demand_accesses"),
+            ("demand_llc_misses", "mem.llc.demand_misses"),
+            ("writebacks_to_dram", "mem.dram.writebacks"),
+            ("rejected_mshr_full", "mem.mshr.rejected_full"),
+            ("prefetches_issued", "mem.prefetcher.issued"),
+        ):
+            reg.scalar(name, getter=partial(getattr, mem, attr))
+        ace = self.ace
+        for s in ace.bits:
+            reg.scalar(f"ace.{s}.bits",
+                       getter=partial(ace.bits.__getitem__, s))
+        reg.scalar("ace.total", getter=lambda a=ace: a.total)
+        reg.scalar("ace.head_blocked.bits",
+                   getter=partial(getattr, ace, "bits_in_head_blocked"))
+        reg.scalar("ace.full_stall.bits",
+                   getter=partial(getattr, ace, "bits_in_full_stall"))
+        reg.scalar("ace.committed_charged",
+                   getter=partial(getattr, ace, "committed_charged"))
+        total_bits = self.machine.core.total_bits
+        reg.scalar("machine.total_bits", getter=lambda n=total_bits: n,
+                   const=True)
+
+        def _ratio(a, b, scale=1.0):
+            def fn(v):
+                return scale * v[a] / v[b] if v[b] else 0.0
+            return fn
+
+        reg.formula("core.ipc",
+                    _ratio("core.commit.committed", "core.clock.cycles"),
+                    desc="committed instructions per cycle")
+        reg.formula("core.mpki",
+                    _ratio("core.commit.llc_missing_loads",
+                           "core.commit.committed", 1000.0),
+                    desc="LLC misses per kilo-instruction")
+        reg.formula("core.mlp.avg",
+                    _ratio("core.mlp.sum", "core.mlp.busy_cycles"),
+                    desc="mean outstanding misses over busy cycles")
+
+        def _avf(v):
+            denom = v["machine.total_bits"] * v["core.clock.cycles"]
+            return v["ace.total"] / denom if denom else 0.0
+
+        reg.formula("ace.avf", _avf, desc="ABC / (N x T)")
+        # Occupancy/latency distributions: recorded by the telemetry layer
+        # (interval sampler / memory hook); always registered so names are
+        # stable whether or not telemetry is attached.
+        for name in ("core.rob.occupancy", "core.iq.occupancy",
+                     "core.lq.occupancy", "core.sq.occupancy"):
+            reg.distribution(name, bucket_size=8)
+        reg.distribution("mem.llc.miss_latency", bucket_size=50)
+
     # ================================================================ run
 
     def run(self, max_instructions: int) -> None:
         """Simulate until ``max_instructions`` have committed."""
         target = self.stats.committed + max_instructions
+        telemetry = self.telemetry
         while self.stats.committed < target:
             if self._step():
                 self.cycle += 1
             else:
                 self._fast_forward()
             self.stats.cycles = self.cycle
+            if telemetry is not None:
+                telemetry.tick(self)
 
     # =============================================================== step
 
@@ -314,6 +431,9 @@ class OutOfOrderCore:
                 pcs.append(producer.pc)
         pcs.append(pc)
         self.sst.train_slice(pcs)
+        if self.observer:
+            self.observer("sst_train", self.cycle, pc=pc,
+                          slice_len=len(pcs))
 
     # ======================================================== mispredicts
 
@@ -676,7 +796,10 @@ class OutOfOrderCore:
         return progress
 
     def _sst_hit(self, st) -> bool:
-        return self.sst.lookup(st.pc)
+        hit = self.sst.lookup(st.pc)
+        if hit and self.observer:
+            self.observer("sst_hit", self.cycle, pc=st.pc)
+        return hit
 
     def _drain_ra_iq(self, c: int) -> None:
         rel = self._ra_iq_releases
@@ -700,6 +823,9 @@ class OutOfOrderCore:
             return
         self.stats.runahead_prefetches += 1
         self._ra_ready[st.idx] = result.done_cycle
+        if self.observer:
+            self.observer("runahead_prefetch", when, pc=st.pc,
+                          level=result.level)
         if result.level == "dram":
             if st.cls == _LOAD and not self.sst.lookup(st.pc):
                 self._train_sst(st.idx, st.pc)

@@ -77,6 +77,10 @@ class MemoryHierarchy:
         self._page_seed = machine.page_shuffle_seed
         self.rejected_mshr_full = 0
         self.prefetches_issued = 0
+        #: optional telemetry hook, called as ``observer(event, cycle,
+        #: **data)`` on demand LLC misses ("llc_miss": addr, pc, done).
+        #: None (the default) costs one attribute test per miss.
+        self.observer = None
 
     # ------------------------------------------------------------------ MSHR
 
@@ -137,6 +141,9 @@ class MemoryHierarchy:
                 done = self.dram.access(self.translate(line), cycle + lat)
                 result = AccessResult(done, "dram")
                 self.demand_llc_misses += 1
+                if self.observer is not None:
+                    self.observer("llc_miss", cycle, addr=line, pc=pc,
+                                  done=done)
                 self._fill(self.l3, line, cycle)
             self._fill(self.l2, line, cycle)
         victim = self.l1d.insert(line, dirty=is_write)

@@ -14,7 +14,7 @@ the same static loads, so the per-address-neighbourhood association is
 what actually recurs.
 """
 
-from typing import Dict, List
+from typing import List
 
 from repro.common.params import PrefetcherParams
 

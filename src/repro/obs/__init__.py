@@ -1,0 +1,43 @@
+"""Observability: stats registry, interval timelines, event tracing.
+
+Three pillars (see ``docs/metrics.md`` for the naming scheme):
+
+- :class:`~repro.obs.registry.StatsRegistry` — hierarchical named
+  counters, distributions and formulas, one per core.
+- :class:`~repro.obs.sampler.IntervalSampler` — per-N-cycle pipeline
+  snapshots exportable as JSONL/CSV.
+- :class:`~repro.obs.tracer.EventTracer` — bounded ring buffer of typed
+  pipeline events with a Chrome trace-event (Perfetto) exporter.
+
+Plus :class:`~repro.obs.profiler.HostProfiler` for host-side wall-clock
+profiling, all bundled by :class:`~repro.obs.telemetry.Telemetry`.
+"""
+
+from repro.obs.profiler import HostProfiler
+from repro.obs.registry import (
+    Distribution,
+    Formula,
+    Scalar,
+    StatsRegistry,
+    flatten_tree,
+)
+from repro.obs.report import load_stats, render_report
+from repro.obs.sampler import IntervalSampler
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracer import EventTracer, TraceEvent, validate_chrome_trace
+
+__all__ = [
+    "Telemetry",
+    "StatsRegistry",
+    "Scalar",
+    "Distribution",
+    "Formula",
+    "IntervalSampler",
+    "EventTracer",
+    "TraceEvent",
+    "HostProfiler",
+    "flatten_tree",
+    "load_stats",
+    "render_report",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,148 @@
+"""Host-side (wall-clock) profiling of the simulator itself.
+
+Three facilities for future performance work:
+
+- **Throughput**: simulated KIPS (committed kilo-instructions per wall
+  second) and cycles/second over a measured region — the baseline number
+  every perf PR should move.
+- **Per-stage shares**: opt-in instrumentation that wraps the core's
+  pipeline-stage methods with ``perf_counter`` timers, reporting which
+  stage the host CPU actually spends its time in. Adds ~2x overhead, so
+  it is never on by default.
+- **Heartbeat**: a periodic one-line progress report on stderr for long
+  runs (cycle, committed, live KIPS), throttled by wall time.
+"""
+
+import sys
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["HostProfiler"]
+
+#: core stage methods wrapped by ``profile_stages``
+_STAGES = ("_process_events", "_do_commit", "_controller", "_do_issue",
+           "_do_dispatch", "_do_fetch", "_fast_forward")
+
+
+class HostProfiler:
+    """Wall-clock throughput, optional stage breakdown, heartbeat."""
+
+    def __init__(self, stages: bool = False, heartbeat_s: float = 0.0,
+                 stream=None):
+        self.stages_enabled = stages
+        self.heartbeat_s = heartbeat_s
+        self.stream = stream if stream is not None else sys.stderr
+        self.stage_seconds: Dict[str, float] = {}
+        self.wall_seconds = 0.0
+        self.instructions = 0
+        self.cycles = 0
+        self._t0: Optional[float] = None
+        self._start_committed = 0
+        self._start_cycle = 0
+        self._hb_next = 0.0
+        self._hb_calls = 0
+        self.heartbeats = 0
+
+    # ------------------------------------------------------------ region
+
+    def reset(self) -> None:
+        """Zero accumulated throughput totals (stage timings are kept:
+        they describe the host, not the measured window)."""
+        self.wall_seconds = 0.0
+        self.instructions = 0
+        self.cycles = 0
+        self._t0 = None
+
+    def start(self, core) -> None:
+        """Begin the measured region (idempotent per region)."""
+        if self.stages_enabled:
+            self.profile_stages(core)
+        self._start_committed = core.stats.committed
+        self._start_cycle = core.cycle
+        self._t0 = time.perf_counter()
+        self._hb_next = self._t0 + self.heartbeat_s
+
+    def stop(self, core) -> None:
+        if self._t0 is None:
+            return
+        self.wall_seconds += time.perf_counter() - self._t0
+        self.instructions += core.stats.committed - self._start_committed
+        self.cycles += core.cycle - self._start_cycle
+        self._t0 = None
+
+    @property
+    def kips(self) -> float:
+        """Simulated kilo-instructions committed per wall second."""
+        if not self.wall_seconds:
+            return 0.0
+        return self.instructions / self.wall_seconds / 1000.0
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.cycles / self.wall_seconds if self.wall_seconds else 0.0
+
+    # ------------------------------------------------------------ stages
+
+    def profile_stages(self, core) -> None:
+        """Wrap the core's stage methods with wall-clock timers."""
+        shares = self.stage_seconds
+        for name in _STAGES:
+            bound = getattr(core, name)
+            shares.setdefault(name, 0.0)
+
+            def timed(*args, _fn=bound, _name=name, **kw):
+                t = time.perf_counter()
+                try:
+                    return _fn(*args, **kw)
+                finally:
+                    shares[_name] += time.perf_counter() - t
+
+            setattr(core, name, timed)
+
+    def stage_shares(self) -> Dict[str, float]:
+        """Per-stage fraction of the total instrumented wall time."""
+        total = sum(self.stage_seconds.values())
+        if not total:
+            return {}
+        return {k: v / total
+                for k, v in sorted(self.stage_seconds.items(),
+                                   key=lambda kv: -kv[1])}
+
+    # --------------------------------------------------------- heartbeat
+
+    def maybe_heartbeat(self, core) -> None:
+        """Called from the run loop; prints at most once per period.
+
+        ``perf_counter`` is only consulted every 256 calls so the check
+        is nearly free on the simulation hot path.
+        """
+        if not self.heartbeat_s:
+            return
+        self._hb_calls += 1
+        if self._hb_calls & 255:
+            return
+        now = time.perf_counter()
+        if now < self._hb_next or self._t0 is None:
+            return
+        self._hb_next = now + self.heartbeat_s
+        elapsed = now - self._t0
+        done = core.stats.committed - self._start_committed
+        kips = done / elapsed / 1000.0 if elapsed else 0.0
+        self.heartbeats += 1
+        print(f"[repro] cycle {core.cycle} committed {core.stats.committed} "
+              f"({kips:.1f} KIPS)", file=self.stream)
+
+    # ------------------------------------------------------------ report
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "wall_seconds": self.wall_seconds,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "kips": self.kips,
+            "cycles_per_second": self.cycles_per_second,
+        }
+        shares = self.stage_shares()
+        if shares:
+            out["stage_shares"] = shares
+        return out

@@ -1,0 +1,282 @@
+"""Hierarchical stats registry (gem5-style).
+
+Every statistic has a dotted hierarchical name (``core.commit.committed``,
+``mem.llc.miss_latency``, ``ace.iq.bits``) and one of three kinds:
+
+- :class:`Scalar` — a named counter. Either *owned* (incremented through
+  the registry object) or *bound* (a zero-cost view onto an existing
+  attribute of a simulator component via a getter, so hot paths keep
+  bumping plain Python ints and pay nothing for observability).
+- :class:`Distribution` — a bucketed histogram with running moments
+  (ROB/IQ/LQ/SQ occupancy, LLC miss latency, ...).
+- :class:`Formula` — a value derived from other stats at dump time
+  (IPC, AVF). The formula receives a flat ``{name: value}`` dict, which
+  for a measured-window dump contains *deltas*, so derived metrics are
+  computed over exactly the window the caller marked.
+
+The registry renders either a flat ``{name: value}`` snapshot (used for
+interval deltas) or a nested tree (used for the ``--stats-out`` JSON and
+``repro report``).
+"""
+
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Scalar", "Distribution", "Formula", "StatsRegistry"]
+
+
+class Scalar:
+    """A named integer/float counter, owned or bound to a getter.
+
+    ``const`` scalars (configuration values like ``machine.total_bits``)
+    are exempt from delta reporting: a measured-window dump shows their
+    absolute value, not value-minus-mark.
+    """
+
+    __slots__ = ("name", "desc", "_value", "_getter", "const")
+
+    def __init__(self, name: str, desc: str = "",
+                 getter: Optional[Callable[[], Any]] = None,
+                 const: bool = False):
+        self.name = name
+        self.desc = desc
+        self._value = 0
+        self._getter = getter
+        self.const = const
+
+    @property
+    def value(self):
+        if self._getter is not None:
+            return self._getter()
+        return self._value
+
+    def inc(self, n=1) -> None:
+        if self._getter is not None:
+            raise TypeError(f"{self.name} is bound to a getter; read-only")
+        self._value += n
+
+    def set(self, v) -> None:
+        if self._getter is not None:
+            raise TypeError(f"{self.name} is bound to a getter; read-only")
+        self._value = v
+
+
+class Distribution:
+    """Bucketed histogram with running count/sum/min/max.
+
+    Values are grouped into fixed-width buckets (``bucket_size``), keyed by
+    the bucket's lower edge. Weighted recording supports "occupancy held
+    for N cycles" style samples.
+    """
+
+    __slots__ = ("name", "desc", "bucket_size", "count", "total",
+                 "min", "max", "buckets")
+
+    def __init__(self, name: str, desc: str = "", bucket_size: int = 1):
+        if bucket_size <= 0:
+            raise ValueError("bucket_size must be positive")
+        self.name = name
+        self.desc = desc
+        self.bucket_size = bucket_size
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def clear(self) -> None:
+        """Forget all samples (e.g. at measurement-window start)."""
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self.buckets = {}
+
+    def record(self, value, weight: int = 1) -> None:
+        self.count += weight
+        self.total += value * weight
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        b = int(value // self.bucket_size) * self.bucket_size
+        self.buckets[b] = self.buckets.get(b, 0) + weight
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile from bucket lower edges (p in [0, 1])."""
+        if not self.count:
+            return 0.0
+        target = p * self.count
+        seen = 0
+        for edge in sorted(self.buckets):
+            seen += self.buckets[edge]
+            if seen >= target:
+                return float(edge)
+        return float(self.max if self.max is not None else 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "distribution",
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "bucket_size": self.bucket_size,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class Formula:
+    """A derived stat computed from a flat value snapshot at dump time."""
+
+    __slots__ = ("name", "desc", "fn")
+
+    def __init__(self, name: str, fn: Callable[[Dict[str, Any]], float],
+                 desc: str = ""):
+        self.name = name
+        self.desc = desc
+        self.fn = fn
+
+    def evaluate(self, values: Dict[str, Any]) -> float:
+        return self.fn(values)
+
+
+class StatsRegistry:
+    """Ordered collection of named stats with hierarchical dumping."""
+
+    def __init__(self) -> None:
+        self._scalars: Dict[str, Scalar] = {}
+        self._dists: Dict[str, Distribution] = {}
+        self._formulas: Dict[str, Formula] = {}
+        self._mark: Dict[str, Any] = {}
+
+    # ------------------------------------------------------- registration
+
+    def _check_free(self, name: str) -> None:
+        if (name in self._scalars or name in self._dists
+                or name in self._formulas):
+            raise KeyError(f"duplicate stat name {name!r}")
+
+    def scalar(self, name: str, desc: str = "",
+               getter: Optional[Callable[[], Any]] = None,
+               const: bool = False) -> Scalar:
+        self._check_free(name)
+        s = Scalar(name, desc, getter, const)
+        self._scalars[name] = s
+        return s
+
+    def distribution(self, name: str, desc: str = "",
+                     bucket_size: int = 1) -> Distribution:
+        self._check_free(name)
+        d = Distribution(name, desc, bucket_size)
+        self._dists[name] = d
+        return d
+
+    def formula(self, name: str, fn: Callable[[Dict[str, Any]], float],
+                desc: str = "") -> Formula:
+        self._check_free(name)
+        f = Formula(name, fn, desc)
+        self._formulas[name] = f
+        return f
+
+    # ------------------------------------------------------------- lookup
+
+    def __contains__(self, name: str) -> bool:
+        return (name in self._scalars or name in self._dists
+                or name in self._formulas)
+
+    def names(self) -> List[str]:
+        return (list(self._scalars) + list(self._dists)
+                + list(self._formulas))
+
+    def get(self, name: str):
+        for table in (self._scalars, self._dists, self._formulas):
+            if name in table:
+                return table[name]
+        raise KeyError(name)
+
+    def value(self, name: str):
+        if name in self._scalars:
+            return self._scalars[name].value
+        if name in self._formulas:
+            return self._formulas[name].evaluate(self.flat())
+        raise KeyError(name)
+
+    # ----------------------------------------------------------- snapshot
+
+    def flat(self) -> Dict[str, Any]:
+        """Current scalar values, flat ``{name: value}``."""
+        return {name: s.value for name, s in self._scalars.items()}
+
+    def mark(self) -> None:
+        """Record the current scalar values as the measurement baseline.
+
+        A subsequent :meth:`dump` (or :meth:`deltas`) reports each scalar
+        relative to this mark, so the stats file reconciles with a
+        delta-based :class:`~repro.sim.SimResult`.
+        """
+        self._mark = self.flat()
+
+    def deltas(self) -> Dict[str, Any]:
+        """Flat scalar values relative to the last :meth:`mark` (or zero)."""
+        mark = self._mark
+        return {name: s.value if s.const else s.value - mark.get(name, 0)
+                for name, s in self._scalars.items()}
+
+    # --------------------------------------------------------------- dump
+
+    def dump(self, since_mark: bool = True) -> Dict[str, Any]:
+        """Nested-tree dump of every stat.
+
+        Scalars report deltas since :meth:`mark` when ``since_mark`` (the
+        default; falls back to raw values if no mark was set), formulas are
+        evaluated over the same flat snapshot, and distributions render as
+        summary dicts (distributions are not delta'd — reset or recreate
+        them per measurement instead).
+        """
+        values = self.deltas() if since_mark else self.flat()
+        tree: Dict[str, Any] = {}
+        for name, v in values.items():
+            _tree_set(tree, name, v)
+        for name, f in self._formulas.items():
+            _tree_set(tree, name, f.evaluate(values))
+        for name, d in self._dists.items():
+            _tree_set(tree, name, d.to_dict())
+        return tree
+
+
+def _tree_set(tree: Dict[str, Any], dotted: str, value: Any) -> None:
+    parts = dotted.split(".")
+    node = tree
+    for p in parts[:-1]:
+        nxt = node.get(p)
+        if not isinstance(nxt, dict) or nxt.get("kind") == "distribution":
+            nxt = {}
+            node[p] = nxt
+        node = nxt
+    leaf = parts[-1]
+    if isinstance(node.get(leaf), dict):
+        # A parent group already exists under this name (e.g. "ace" with
+        # children and an "ace.total" scalar): store under "_value".
+        node[leaf]["_value"] = value
+    else:
+        node[leaf] = value
+
+
+def flatten_tree(tree: Dict[str, Any], prefix: str = "") -> Dict[str, Any]:
+    """Inverse of the nested dump: ``{dotted_name: leaf_value}``.
+
+    Distribution nodes are kept whole (they are dicts tagged with
+    ``kind == "distribution"``).
+    """
+    out: Dict[str, Any] = {}
+    for k, v in tree.items():
+        name = f"{prefix}.{k}" if prefix else k
+        if isinstance(v, dict) and v.get("kind") != "distribution":
+            out.update(flatten_tree(v, name))
+        else:
+            out[name] = v
+    return out

@@ -1,0 +1,96 @@
+"""Render a ``--stats-out`` JSON file as human-readable tables.
+
+Backs the ``repro report`` CLI command. Accepts the ``repro-stats-v1``
+schema written by :meth:`repro.obs.telemetry.Telemetry.write_stats` and
+degrades gracefully on partial files (stats only, no timeline, ...).
+"""
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.tables import format_table
+from repro.obs.registry import flatten_tree
+
+__all__ = ["load_stats", "render_report"]
+
+
+def load_stats(path: str) -> Dict[str, Any]:
+    with open(path) as f:
+        obj = json.load(f)
+    if not isinstance(obj, dict):
+        raise ValueError(f"{path}: not a stats object")
+    return obj
+
+
+def _render_counters(tree: Dict[str, Any]) -> str:
+    flat = flatten_tree(tree)
+    rows: List[List] = []
+    dists: List[List] = []
+    for name in sorted(flat):
+        v = flat[name]
+        if isinstance(v, dict) and v.get("kind") == "distribution":
+            dists.append([name, v.get("count", 0), v.get("mean", 0.0),
+                          v.get("min") or 0, v.get("max") or 0])
+        else:
+            rows.append([name, v])
+    out = [format_table(["stat", "value"], rows, precision=4)]
+    if dists:
+        out.append("")
+        out.append(format_table(
+            ["distribution", "count", "mean", "min", "max"], dists,
+            precision=2))
+    return "\n".join(out)
+
+
+def _render_timeline(timeline: Dict[str, Any], max_rows: int = 20) -> str:
+    samples = timeline.get("samples", [])
+    if not samples:
+        return "timeline: no samples"
+    headers = list(samples[0].keys())
+    step = max(1, len(samples) // max_rows)
+    shown = samples[::step]
+    rows = [[s.get(h, "") for h in headers] for s in shown]
+    head = (f"timeline: {len(samples)} samples every "
+            f"{timeline.get('interval', '?')} cycles"
+            + (f" (showing every {step}th)" if step > 1 else ""))
+    return head + "\n" + format_table(headers, rows, precision=3)
+
+
+def render_report(obj: Dict[str, Any]) -> str:
+    """Full human-readable report for one stats file."""
+    sections: List[str] = []
+    result = obj.get("result")
+    if result:
+        sections.append(
+            f"{result.get('workload', '?')} on {result.get('machine', '?')} "
+            f"under {result.get('policy', '?')}: "
+            f"{result.get('instructions', 0)} instructions, "
+            f"{result.get('cycles', 0)} cycles, "
+            f"IPC {result.get('ipc', 0.0):.4f}, "
+            f"ABC {result.get('abc_total', 0)}, "
+            f"AVF {result.get('avf', 0.0):.4f}")
+    stats = obj.get("stats")
+    if stats:
+        sections.append(_render_counters(stats))
+    timeline = obj.get("timeline")
+    if timeline:
+        sections.append(_render_timeline(timeline))
+    prof = obj.get("host_profile")
+    if prof:
+        line = (f"host: {prof.get('kips', 0.0):.1f} KIPS, "
+                f"{prof.get('cycles_per_second', 0.0):.0f} cycles/s over "
+                f"{prof.get('wall_seconds', 0.0):.3f}s")
+        shares = prof.get("stage_shares")
+        if shares:
+            line += "\n  stage shares: " + " ".join(
+                f"{k}={v:.1%}" for k, v in shares.items())
+        sections.append(line)
+    trace = obj.get("trace_summary")
+    if trace:
+        counts = " ".join(f"{k}={v}" for k, v in
+                          sorted(trace.get("counts", {}).items()))
+        sections.append(f"trace: {trace.get('emitted', 0)} events "
+                        f"({trace.get('dropped', 0)} dropped) {counts}")
+    if not sections:
+        return "empty stats file"
+    return "\n\n".join(sections)

@@ -1,0 +1,178 @@
+"""Structured pipeline event tracing with a Chrome trace-event exporter.
+
+The tracer keeps a bounded ring buffer of typed events. Span events
+(runahead intervals, FLUSH stalls, LLC misses) carry a duration; point
+events (mispredict recovery, squashes, SST hits/training) are instants.
+When the buffer overflows, the *oldest* events are dropped and counted —
+a long run keeps its most recent window, which is what you want when
+chasing a divergence at the end of a run.
+
+:meth:`EventTracer.to_chrome` renders the buffer in the Chrome
+trace-event JSON format (the ``{"traceEvents": [...]}`` object form), so
+a ``--trace-out`` file loads directly in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing``. Simulated cycles are mapped 1:1 to microseconds,
+the only time unit the format natively displays.
+"""
+
+import json
+from collections import Counter, deque
+from typing import Any, Dict, List, NamedTuple, Optional
+
+__all__ = ["TraceEvent", "EventTracer", "SPAN_EVENTS", "POINT_EVENTS"]
+
+
+class TraceEvent(NamedTuple):
+    """One typed pipeline event.
+
+    ``dur`` is the span length in cycles for span events and ``-1`` for
+    instants. ``args`` holds small JSON-serialisable payload details.
+    """
+
+    kind: str
+    cycle: int
+    dur: int
+    args: Dict[str, Any]
+
+
+#: kinds rendered as complete ("X") spans, mapped to a display track
+SPAN_EVENTS = {
+    "runahead": "mode",
+    "flush_stall": "mode",
+    "llc_miss": "memory",
+}
+#: kinds rendered as instant ("i") events, mapped to a display track
+POINT_EVENTS = {
+    "mispredict": "events",
+    "squash": "events",
+    "sst_hit": "events",
+    "sst_train": "events",
+    "runahead_prefetch": "memory",
+}
+
+_TRACKS = {"mode": 1, "memory": 2, "events": 3}
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent`."""
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buf: deque = deque(maxlen=capacity)
+        self.emitted = 0
+        self.counts: Counter = Counter()
+        #: kind -> entry cycle for currently-open spans
+        self._open: Dict[str, Dict[str, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def clear(self) -> None:
+        """Drop buffered events and counts; spans still open survive so
+        an interval straddling the measurement start is kept."""
+        self._buf.clear()
+        self.emitted = 0
+        self.counts.clear()
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._buf)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._buf)
+
+    # ----------------------------------------------------------- emitting
+
+    def emit(self, kind: str, cycle: int, dur: int = -1, **args) -> None:
+        self._buf.append(TraceEvent(kind, cycle, dur, args))
+        self.emitted += 1
+        self.counts[kind] += 1
+
+    def begin_span(self, kind: str, cycle: int, **args) -> None:
+        """Open a span; closed (and emitted) by :meth:`end_span`."""
+        self._open[kind] = {"cycle": cycle, "args": args}
+
+    def end_span(self, kind: str, cycle: int, **extra) -> None:
+        opened = self._open.pop(kind, None)
+        if opened is None:
+            return
+        args = opened["args"]
+        args.update(extra)
+        self.emit(kind, opened["cycle"], max(0, cycle - opened["cycle"]),
+                  **args)
+
+    def close_open_spans(self, cycle: int) -> None:
+        """Flush spans still open at end of run (e.g. an unfinished miss)."""
+        for kind in list(self._open):
+            self.end_span(kind, cycle, truncated=True)
+
+    # ---------------------------------------------------------- exporting
+
+    def to_chrome(self, label: str = "repro") -> Dict[str, Any]:
+        """Render as a Chrome trace-event JSON object (Perfetto-loadable)."""
+        events: List[Dict[str, Any]] = [
+            {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": label}},
+        ]
+        for track, tid in sorted(_TRACKS.items(), key=lambda kv: kv[1]):
+            events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                           "tid": tid, "args": {"name": track}})
+        for ev in self._buf:
+            if ev.dur >= 0:
+                track = SPAN_EVENTS.get(ev.kind, "events")
+                events.append({
+                    "name": ev.kind, "cat": track, "ph": "X",
+                    "ts": ev.cycle, "dur": max(ev.dur, 1),
+                    "pid": 0, "tid": _TRACKS[track], "args": ev.args,
+                })
+            else:
+                track = POINT_EVENTS.get(ev.kind, "events")
+                events.append({
+                    "name": ev.kind, "cat": track, "ph": "i",
+                    "ts": ev.cycle, "s": "t",
+                    "pid": 0, "tid": _TRACKS[track], "args": ev.args,
+                })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "source": label,
+                "time_unit": "1 cycle = 1us",
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+            },
+        }
+
+    def write_chrome(self, path: str, label: str = "repro") -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_chrome(label), f)
+
+    def summary(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+
+def validate_chrome_trace(obj: Any) -> Optional[str]:
+    """Check an object against the trace-event schema we emit.
+
+    Returns ``None`` when valid, else a human-readable reason. Used by the
+    test suite and by ``repro report`` when pointed at a trace file.
+    """
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        return "missing traceEvents key"
+    evs = obj["traceEvents"]
+    if not isinstance(evs, list):
+        return "traceEvents is not a list"
+    for i, ev in enumerate(evs):
+        if not isinstance(ev, dict):
+            return f"event {i} is not an object"
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                return f"event {i} missing {key!r}"
+        ph = ev["ph"]
+        if ph in ("X", "i", "B", "E") and "ts" not in ev:
+            return f"event {i} ({ph}) missing ts"
+        if ph == "X" and "dur" not in ev:
+            return f"event {i} (X) missing dur"
+    return None

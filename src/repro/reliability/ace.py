@@ -158,5 +158,10 @@ class AceAccountant:
     def total(self) -> int:
         return sum(self.bits.values())
 
+    def avf(self, total_bits: int, cycles: int) -> float:
+        """AVF = ABC / (N × T), 0.0 when the exposure volume is empty."""
+        denom = total_bits * cycles
+        return self.total / denom if denom else 0.0
+
     def snapshot(self) -> Dict[str, int]:
         return dict(self.bits)

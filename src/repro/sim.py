@@ -50,7 +50,10 @@ class SimResult:
 
     @property
     def avf(self) -> float:
-        return self.abc_total / (self.total_bits * self.cycles)
+        """ABC / (N × T); 0.0 for an empty exposure volume (no cycles or
+        no unprotected bits) instead of raising ``ZeroDivisionError``."""
+        denom = self.total_bits * self.cycles
+        return self.abc_total / denom if denom else 0.0
 
     def mttf_rel(self, baseline: "SimResult") -> float:
         """This run's MTTF normalised to a baseline run (higher = better)."""
@@ -72,6 +75,7 @@ def simulate(
     instructions: int = 30_000,
     warmup: int = 20_000,
     seed: Optional[int] = None,
+    telemetry=None,
 ) -> SimResult:
     """Run one workload on one machine under one policy.
 
@@ -82,7 +86,12 @@ def simulate(
         instructions: committed instructions measured (after warmup).
         warmup: committed instructions simulated before counters reset —
             warms caches, predictor and the SST.
-        seed: trace RNG seed override.
+        seed: trace/wrong-path RNG seed override. ``seed=0`` is a real
+            seed, distinct from ``None`` (the workload's default); equal
+            seeds give bit-identical results.
+        telemetry: optional :class:`repro.obs.Telemetry`; attached to the
+            core, with the measurement window marked after warmup so its
+            stats dump reconciles with the returned result.
 
     Returns:
         a :class:`SimResult` with the measured window's statistics.
@@ -102,14 +111,23 @@ def simulate(
     if instructions <= 0:
         raise ValueError("instructions must be positive")
 
-    core = OutOfOrderCore(machine, trace, policy, seed=seed or 0)
+    # Pass the seed through explicitly: `seed or 0` would conflate
+    # seed=0 with seed=None.
+    core_seed = 0 if seed is None else seed
+    core = OutOfOrderCore(machine, trace, policy, seed=core_seed,
+                          telemetry=telemetry)
     for level, base, size in regions:
         core.mem.preload(base, size, level)
     if warmup > 0:
         core.run(warmup)
+    if telemetry is not None:
+        telemetry.begin_measurement(core)
     start = _snapshot(core)
     core.run(instructions)
-    return _delta_result(core, start, name)
+    result = _delta_result(core, start, name)
+    if telemetry is not None:
+        telemetry.end_measurement(core, result)
+    return result
 
 
 def _snapshot(core: OutOfOrderCore) -> Dict[str, int]:

@@ -18,7 +18,7 @@ behaviours the paper's benchmarks exhibit:
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 LINE = 64
 

@@ -1,6 +1,5 @@
 """Tables I, II and III must be encoded exactly as the paper specifies."""
 
-import pytest
 
 from repro.common.params import (
     BASELINE,

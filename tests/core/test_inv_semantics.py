@@ -6,7 +6,6 @@ exact semantics: uops transitively dependent on the blocking load are INV
 prediction diverges the interval.
 """
 
-import pytest
 
 from repro.common.enums import Mode, UopClass
 from repro.common.params import BASELINE

@@ -1,0 +1,120 @@
+"""Hierarchical stats registry."""
+
+import pytest
+
+from repro.obs.registry import (
+    Distribution, StatsRegistry, flatten_tree,
+)
+
+
+class TestScalar:
+    def test_owned_counter(self):
+        reg = StatsRegistry()
+        s = reg.scalar("a.b.count")
+        s.inc()
+        s.inc(4)
+        assert s.value == 5
+        s.set(2)
+        assert reg.flat() == {"a.b.count": 2}
+
+    def test_bound_getter_is_read_only(self):
+        box = {"v": 7}
+        reg = StatsRegistry()
+        s = reg.scalar("x", getter=lambda: box["v"])
+        assert s.value == 7
+        box["v"] = 9
+        assert s.value == 9
+        with pytest.raises(TypeError):
+            s.inc()
+
+    def test_duplicate_name_rejected(self):
+        reg = StatsRegistry()
+        reg.scalar("dup")
+        with pytest.raises(KeyError):
+            reg.scalar("dup")
+        with pytest.raises(KeyError):
+            reg.distribution("dup")
+
+
+class TestDistribution:
+    def test_moments_and_buckets(self):
+        d = Distribution("occ", bucket_size=8)
+        for v in (0, 3, 9, 17, 17):
+            d.record(v)
+        assert d.count == 5
+        assert d.mean == pytest.approx(46 / 5)
+        assert d.min == 0 and d.max == 17
+        assert d.buckets == {0: 2, 8: 1, 16: 2}
+
+    def test_weighted_record(self):
+        d = Distribution("lat", bucket_size=50)
+        d.record(200, weight=3)
+        assert d.count == 3
+        assert d.mean == 200
+        assert d.buckets == {200: 3}
+
+    def test_percentile(self):
+        d = Distribution("x", bucket_size=1)
+        for v in range(100):
+            d.record(v)
+        assert d.percentile(0.5) == pytest.approx(49, abs=2)
+
+    def test_empty(self):
+        d = Distribution("x")
+        assert d.mean == 0.0
+        assert d.percentile(0.9) == 0.0
+
+
+class TestMarkAndDump:
+    def test_deltas_since_mark(self):
+        reg = StatsRegistry()
+        s = reg.scalar("core.commit.committed")
+        s.inc(100)
+        reg.mark()
+        s.inc(42)
+        assert reg.deltas() == {"core.commit.committed": 42}
+
+    def test_const_scalars_are_not_deltad(self):
+        reg = StatsRegistry()
+        reg.scalar("machine.bits", getter=lambda: 65824, const=True)
+        reg.mark()
+        assert reg.deltas() == {"machine.bits": 65824}
+
+    def test_formula_sees_deltas(self):
+        reg = StatsRegistry()
+        insts = reg.scalar("i")
+        cycles = reg.scalar("c")
+        reg.formula("ipc", lambda v: v["i"] / v["c"] if v["c"] else 0.0)
+        insts.inc(10)
+        cycles.inc(10)
+        reg.mark()
+        insts.inc(30)
+        cycles.inc(60)
+        tree = reg.dump()
+        assert tree["ipc"] == pytest.approx(0.5)
+
+    def test_nested_tree(self):
+        reg = StatsRegistry()
+        reg.scalar("core.rob.pushed").inc(3)
+        reg.scalar("core.rob.popped").inc(2)
+        reg.distribution("mem.llc.lat", bucket_size=10).record(25)
+        tree = reg.dump(since_mark=False)
+        assert tree["core"]["rob"] == {"pushed": 3, "popped": 2}
+        assert tree["mem"]["llc"]["lat"]["kind"] == "distribution"
+
+    def test_flatten_roundtrip(self):
+        reg = StatsRegistry()
+        reg.scalar("a.b.c").inc(1)
+        reg.scalar("a.b.d").inc(2)
+        flat = flatten_tree(reg.dump(since_mark=False))
+        assert flat == {"a.b.c": 1, "a.b.d": 2}
+
+    def test_value_and_get(self):
+        reg = StatsRegistry()
+        reg.scalar("n").inc(6)
+        reg.formula("double", lambda v: v["n"] * 2)
+        assert reg.value("n") == 6
+        assert reg.value("double") == 12
+        assert "n" in reg and "nope" not in reg
+        with pytest.raises(KeyError):
+            reg.get("nope")

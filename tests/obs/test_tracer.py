@@ -1,0 +1,84 @@
+"""Event tracer and Chrome trace-event export."""
+
+import json
+
+from repro.obs.tracer import EventTracer, validate_chrome_trace
+
+
+class TestRingBuffer:
+    def test_bounded_drops_oldest(self):
+        t = EventTracer(capacity=4)
+        for i in range(10):
+            t.emit("mispredict", i)
+        assert len(t) == 4
+        assert t.emitted == 10
+        assert t.dropped == 6
+        assert [e.cycle for e in t.events] == [6, 7, 8, 9]
+
+    def test_counts_by_kind(self):
+        t = EventTracer()
+        t.emit("squash", 1, count=3)
+        t.emit("squash", 2, count=1)
+        t.emit("mispredict", 2)
+        assert t.summary() == {"squash": 2, "mispredict": 1}
+
+
+class TestSpans:
+    def test_begin_end_span(self):
+        t = EventTracer()
+        t.begin_span("runahead", 100, pc=0x40)
+        t.end_span("runahead", 250)
+        (ev,) = t.events
+        assert ev.kind == "runahead"
+        assert ev.cycle == 100 and ev.dur == 150
+        assert ev.args["pc"] == 0x40
+
+    def test_end_without_begin_is_noop(self):
+        t = EventTracer()
+        t.end_span("runahead", 50)
+        assert len(t) == 0
+
+    def test_close_open_spans_truncates(self):
+        t = EventTracer()
+        t.begin_span("flush_stall", 10)
+        t.close_open_spans(30)
+        (ev,) = t.events
+        assert ev.dur == 20
+        assert ev.args["truncated"] is True
+
+
+class TestChromeExport:
+    def _traced(self):
+        t = EventTracer()
+        t.begin_span("runahead", 100)
+        t.end_span("runahead", 400)
+        t.emit("llc_miss", 120, dur=300, addr=0x1000, pc=0x40)
+        t.emit("mispredict", 170, pc=0x44)
+        return t
+
+    def test_schema_valid(self):
+        obj = self._traced().to_chrome()
+        assert validate_chrome_trace(obj) is None
+
+    def test_span_and_instant_phases(self):
+        obj = self._traced().to_chrome("label")
+        evs = [e for e in obj["traceEvents"] if e["ph"] in ("X", "i")]
+        phases = {e["name"]: e["ph"] for e in evs}
+        assert phases == {"runahead": "X", "llc_miss": "X",
+                          "mispredict": "i"}
+        span = next(e for e in evs if e["name"] == "runahead")
+        assert span["ts"] == 100 and span["dur"] == 300
+
+    def test_write_is_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        self._traced().write_chrome(path)
+        with open(path) as f:
+            obj = json.load(f)
+        assert validate_chrome_trace(obj) is None
+
+    def test_validator_rejects_junk(self):
+        assert validate_chrome_trace([]) is not None
+        assert validate_chrome_trace({"traceEvents": [{}]}) is not None
+        assert validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "X", "pid": 0,
+                              "tid": 0, "ts": 1}]}) is not None  # no dur

@@ -1,6 +1,5 @@
 """ACE accounting: per-structure charges and attribution windows."""
 
-import pytest
 
 from repro.common.enums import UopClass
 from repro.common.params import BIT_BUDGET

@@ -49,6 +49,91 @@ class TestCommands:
             main(["run", "wolfenstein", "-n", "100", "-w", "0"])
 
 
+class TestScalingCommand:
+    def test_scaling_exit_code_and_table(self, capsys):
+        assert main(["scaling", "x264", "RAR", "-n", "300", "-w", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "MTTF_rel" in out
+        assert "core-1" in out and "core-4" in out
+
+
+class TestTelemetryFlags:
+    def _run(self, tmp_path, *extra):
+        s = str(tmp_path / "s.json")
+        t = str(tmp_path / "t.json")
+        code = main(["run", "mcf", "--policy", "RAR", "-n", "2000",
+                     "-w", "1000", "--stats-out", s, "--trace-out", t,
+                     "--interval", "200", *extra])
+        return code, s, t
+
+    def test_artifacts_are_valid_json(self, tmp_path, capsys):
+        import json
+        code, s, t = self._run(tmp_path)
+        assert code == 0
+        with open(s) as f:
+            stats = json.load(f)
+        with open(t) as f:
+            trace = json.load(f)
+        assert stats["schema"] == "repro-stats-v1"
+        assert stats["result"]["policy"] == "RAR"
+        assert len(stats["timeline"]["samples"]) >= 10
+        from repro.obs import validate_chrome_trace
+        assert validate_chrome_trace(trace) is None
+        out = capsys.readouterr().out
+        assert "stats" in out and "perfetto" in out
+
+    def test_stats_reconcile_with_printed_result(self, tmp_path, capsys):
+        import json
+        from repro.obs import flatten_tree
+        code, s, _ = self._run(tmp_path)
+        assert code == 0
+        stats = json.load(open(s))
+        flat = flatten_tree(stats["stats"])
+        r = stats["result"]
+        assert flat["core.commit.committed"] == r["instructions"]
+        assert flat["core.clock.cycles"] == r["cycles"]
+        assert flat["ace.total"] == r["abc_total"]
+
+    def test_policy_option_overrides_positional(self, tmp_path):
+        import json
+        s = str(tmp_path / "s.json")
+        assert main(["run", "mcf", "OOO", "--policy", "RAR", "-n", "500",
+                     "-w", "200", "--stats-out", s]) == 0
+        assert json.load(open(s))["result"]["policy"] == "RAR"
+
+    def test_timeline_out_csv(self, tmp_path, capsys):
+        tl = str(tmp_path / "tl.csv")
+        assert main(["run", "x264", "OOO", "-n", "500", "-w", "200",
+                     "--timeline-out", tl, "--interval", "100"]) == 0
+        with open(tl) as f:
+            header = f.readline().strip().split(",")
+        assert "rob_occ" in header and "mode" in header
+
+    def test_profile_prints_kips(self, capsys):
+        assert main(["run", "x264", "OOO", "-n", "400", "-w", "100",
+                     "--profile"]) == 0
+        assert "KIPS" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_round_trips_stats_file(self, tmp_path, capsys):
+        s = str(tmp_path / "s.json")
+        assert main(["run", "mcf", "--policy", "RAR", "-n", "1000",
+                     "-w", "500", "--stats-out", s,
+                     "--interval", "200"]) == 0
+        capsys.readouterr()
+        assert main(["report", s]) == 0
+        out = capsys.readouterr().out
+        assert "core.commit.committed" in out
+        assert "ace.total" in out
+        assert "timeline" in out
+        assert "mcf" in out and "RAR" in out
+
+    def test_report_on_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError):
+            main(["report", "/nonexistent/stats.json"])
+
+
 class TestCharacterizeCommand:
     def test_characterize_named(self, capsys):
         assert main(["characterize", "x264", "-n", "500", "-w", "400"]) == 0

@@ -48,6 +48,33 @@ class TestSimulateApi:
         assert a.ipc == b.ipc
 
 
+class TestSeedHandling:
+    def test_same_seed_identical_result(self):
+        for seed in (0, 7):
+            a = simulate("mcf", BASELINE, RAR, instructions=600,
+                         warmup=300, seed=seed)
+            b = simulate("mcf", BASELINE, RAR, instructions=600,
+                         warmup=300, seed=seed)
+            assert a == b, f"seed={seed} not deterministic"
+
+    def test_seed_zero_is_a_real_seed(self):
+        # seed=0 must not be conflated with seed=None (the workload's
+        # default seed, 12345): the traces they generate differ.
+        zero = simulate("mcf", BASELINE, RAR, instructions=600,
+                        warmup=300, seed=0)
+        default = simulate("mcf", BASELINE, RAR, instructions=600,
+                           warmup=300, seed=None)
+        assert (zero.cycles, zero.abc_total) != \
+            (default.cycles, default.abc_total)
+
+    def test_different_seeds_diverge(self):
+        a = simulate("mcf", BASELINE, RAR, instructions=600,
+                     warmup=300, seed=1)
+        b = simulate("mcf", BASELINE, RAR, instructions=600,
+                     warmup=300, seed=2)
+        assert (a.cycles, a.abc_total) != (b.cycles, b.abc_total)
+
+
 class TestSimResultDerived:
     def _pair(self):
         base = simulate("x264", BASELINE, OOO, instructions=800, warmup=300)
@@ -65,6 +92,16 @@ class TestSimResultDerived:
     def test_avf_in_unit_interval(self):
         base, _ = self._pair()
         assert 0 < base.avf < 1
+
+    def test_avf_guarded_against_empty_volume(self):
+        empty = SimResult(workload="w", machine="m", policy="p",
+                          instructions=0, cycles=0, ipc=0.0, mlp=0.0,
+                          mpki=0.0)
+        assert empty.avf == 0.0  # cycles == 0 and total_bits == 0
+        no_bits = SimResult(workload="w", machine="m", policy="p",
+                            instructions=10, cycles=100, ipc=0.1, mlp=0.0,
+                            mpki=0.0, abc_total=5, total_bits=0)
+        assert no_bits.avf == 0.0
 
     def test_result_is_frozen(self):
         base, _ = self._pair()
