@@ -1,12 +1,18 @@
-"""Perf smoke: one short telemetry-profiled run, appended to BENCH_obs.json.
+"""Perf smoke: short host-performance benchmarks, appended to JSON logs.
 
 Run from the repo root (CI does this on every push)::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--out BENCH_obs.json]
+    PYTHONPATH=src python benchmarks/perf_smoke.py --sweep \
+        [--sweep-out BENCH_refactor.json]
 
-Appends one record with the simulated-KIPS throughput of the standard
-(mcf, baseline, RAR) point so the host-performance trajectory of the
-simulator is tracked over time. The file is a JSON list of records.
+The default mode appends one record with the simulated-KIPS throughput
+of the standard (mcf, baseline, RAR) point so the host-performance
+trajectory of the simulator is tracked over time. ``--sweep`` instead
+times a small workload x policy matrix twice — serial, then with
+``jobs=2`` + shared-warmup checkpoint forking — and appends the
+wall-clock speedup to ``BENCH_refactor.json``. Both files are JSON
+lists of records.
 """
 
 import argparse
@@ -17,15 +23,32 @@ import sys
 import time
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_obs.json")
-    parser.add_argument("--workload", default="mcf")
-    parser.add_argument("--policy", default="RAR")
-    parser.add_argument("-n", "--instructions", type=int, default=8000)
-    parser.add_argument("-w", "--warmup", type=int, default=4000)
-    args = parser.parse_args(argv)
+def _append_record(path: str, record: dict) -> int:
+    history = []
+    if os.path.exists(path):
+        try:
+            with open(path) as f:
+                history = json.load(f)
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(record)
+    with open(path, "w") as f:
+        json.dump(history, f, indent=1)
+        f.write("\n")
+    return len(history)
 
+
+def _base_record() -> dict:
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "host": platform.machine(),
+    }
+
+
+def run_kips_smoke(args) -> int:
     from repro import BASELINE, Telemetry, simulate
 
     tele = Telemetry(profile=True)
@@ -33,8 +56,8 @@ def main(argv=None) -> int:
                       instructions=args.instructions, warmup=args.warmup,
                       telemetry=tele)
     prof = tele.profiler
-    record = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    record = _base_record()
+    record.update({
         "workload": result.workload,
         "policy": result.policy,
         "instructions": result.instructions,
@@ -43,25 +66,72 @@ def main(argv=None) -> int:
         "kips": round(prof.kips, 2),
         "cycles_per_second": round(prof.cycles_per_second, 1),
         "wall_seconds": round(prof.wall_seconds, 3),
-        "python": platform.python_version(),
-        "host": platform.machine(),
-    }
-    history = []
-    if os.path.exists(args.out):
-        try:
-            with open(args.out) as f:
-                history = json.load(f)
-        except (json.JSONDecodeError, OSError):
-            history = []
-    if not isinstance(history, list):
-        history = []
-    history.append(record)
-    with open(args.out, "w") as f:
-        json.dump(history, f, indent=1)
-        f.write("\n")
+    })
+    n = _append_record(args.out, record)
     print(f"{record['kips']} KIPS ({record['cycles_per_second']} cycles/s) "
-          f"-> {args.out} ({len(history)} records)")
+          f"-> {args.out} ({n} records)")
     return 0
+
+
+def run_sweep_smoke(args) -> int:
+    """Time the same small matrix serial vs parallel+shared-warmup.
+
+    The speedup combines two effects: warmup shared across policies
+    (visible even on one CPU) and group-level multiprocessing (scales
+    with cores; the record carries ``cpus`` for context).
+    """
+    from repro import BASELINE
+    from repro.analysis.experiments import ExperimentRunner
+
+    workloads = ["mcf", "lbm", "x264", "namd"]
+    policies = ["OOO", "RAR"]
+
+    def timed(**matrix_kwargs):
+        runner = ExperimentRunner(instructions=args.instructions,
+                                  warmup=args.warmup)
+        t0 = time.perf_counter()
+        runner.run_matrix(workloads, BASELINE, policies, **matrix_kwargs)
+        return time.perf_counter() - t0
+
+    serial_s = timed()
+    parallel_s = timed(jobs=args.jobs, share_warmup=True)
+    record = _base_record()
+    record.update({
+        "cpus": os.cpu_count(),
+        "workloads": workloads,
+        "policies": policies,
+        "instructions": args.instructions,
+        "warmup": args.warmup,
+        "jobs": args.jobs,
+        "share_warmup": True,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
+    })
+    n = _append_record(args.sweep_out, record)
+    print(f"sweep {len(workloads)}x{len(policies)}: serial "
+          f"{record['serial_s']}s, jobs={args.jobs}+shared-warmup "
+          f"{record['parallel_s']}s, speedup {record['speedup']}x "
+          f"-> {args.sweep_out} ({n} records)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_obs.json")
+    parser.add_argument("--workload", default="mcf")
+    parser.add_argument("--policy", default="RAR")
+    parser.add_argument("-n", "--instructions", type=int, default=8000)
+    parser.add_argument("-w", "--warmup", type=int, default=4000)
+    parser.add_argument("--sweep", action="store_true",
+                        help="time serial vs parallel shared-warmup sweep")
+    parser.add_argument("--sweep-out", default="BENCH_refactor.json")
+    parser.add_argument("-j", "--jobs", type=int, default=2,
+                        help="pool size for the parallel sweep leg")
+    args = parser.parse_args(argv)
+    if args.sweep:
+        return run_sweep_smoke(args)
+    return run_kips_smoke(args)
 
 
 if __name__ == "__main__":

@@ -15,8 +15,11 @@ Quickstart::
 
 from repro.analysis.experiments import ExperimentRunner
 from repro.analysis.stats import amean, gmean, hmean
+from repro.checkpoint import Checkpoint, simulate_from, warm_checkpoint
 from repro.common.params import (
     BASELINE,
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
     CORE1,
     CORE2,
     CORE3,
@@ -61,6 +64,11 @@ __version__ = "1.0.0"
 __all__ = [
     "simulate",
     "SimResult",
+    "Checkpoint",
+    "warm_checkpoint",
+    "simulate_from",
+    "DEFAULT_INSTRUCTIONS",
+    "DEFAULT_WARMUP",
     "OutOfOrderCore",
     "Telemetry",
     "ExperimentRunner",

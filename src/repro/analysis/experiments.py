@@ -4,15 +4,23 @@ Several figures reuse the same (workload, machine, policy) points — e.g.
 Figures 7 and 8 plot reliability and performance of the *same* five runs.
 :class:`ExperimentRunner` caches results in memory and optionally on disk
 (JSON) so each point simulates exactly once per benchmark session.
+
+:meth:`ExperimentRunner.run_matrix` additionally knows how to *sweep*:
+points are grouped by workload, each group can share one warmed
+checkpoint across its policies (``share_warmup=True``), and groups fan
+out across a ``multiprocessing`` pool (``jobs=N``) with the disk cache
+as the merge point.
 """
 
 import json
 import math
 import os
-from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, List, Optional, Union
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.common.params import MachineParams
+from repro.common.io import atomic_write_json
+from repro.common.params import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP, \
+    MachineParams
 from repro.core.runahead import RunaheadPolicy, get_policy
 from repro.sim import SimResult, simulate
 from repro.workloads.base import WorkloadSpec
@@ -55,7 +63,10 @@ class RunKey:
 
     ``config_digest`` covers the *full* machine configuration, so two
     machines that share a display name but differ in any parameter never
-    collide in the cache.
+    collide in the cache. ``variant`` tags results produced by an
+    approximate run mode — shared-warmup points carry ``"sw:<policy>"``
+    (the policy warmup ran under) so they can never poison the cache
+    entries of exact per-policy runs.
     """
 
     workload: str
@@ -64,6 +75,7 @@ class RunKey:
     instructions: int
     warmup: int
     config_digest: str = ""
+    variant: str = ""
 
     @staticmethod
     def digest(machine: MachineParams) -> str:
@@ -71,13 +83,78 @@ class RunKey:
         return hashlib.md5(repr(machine).encode()).hexdigest()[:10]
 
     def as_str(self) -> str:
-        return (f"{self.workload}|{self.machine}|{self.policy}"
+        base = (f"{self.workload}|{self.machine}|{self.policy}"
                 f"|{self.instructions}|{self.warmup}|{self.config_digest}")
+        return f"{base}|{self.variant}" if self.variant else base
 
 
 #: Bump when SimResult's schema changes: stale on-disk payloads would
 #: otherwise deserialise with silently-defaulted new fields.
 _CACHE_SCHEMA = 2
+
+
+def _variant(share_warmup: bool, policy: str, warmup_policy: str) -> str:
+    """Cache-key variant for one point of a sweep.
+
+    A shared-warmup point measured under the *same* policy that warmed
+    the checkpoint is bit-identical to a cold run, so it shares the
+    exact-run cache slot; any other pairing is an approximation and gets
+    its own tagged slot.
+    """
+    if share_warmup and policy != warmup_policy:
+        return f"sw:{warmup_policy}"
+    return ""
+
+
+def _pool_context():
+    """Fork when the platform offers it: workers inherit ``sys.path``
+    (pytest injects ``src/`` without setting PYTHONPATH) and the warmed
+    import state. Falls back to the platform default elsewhere."""
+    import multiprocessing as mp
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context()
+
+
+def _run_group(task: Tuple) -> List[Dict[str, Any]]:
+    """Simulate one workload group (all its missing policies).
+
+    Module-level so it pickles into pool workers. The task carries only
+    picklable inputs (spec, machine params, policy *names*, sizes) —
+    traces and checkpoints are rebuilt inside the worker because a
+    lazily-materialised :class:`~repro.isa.trace.Trace` buffers a
+    generator and cannot cross a process boundary. Results return as
+    ``SimResult.to_dict()`` payloads for the same reason.
+    """
+    (spec, machine, policy_names, instructions, warmup, share_warmup,
+     warmup_policy, stats_dir) = task
+    checkpoint = None
+    if share_warmup:
+        from repro.checkpoint import warm_checkpoint
+        checkpoint = warm_checkpoint(spec, machine, warmup_policy,
+                                     warmup=warmup)
+    payloads: List[Dict[str, Any]] = []
+    for name in policy_names:
+        telemetry = None
+        if stats_dir:
+            from repro.obs import Telemetry
+            telemetry = Telemetry(interval=1000, profile=True)
+        if checkpoint is not None:
+            from repro.checkpoint import simulate_from
+            result = simulate_from(checkpoint, name,
+                                   instructions=instructions,
+                                   telemetry=telemetry)
+        else:
+            result = simulate(spec, machine, name, instructions=instructions,
+                              warmup=warmup, telemetry=telemetry)
+        if telemetry is not None:
+            path = os.path.join(
+                stats_dir,
+                f"{result.workload}_{result.machine}_{result.policy}.json")
+            telemetry.write_stats(path, result)
+        payloads.append(result.to_dict())
+    return payloads
 
 
 class ExperimentRunner:
@@ -89,7 +166,8 @@ class ExperimentRunner:
         cache_path: optional JSON file for cross-process persistence.
     """
 
-    def __init__(self, instructions: int = 30_000, warmup: int = 5_000,
+    def __init__(self, instructions: int = DEFAULT_INSTRUCTIONS,
+                 warmup: int = DEFAULT_WARMUP,
                  cache_path: Optional[str] = None):
         self.instructions = instructions
         self.warmup = warmup
@@ -109,9 +187,7 @@ class ExperimentRunner:
     ) -> SimResult:
         spec = get_workload(workload) if isinstance(workload, str) else workload
         pol = get_policy(policy) if isinstance(policy, str) else policy
-        key = RunKey(spec.name, machine.name, pol.name,
-                     self.instructions, self.warmup,
-                     RunKey.digest(machine)).as_str()
+        key = self._point_key(spec.name, machine, pol.name)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
@@ -145,15 +221,80 @@ class ExperimentRunner:
         workloads: Iterable[Union[str, WorkloadSpec]],
         machine: MachineParams,
         policies: Iterable[Union[str, RunaheadPolicy]],
+        *,
+        jobs: int = 1,
+        share_warmup: bool = False,
+        warmup_policy: Union[str, RunaheadPolicy] = "OOO",
+        stats_dir: Optional[str] = None,
     ) -> Dict[str, Dict[str, SimResult]]:
-        """policy name -> workload name -> result."""
+        """Sweep the full matrix; returns policy name -> workload -> result.
+
+        Points are grouped by workload. With ``share_warmup`` each group
+        warms **once** under ``warmup_policy`` and forks the checkpoint
+        for every measured policy — an explicit approximation (warmup
+        behaviour is policy-dependent), cached under a ``sw:`` variant
+        key so it never collides with exact per-policy runs. With
+        ``jobs > 1`` whole groups fan out across a process pool; the
+        in-memory/disk cache is the merge point, written once,
+        atomically, after all groups land.
+        """
+        specs = [get_workload(w) if isinstance(w, str) else w
+                 for w in workloads]
+        pols = [get_policy(p) if isinstance(p, str) else p for p in policies]
+        wp = (get_policy(warmup_policy) if isinstance(warmup_policy, str)
+              else warmup_policy)
+        if stats_dir:
+            os.makedirs(stats_dir, exist_ok=True)
+
         out: Dict[str, Dict[str, SimResult]] = {}
-        policies = list(policies)
-        for w in workloads:
-            for p in policies:
-                r = self.run(w, machine, p)
-                out.setdefault(r.policy, {})[r.workload] = r
+        digest = RunKey.digest(machine)
+        tasks: List[Tuple] = []
+        for spec in specs:
+            missing: List[str] = []
+            for pol in pols:
+                key = self._point_key(
+                    spec.name, machine, pol.name,
+                    variant=_variant(share_warmup, pol.name, wp.name),
+                    digest=digest)
+                cached = self._cache.get(key)
+                if cached is not None and not stats_dir:
+                    out.setdefault(pol.name, {})[spec.name] = cached
+                else:
+                    missing.append(pol.name)
+            if missing:
+                tasks.append((spec, machine, tuple(missing),
+                              self.instructions, self.warmup, share_warmup,
+                              wp.name, stats_dir))
+        if not tasks:
+            return out
+
+        if jobs > 1 and len(tasks) > 1:
+            with _pool_context().Pool(min(jobs, len(tasks))) as pool:
+                groups = pool.map(_run_group, tasks)
+        else:
+            groups = [_run_group(t) for t in tasks]
+
+        for group in groups:
+            for payload in group:
+                result = SimResult.from_dict(payload)
+                key = self._point_key(
+                    result.workload, machine, result.policy,
+                    variant=_variant(share_warmup, result.policy, wp.name),
+                    digest=digest)
+                self._cache[key] = result
+                out.setdefault(result.policy, {})[result.workload] = result
+        self._machines[machine.name] = machine
+        if self.cache_path:
+            self._save_disk_cache()
         return out
+
+    # ------------------------------------------------------------- internal
+
+    def _point_key(self, workload: str, machine: MachineParams, policy: str,
+                   variant: str = "", digest: Optional[str] = None) -> str:
+        return RunKey(workload, machine.name, policy, self.instructions,
+                      self.warmup, digest or RunKey.digest(machine),
+                      variant).as_str()
 
     # ---------------------------------------------------------- disk cache
 
@@ -167,20 +308,17 @@ class ExperimentRunner:
             return  # stale/legacy cache: recompute everything
         for key, payload in raw.get("data", {}).items():
             try:
-                self._cache[key] = SimResult(**payload)
+                self._cache[key] = SimResult.from_dict(payload)
             except TypeError:
                 continue  # stale schema: ignore and recompute
 
     def _save_disk_cache(self) -> None:
         payload = {
             "schema": _CACHE_SCHEMA,
-            "data": {k: asdict(v) for k, v in self._cache.items()},
+            "data": {k: v.to_dict() for k, v in self._cache.items()},
         }
-        tmp = f"{self.cache_path}.tmp"
         try:
-            with open(tmp, "w") as f:
-                json.dump(payload, f)
-            os.replace(tmp, self.cache_path)
+            atomic_write_json(self.cache_path, payload)
         except OSError:
             pass  # cache is an optimisation, never a failure
 
@@ -189,7 +327,8 @@ class ExperimentRunner:
 _SHARED: Optional[ExperimentRunner] = None
 
 
-def shared_runner(instructions: int = 30_000, warmup: int = 5_000,
+def shared_runner(instructions: int = DEFAULT_INSTRUCTIONS,
+                  warmup: int = DEFAULT_WARMUP,
                   cache_path: Optional[str] = None) -> ExperimentRunner:
     """Process-wide runner; the first caller fixes the run sizes."""
     global _SHARED

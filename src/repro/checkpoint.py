@@ -1,0 +1,225 @@
+"""Warm-state checkpointing: capture a warmed core once, fork N runs.
+
+Every figure in the paper compares several policies on the *same*
+workload with identical warmup. :func:`warm_checkpoint` runs the warmup
+once and captures the complete mutable state of the core — memory
+hierarchy contents, branch predictor tables, SST, ACE accounting, every
+pipeline component's registers and the in-flight window — into a
+:class:`Checkpoint`. :func:`simulate_from` then restores that state into
+a freshly constructed core and runs only the measurement window.
+
+Bit-identity contract: forking a checkpoint warmed under policy P and
+measuring under the same policy P is **bit-identical** to a cold
+``simulate()`` with the same seed/warmup (the regression tests assert
+this for every policy). Measuring a *different* policy than the one that
+warmed the checkpoint is an explicit approximation — warmup behaviour
+(runahead prefetches, predictor training) differs per policy — used by
+``ExperimentRunner.run_matrix(share_warmup=True)``, which tags cached
+results accordingly.
+
+Implementation notes (see docs/architecture.md for the full story):
+
+- Capture is one ``copy.deepcopy`` of all structures + component states
+  with a single shared memo, so cross-structure references (the same
+  ``DynUop`` sitting in the ROB, the IQ and the event heap; the PRDQ's
+  register-file pointer; ACE's bound ``FuPool.exec_cycles`` method)
+  stay consistent inside the blob.
+- The trace, machine and policy are *seeded into the memo* and shared,
+  not copied: ``Trace`` lazily buffers a generator (not copyable, and
+  append-only deterministic, so sharing is safe in-process) and the
+  params are frozen dataclasses.
+- Restore never replaces a structure object: each live structure's
+  ``__dict__`` is cleared and refilled in place, with the fork's memo
+  pre-seeded ``{id(blob_structure): live_structure}`` so references
+  between structures resolve to the live objects. In-place restore is
+  what keeps the components' cached references and the stats registry's
+  bound getters valid — the registry is never copied; a fresh core's
+  registry reads the restored objects.
+"""
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.common.params import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    MachineParams,
+)
+from repro.core.core import OutOfOrderCore
+from repro.core.runahead import OOO, RunaheadPolicy, get_policy
+from repro.isa.trace import Trace
+from repro.sim import SimResult, _delta_result, _snapshot
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.catalog import get_workload
+
+__all__ = ["Checkpoint", "warm_checkpoint", "simulate_from"]
+
+#: Core attributes holding the shared hardware structures whose full
+#: ``__dict__`` is captured and restored in place.
+CORE_STRUCTURES = (
+    "mem", "predictor", "btb", "frontend", "wrong_path_src", "rob", "iq",
+    "lsq", "regs", "fus", "sst", "prdq", "ace",
+)
+
+
+@dataclass
+class Checkpoint:
+    """Deep-copied image of a warmed core, forkable into many runs.
+
+    Holds everything :func:`simulate_from` needs to reconstruct the
+    moment right after warmup: the run coordinates (workload/machine/
+    policy/warmup/seed), the shared trace, and the state blob. The blob
+    is private — each fork deep-copies it again, so one checkpoint can
+    seed any number of runs without cross-contamination.
+
+    Not picklable (the trace buffers a generator): multiprocess sweeps
+    create checkpoints inside each worker rather than shipping them.
+    """
+
+    workload: str
+    machine: MachineParams
+    policy: RunaheadPolicy          # the policy warmup ran under
+    warmup: int
+    seed: Optional[int]
+    record_ace_intervals: bool
+    trace: Trace                    # shared, append-only — never copied
+    _blob: Dict[str, Any] = field(repr=False, default_factory=dict)
+
+    @classmethod
+    def capture(cls, core: OutOfOrderCore, workload: str, warmup: int,
+                seed: Optional[int]) -> "Checkpoint":
+        """Snapshot a live core's complete mutable state."""
+        raw = {
+            "structures": {name: getattr(core, name)
+                           for name in CORE_STRUCTURES},
+            "components": {comp.name: comp.snapshot_state()
+                           for comp in core.components},
+            "stats": core.stats.snapshot(),
+        }
+        memo: Dict[int, Any] = {
+            id(core.trace): core.trace,
+            id(core.machine): core.machine,
+            id(core.policy): core.policy,
+        }
+        # Observer hooks are wiring, not state: never capture them.
+        if core.mem.observer is not None:
+            memo[id(core.mem.observer)] = None
+        if core.observer is not None:
+            memo[id(core.observer)] = None
+        blob = copy.deepcopy(raw, memo)
+        return cls(workload=workload, machine=core.machine,
+                   policy=core.policy, warmup=warmup, seed=seed,
+                   record_ace_intervals=core.record_ace_intervals,
+                   trace=core.trace, _blob=blob)
+
+    def restore_into(self, core: OutOfOrderCore) -> None:
+        """Load this checkpoint's state into a freshly built core.
+
+        The core must have been constructed with this checkpoint's
+        machine and trace. All structure objects are mutated in place so
+        the core's component bindings and registry getters stay valid.
+        """
+        blob = self._blob
+        # One memo per fork: every blob-side object maps to the live
+        # object that is being refilled, so any reference from one
+        # structure into another (prdq._regs, ace's bound FU method,
+        # DynUops shared between ROB / IQ / event heap) lands on the
+        # live instance — and shared DynUop identity survives the fork.
+        memo: Dict[int, Any] = {
+            id(self.trace): self.trace,
+            id(self.machine): self.machine,
+            id(self.policy): self.policy,
+        }
+        for name in CORE_STRUCTURES:
+            memo[id(blob["structures"][name])] = getattr(core, name)
+
+        for name in CORE_STRUCTURES:
+            live = getattr(core, name)
+            state = {k: copy.deepcopy(v, memo)
+                     for k, v in blob["structures"][name].__dict__.items()}
+            live.__dict__.clear()
+            live.__dict__.update(state)
+        for comp in core.components:
+            comp.restore_state(copy.deepcopy(blob["components"][comp.name],
+                                             memo))
+        for attr, value in blob["stats"].items():
+            setattr(core.stats, attr, value)
+
+    def fork(self, policy: Union[RunaheadPolicy, str, None] = None,
+             record_ace_intervals: Optional[bool] = None) -> OutOfOrderCore:
+        """A fresh core carrying this checkpoint's warmed state.
+
+        The core is constructed normally (so its registry binds to the
+        live structures) and then overwritten in place with the blob.
+        """
+        if policy is None:
+            policy = self.policy
+        elif isinstance(policy, str):
+            policy = get_policy(policy)
+        if record_ace_intervals is None:
+            record_ace_intervals = self.record_ace_intervals
+        core_seed = 0 if self.seed is None else self.seed
+        core = OutOfOrderCore(self.machine, self.trace, policy,
+                              seed=core_seed,
+                              record_ace_intervals=record_ace_intervals)
+        self.restore_into(core)
+        return core
+
+
+def warm_checkpoint(
+    workload: Union[WorkloadSpec, str],
+    machine: MachineParams,
+    policy: Union[RunaheadPolicy, str] = OOO,
+    warmup: int = DEFAULT_WARMUP,
+    seed: Optional[int] = None,
+    record_ace_intervals: bool = False,
+) -> Checkpoint:
+    """Run warmup once and capture the resulting state.
+
+    Mirrors the front half of :func:`repro.sim.simulate` exactly
+    (workload resolution, trace build, region preload, warmup run) so a
+    fork measured under ``policy`` reproduces a cold run bit for bit.
+    """
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    if isinstance(policy, str):
+        policy = get_policy(policy)
+    trace = workload.build_trace(seed=seed)
+    core_seed = 0 if seed is None else seed
+    core = OutOfOrderCore(machine, trace, policy, seed=core_seed,
+                          record_ace_intervals=record_ace_intervals)
+    for level, base, size in workload.resident_regions():
+        core.mem.preload(base, size, level)
+    if warmup > 0:
+        core.run(warmup)
+    return Checkpoint.capture(core, workload.name, warmup, seed)
+
+
+def simulate_from(
+    checkpoint: Checkpoint,
+    policy: Union[RunaheadPolicy, str, None] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    telemetry=None,
+) -> SimResult:
+    """Measure ``instructions`` starting from a warmed checkpoint.
+
+    With ``policy`` equal to the checkpoint's warmup policy (the
+    default), the returned :class:`SimResult` is bit-identical to
+    ``simulate(workload, machine, policy, instructions,
+    checkpoint.warmup, checkpoint.seed)``. A different ``policy`` forks
+    the same warmed state under new control logic — the shared-warmup
+    approximation.
+    """
+    if instructions <= 0:
+        raise ValueError("instructions must be positive")
+    core = checkpoint.fork(policy)
+    if telemetry is not None:
+        telemetry.attach(core)
+        telemetry.begin_measurement(core)
+    start = _snapshot(core)
+    core.run(instructions)
+    result = _delta_result(core, start, checkpoint.workload)
+    if telemetry is not None:
+        telemetry.end_measurement(core, result)
+    return result

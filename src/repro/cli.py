@@ -4,6 +4,7 @@ Subcommands:
     list                 available workloads, policies and machines
     run                  simulate one (workload, machine, policy) point
     compare              sweep policies on one workload, print a table
+    sweep                workload x policy matrix, optionally parallel
     scaling              Core-1..Core-4 sweep for one workload/policy pair
     report               render a --stats-out JSON file as tables
 
@@ -152,6 +153,59 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis.experiments import ExperimentRunner
+
+    machine = MACHINES[args.machine]
+    workloads = args.workloads or [w.name for w in ALL_WORKLOADS]
+    policies = args.policies or [p.name for p in ALL_POLICIES]
+    runner = ExperimentRunner(instructions=args.instructions,
+                              warmup=args.warmup, cache_path=args.cache)
+    t0 = time.perf_counter()
+    matrix = runner.run_matrix(workloads, machine, policies,
+                               jobs=args.jobs,
+                               share_warmup=args.share_warmup,
+                               warmup_policy=args.warmup_policy,
+                               stats_dir=args.stats_dir)
+    elapsed = time.perf_counter() - t0
+
+    rows: List[List] = []
+    for pol in policies:
+        for wl in workloads:
+            r = matrix[get_policy(pol).name][get_workload(wl).name]
+            rows.append([r.workload, r.policy, r.ipc, r.mlp, r.mpki,
+                         r.abc_total, r.avf])
+    print(f"{machine.name}: {len(workloads)} workloads x "
+          f"{len(policies)} policies ({args.instructions} instructions):\n")
+    print(format_table(
+        ["workload", "policy", "IPC", "MLP", "MPKI", "ABC", "AVF"], rows))
+    mode = f"jobs={args.jobs}"
+    if args.share_warmup:
+        mode += f", shared warmup under {args.warmup_policy}"
+    print(f"\n{len(rows)} points in {elapsed:.2f}s ({mode})")
+    if args.stats_dir:
+        print(f"per-point stats -> {args.stats_dir}/")
+    if args.out:
+        from repro.common.io import atomic_write_json
+        payload = {
+            "machine": machine.name,
+            "instructions": args.instructions,
+            "warmup": args.warmup,
+            "jobs": args.jobs,
+            "share_warmup": args.share_warmup,
+            "warmup_policy": args.warmup_policy,
+            "elapsed_s": elapsed,
+            "results": [matrix[get_policy(p).name][get_workload(w).name]
+                        .to_dict()
+                        for p in policies for w in workloads],
+        }
+        atomic_write_json(args.out, payload, indent=2)
+        print(f"results JSON   -> {args.out}")
+    return 0
+
+
 def cmd_characterize(args: argparse.Namespace) -> int:
     from repro.workloads.catalog import ALL_WORKLOADS, EXTRA_WORKLOADS
     from repro.workloads.characterize import characterize_all
@@ -248,6 +302,31 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(MACHINES))
     _add_size_args(p)
 
+    p = sub.add_parser("sweep",
+                       help="workload x policy matrix, optionally parallel")
+    p.add_argument("workloads", nargs="*",
+                   help="workload names (default: full catalog)")
+    p.add_argument("-p", "--policies", nargs="+", metavar="NAME",
+                   help="policy names (default: the paper's eight)")
+    p.add_argument("-m", "--machine", default="baseline",
+                   choices=sorted(MACHINES))
+    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                   help="worker processes; groups by workload (default 1)")
+    p.add_argument("--share-warmup", action="store_true",
+                   help="warm each workload once and fork the checkpoint "
+                        "for every policy (approximation; results cached "
+                        "under a separate 'sw:' variant key)")
+    p.add_argument("--warmup-policy", default="OOO", metavar="NAME",
+                   help="policy the shared warmup runs under (default OOO)")
+    p.add_argument("--cache", metavar="FILE",
+                   help="JSON result cache (read + atomically updated)")
+    p.add_argument("--out", metavar="FILE",
+                   help="write all point results as one JSON file")
+    p.add_argument("--stats-dir", metavar="DIR",
+                   help="write per-point telemetry stats JSON into DIR "
+                        "(forces cached points to re-run)")
+    _add_size_args(p)
+
     p = sub.add_parser("scaling", help="Core-1..4 sweep")
     p.add_argument("workload")
     p.add_argument("policy", nargs="?", default="RAR")
@@ -284,6 +363,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "report": cmd_report,
         "compare": cmd_compare,
+        "sweep": cmd_sweep,
         "scaling": cmd_scaling,
         "trace": cmd_trace,
         "characterize": cmd_characterize,

@@ -1,0 +1,35 @@
+"""Small filesystem helpers shared by the cache and artifact writers."""
+
+import json
+import os
+import tempfile
+from typing import Any
+
+__all__ = ["atomic_write_json"]
+
+
+def atomic_write_json(path: str, payload: Any, indent=None) -> None:
+    """Write JSON so readers never observe a partial file.
+
+    The payload is serialised to a unique temp file in the destination
+    directory (same filesystem, so the final ``os.replace`` is atomic),
+    fsynced, then renamed over ``path``. A crash or interrupt mid-write
+    leaves the previous file intact; concurrent writers last-write-win
+    at whole-file granularity instead of interleaving.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(payload, f, indent=indent)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

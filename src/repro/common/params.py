@@ -13,6 +13,17 @@ from typing import Dict, Optional, Tuple
 
 from repro.common.enums import UopClass
 
+#: Default committed-instruction budgets shared by every run entry point
+#: (``simulate()``, ``ExperimentRunner``, the CLI). Warmup simulates this
+#: many instructions before counters reset — enough for the caches, the
+#: branch predictor and the SST to reach steady state on the catalog
+#: workloads. Historically ``ExperimentRunner`` defaulted to a shorter
+#: 5,000-instruction warmup than ``simulate()``, which made cached sweep
+#: results silently incomparable with direct ``simulate()`` calls; both
+#: now share these constants.
+DEFAULT_INSTRUCTIONS = 30_000
+DEFAULT_WARMUP = 20_000
+
 #: Bits of vulnerable state per entry in each back-end structure (Table III)
 #: and per register class (Table II).  Functional-unit widths are charged
 #: per execution cycle.

@@ -1,4 +1,4 @@
-"""The cycle-level out-of-order core with runahead mechanisms.
+"""The cycle-level out-of-order core: facade over engine + components.
 
 One :class:`OutOfOrderCore` simulates one workload trace on one machine
 configuration under one :class:`~repro.core.runahead.RunaheadPolicy`. The
@@ -7,10 +7,16 @@ per-cycle loop is::
     process completion events → commit → controller (triggers/exits,
     runahead fetch) → issue → dispatch → fetch
 
-A cycle with no activity fast-forwards to the next cycle at which anything
-*can* happen (completion event, front-end arrival, fetch gate, head-timer
-expiry) — this is what makes a pure-Python model viable for memory-bound
-workloads that spend hundreds of consecutive cycles draining one miss.
+Since the engine refactor the class is a thin facade: the cycle loop,
+event heap and fast-forward live in :class:`~repro.core.engine.SimEngine`,
+and the pipeline stages are :class:`~repro.core.engine.Component`
+instances (:mod:`repro.core.components`) that each own a disjoint slice
+of the mutable state. The facade constructs the hardware structures,
+wires the components together, and re-exports the historical attribute
+surface (``core.cycle``, ``core.mode``, ``core._step()``, …) by
+delegation so ``simulate()``, telemetry hooks and the test suite are
+unaffected. See docs/architecture.md for the decomposition and the
+checkpoint lifecycle built on it.
 
 Mechanism summary (see DESIGN.md §4 for the full matrix):
 
@@ -24,12 +30,17 @@ Mechanism summary (see DESIGN.md §4 for the full matrix):
   is un-ACE, which is RAR's reliability win.
 """
 
-import heapq
 from functools import partial
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional
 
-from repro.common.enums import Mode, SquashCause, UopClass
 from repro.common.params import MachineParams
+from repro.core.components import (
+    CommitUnit,
+    FrontEndStage,
+    RunaheadController,
+    WindowBackEnd,
+)
+from repro.core.engine import EV_RA_DONE, EV_RA_ISSUE, EV_WB, SimEngine
 from repro.core.fu import FuPool
 from repro.core.issue_queue import IssueQueue
 from repro.core.lsq import LoadStoreQueues
@@ -42,20 +53,9 @@ from repro.frontend.btb import Btb
 from repro.frontend.fetch import FrontEnd, WrongPathSource
 from repro.frontend.tage import TageScL
 from repro.isa.trace import Trace
-from repro.isa.uop import DynUop
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.obs.registry import StatsRegistry
 from repro.reliability.ace import AceAccountant
-
-_EV_WB = 0        # writeback: a dispatched uop's result is ready
-_EV_RA_ISSUE = 1  # a runahead uop's memory access reaches the hierarchy
-_EV_RA_DONE = 2   # a runahead-initiated LLC miss completed (MLP counter)
-
-_LOAD = int(UopClass.LOAD)
-_STORE = int(UopClass.STORE)
-_BRANCH = int(UopClass.BRANCH)
-_NOP = int(UopClass.NOP)
-
 
 #: SimStats attribute → hierarchical registry name (gem5-style dotted
 #: paths, one namespace per component; see docs/metrics.md).
@@ -169,7 +169,11 @@ class OutOfOrderCore:
         self.policy = policy
         p = machine.core
         self.width = p.width
+        self.record_ace_intervals = record_ace_intervals
 
+        # Shared hardware structures. These objects are never replaced
+        # over the core's lifetime — components cache direct references
+        # and checkpoint restore mutates them in place.
         self.mem = MemoryHierarchy(machine)
         self.predictor = TageScL()
         self.btb = Btb()
@@ -190,38 +194,6 @@ class OutOfOrderCore:
         self.registry = self.stats.registry
         self._register_component_stats()
 
-        self.cycle = 0
-        self.mode = Mode.NORMAL
-        self._seq = 0
-        self._ev_count = 0
-        self.fetch_idx = 0          # next correct-path static uop to fetch
-        self.next_dispatch_idx = 0  # next correct-path static uop to dispatch
-        self.pending_branch: Optional[DynUop] = None
-        self.inflight: Dict[int, DynUop] = {}
-        self._events: List[Tuple[int, int, int, object]] = []
-        self._out_misses = 0
-
-        # Runahead interval state
-        self.blocking: Optional[DynUop] = None
-        self._ra_interval = 0
-        self._ra_fetch_idx = 0
-        self._ra_resume = 0
-        self._ra_entry_cycle = 0
-        self._ra_diverged = False
-        self._ra_hist_ckpt = 0
-        self._ra_inv: Set[int] = set()
-        self._ra_ready: Dict[int, int] = {}
-        self._ra_iq_releases: List[int] = []  # min-heap of release cycles
-        self._ra_vec_fill = 0  # vector-runahead group fill counter
-
-        # Attribution window bookkeeping (Figure 5)
-        self._hb_seq = -1
-        self._fs_seq = -1
-        #: last cycle dispatch was blocked by a rename-register shortage —
-        #: treated as a full-window stall for the late runahead trigger
-        #: (the window cannot extend further, exactly like a full ROB)
-        self._regstall_cycle = -2
-
         lat = machine.l1d.latency
         self._est_latency = {
             "l1": lat,
@@ -230,6 +202,25 @@ class OutOfOrderCore:
             "dram": lat + machine.l2.latency + machine.l3.latency
             + machine.dram.row_miss_latency + 60,
         }
+
+        # Engine + pipeline components: construct all, then bind (binding
+        # caches cross-component references, so every component must
+        # already exist), then wire the stage order and event handlers.
+        self.engine = SimEngine(self)
+        self.frontend_stage = FrontEndStage(self)
+        self.commit_unit = CommitUnit(self)
+        self.backend = WindowBackEnd(self)
+        self.runahead_ctl = RunaheadController(self)
+        self.components = (self.engine, self.frontend_stage,
+                           self.commit_unit, self.backend,
+                           self.runahead_ctl)
+        for comp in self.components:
+            comp.bind()
+        self.engine.wire((self.commit_unit, self.runahead_ctl,
+                          self.backend, self.frontend_stage))
+        self.engine.on_event(EV_WB, self.backend.writeback)
+        self.engine.on_event(EV_RA_ISSUE, self.runahead_ctl.ra_memory_issue)
+        self.engine.on_event(EV_RA_DONE, self.backend.ra_miss_done)
 
         if telemetry is not None:
             telemetry.attach(self)
@@ -297,703 +288,96 @@ class OutOfOrderCore:
 
     def run(self, max_instructions: int) -> None:
         """Simulate until ``max_instructions`` have committed."""
-        target = self.stats.committed + max_instructions
-        telemetry = self.telemetry
-        while self.stats.committed < target:
-            if self._step():
-                self.cycle += 1
-            else:
-                self._fast_forward()
-            self.stats.cycles = self.cycle
-            if telemetry is not None:
-                telemetry.tick(self)
-
-    # =============================================================== step
+        self.engine.run(max_instructions)
 
     def _step(self) -> int:
-        """Simulate the current cycle; returns activity count (0 = idle).
-
-        Does *not* advance ``self.cycle`` — :meth:`run` owns the clock so
-        that idle stretches can fast-forward.
-        """
-        c = self.cycle
-        progress = self._process_events(c)
-        progress += self._do_commit(c)
-        self.rob.advance_timer(1)
-        progress += self._controller(c)
-        progress += self._do_issue(c)
-        progress += self._do_dispatch(c)
-        progress += self._do_fetch(c)
-        if self._out_misses > 0:
-            self.stats.mlp_sum += self._out_misses
-            self.stats.mlp_cycles += 1
-        if self.mode == Mode.FLUSH_STALL:
-            self.stats.flush_stall_cycles += 1
-        return progress
+        return self.engine.step()
 
     def _fast_forward(self) -> None:
-        """Jump from an idle cycle to the next cycle anything can happen.
-
-        The current cycle has already been simulated (and accounted) by
-        :meth:`_step`; candidates are therefore strictly in the future.
-        """
-        c = self.cycle
-        candidates: List[int] = []
-        if self._events:
-            candidates.append(self._events[0][0])
-        arrival = self.frontend.next_arrival()
-        if arrival is not None and self.mode == Mode.NORMAL:
-            candidates.append(arrival)
-        if self.mode == Mode.NORMAL and len(self.frontend) == 0 \
-                and self.frontend.resume_cycle > c:
-            candidates.append(self.frontend.resume_cycle)
-        if self.mode == Mode.RUNAHEAD:
-            if self._ra_resume > c:
-                candidates.append(self._ra_resume)
-            if self._ra_iq_releases and self._ra_iq_releases[0] > c:
-                candidates.append(self._ra_iq_releases[0])
-            nxt = self.prdq.next_release()
-            if nxt is not None and nxt > c:
-                candidates.append(nxt)
-        head = self.rob.head
-        if (self.mode == Mode.NORMAL and head is not None
-                and not self.rob.head_timer_expired):
-            candidates.append(c + max(1, self.rob.timer_remaining))
-        candidates = [x for x in candidates if x > c]
-        if not candidates:
-            raise RuntimeError(
-                f"simulator deadlock at cycle {c} "
-                f"(mode={self.mode.name}, rob={len(self.rob)}, "
-                f"iq={len(self.iq)}, committed={self.stats.committed})"
-            )
-        target = min(candidates)
-        # Cycle c itself was accounted by _step; account the skipped span
-        # (c+1 .. target-1) here, then land on `target`.
-        span = target - c - 1
-        if span > 0:
-            self.rob.advance_timer(span)
-            if self._out_misses > 0:
-                self.stats.mlp_sum += self._out_misses * span
-                self.stats.mlp_cycles += span
-            if self.mode == Mode.FLUSH_STALL:
-                self.stats.flush_stall_cycles += span
-            self.stats.fast_forwarded_cycles += span
-        self.cycle = target
-
-    # ============================================================= events
+        self.engine.fast_forward()
 
     def _schedule(self, cycle: int, kind: int, payload: object) -> None:
-        self._ev_count += 1
-        heapq.heappush(self._events, (cycle, self._ev_count, kind, payload))
+        self.engine.schedule(cycle, kind, payload)
 
-    def _process_events(self, c: int) -> int:
-        n = 0
-        ev = self._events
-        while ev and ev[0][0] <= c:
-            when, _, kind, payload = heapq.heappop(ev)
-            n += 1
-            if kind == _EV_WB:
-                self._writeback(payload, when)
-            elif kind == _EV_RA_ISSUE:
-                self._ra_memory_issue(payload, when)
-            else:  # _EV_RA_DONE
-                self._out_misses -= 1
-        return n
+    def _writeback(self, uop, when: int) -> None:
+        self.backend.writeback(uop, when)
 
-    def _writeback(self, uop: DynUop, when: int) -> None:
-        if uop.counted_miss:
-            self._out_misses -= 1
-        if uop.squashed:
-            return
-        uop.completed = True
-        uop.done_cycle = when
-        for consumer in uop.consumers:
-            consumer.pending -= 1
-            self.iq.wakeup(consumer)
-        uop.consumers = []
-        st = uop.static
-        if st.cls == _LOAD and uop.mem_level == "dram" and not uop.wrong_path:
-            self._train_sst(st.idx, st.pc)
-        if st.cls == _BRANCH and not uop.wrong_path:
-            self.stats.branch_resolved += 1
-            if uop.mispredicted:
-                self._resolve_mispredict(uop, when)
+    # --------------------------------------------------- delegated state
+    # The historical flat attribute surface, routed to the component that
+    # now owns each piece of state. Both reads and writes delegate, so
+    # white-box tests and external drivers keep working unchanged.
 
-    def _train_sst(self, idx: int, pc: int) -> None:
-        """Insert the LLC-missing load's backward slice into the SST."""
-        if self.sst.lookup(pc):
-            return
-        trace = self.trace
-        pcs = []
-        for i in trace.slice_producers(idx):
-            producer = trace.get(i)
-            if producer is not None:
-                pcs.append(producer.pc)
-        pcs.append(pc)
-        self.sst.train_slice(pcs)
-        if self.observer:
-            self.observer("sst_train", self.cycle, pc=pc,
-                          slice_len=len(pcs))
+    @property
+    def cycle(self) -> int:
+        return self.engine.cycle
 
-    # ======================================================== mispredicts
+    @cycle.setter
+    def cycle(self, value: int) -> None:
+        self.engine.cycle = value
 
-    def _resolve_mispredict(self, branch: DynUop, when: int) -> None:
-        """A correct-path mispredicted branch resolved: recover."""
-        self.stats.branch_mispredicted += 1
-        if self.observer:
-            self.observer("mispredict", when, branch=branch)
-        squashed = self.rob.squash_younger(branch.seq)
-        self._release_squashed(squashed, SquashCause.BRANCH_MISPREDICT)
-        self.stats.squashed_mispredict += len(squashed)
-        # Undispatched queued uops are all younger: drop them.
-        self.frontend.redirect(when)
-        self.fetch_idx = branch.static.idx + 1
-        self.next_dispatch_idx = branch.static.idx + 1
-        if self.pending_branch is branch or (
-                self.pending_branch is not None and self.pending_branch.squashed):
-            self.pending_branch = None
-        if self.mode == Mode.RUNAHEAD:
-            # Runahead was chasing the wrong path; re-steer the cursor.
-            self._ra_diverged = False
-            self._ra_fetch_idx = branch.static.idx + 1
-            self._ra_resume = max(self._ra_resume,
-                                  when + self.machine.core.frontend_depth)
+    @property
+    def mode(self):
+        return self.runahead_ctl.mode
 
-    def _release_squashed(self, uops: List[DynUop], cause: SquashCause) -> None:
-        if self.observer and uops:
-            self.observer("squash", self.cycle, uops=uops, cause=cause)
-        inflight = self.inflight
-        for u in uops:
-            u.squashed = True
-            u.squash_cause = int(cause)
-            self.lsq.release(u)
-            self.regs.release(u)
-            if inflight.get(u.static.idx) is u:
-                del inflight[u.static.idx]
-        self.iq.squash(lambda x: x.squashed)
+    @mode.setter
+    def mode(self, value) -> None:
+        self.runahead_ctl.mode = value
 
-    # ============================================================= commit
+    @property
+    def blocking(self):
+        return self.runahead_ctl.blocking
 
-    def _do_commit(self, c: int) -> int:
-        if self.mode != Mode.NORMAL:
-            return 0
-        n = 0
-        rob = self.rob
-        while n < self.width:
-            head = rob.head
-            if head is None or not head.completed:
-                break
-            rob.pop_head()
-            if head.wrong_path:
-                raise RuntimeError("wrong-path uop reached commit")
-            head.commit_cycle = c
-            self.lsq.release(head)
-            self.regs.release(head)
-            self.ace.charge_commit(head)
-            st = head.static
-            if head.llc_miss and st.cls == _LOAD:
-                # MPKI counts committed loads whose instance missed the LLC.
-                self.stats.demand_llc_misses += 1
-            if st.cls == _STORE:
-                # Write-allocate at retirement; never blocks commit.
-                self.mem.access(st.addr, c, is_write=True, pc=st.pc)
-            if self.inflight.get(st.idx) is head:
-                del self.inflight[st.idx]
-            if self.observer:
-                self.observer("commit", c, uop=head)
-            self.stats.committed += 1
-            n += 1
-        return n
+    @blocking.setter
+    def blocking(self, value) -> None:
+        self.runahead_ctl.blocking = value
 
-    # ========================================================= controller
+    @property
+    def fetch_idx(self) -> int:
+        return self.frontend_stage.fetch_idx
 
-    def _controller(self, c: int) -> int:
-        self._update_windows(c)
-        mode = self.mode
-        if mode == Mode.NORMAL:
-            return self._check_triggers(c)
-        if mode == Mode.FLUSH_STALL:
-            blocking = self.blocking
-            if blocking is not None and blocking.completed:
-                # Data returned: head will commit; refetch the rest.
-                self.mode = Mode.NORMAL
-                self.blocking = None
-                self.fetch_idx = self.next_dispatch_idx
-                self.frontend.resume_cycle = c + self.machine.core.frontend_depth
-                if self.observer:
-                    self.observer("flush_exit", c)
-                return 1
-            return 0
-        # Mode.RUNAHEAD
-        blocking = self.blocking
-        if blocking is not None and blocking.completed:
-            self._exit_runahead(c)
-            return 1
-        return self._runahead_advance(c)
+    @fetch_idx.setter
+    def fetch_idx(self, value: int) -> None:
+        self.frontend_stage.fetch_idx = value
 
-    def _update_windows(self, c: int) -> None:
-        """Maintain the Figure 5 attribution windows."""
-        head = self.rob.head
-        ace = self.ace
-        blocked = (
-            head is not None
-            and head.static.cls == _LOAD
-            and head.llc_miss
-            and not head.completed
-            and not head.wrong_path
-        )
-        if blocked:
-            if ace.head_blocked.is_open and self._hb_seq != head.seq:
-                ace.head_blocked.close(c)
-            if not ace.head_blocked.is_open:
-                ace.head_blocked.open(c)
-                self._hb_seq = head.seq
-            if ace.full_stall.is_open and self._fs_seq != head.seq:
-                ace.full_stall.close(c)
-            # "Full-window stall": the window cannot grow — ROB full or
-            # renaming out of registers (same condition as the late
-            # runahead trigger).
-            window_stalled = self.rob.full or self._regstall_cycle >= c - 1
-            if not ace.full_stall.is_open and window_stalled:
-                ace.full_stall.open(c)
-                self._fs_seq = head.seq
-        else:
-            if ace.head_blocked.is_open:
-                ace.head_blocked.close(c)
-            if ace.full_stall.is_open:
-                ace.full_stall.close(c)
+    @property
+    def pending_branch(self):
+        return self.frontend_stage.pending_branch
 
-    def _head_blocked_by_miss(self) -> Optional[DynUop]:
-        head = self.rob.head
-        if (
-            head is not None
-            and head.static.cls == _LOAD
-            and not head.completed
-            and not head.wrong_path
-            and head.mem_issue_cycle >= 0
-            and head.llc_miss
-        ):
-            return head
-        return None
+    @pending_branch.setter
+    def pending_branch(self, value) -> None:
+        self.frontend_stage.pending_branch = value
 
-    def _check_triggers(self, c: int) -> int:
-        policy = self.policy
-        if policy.kind in ("ooo", "throttle"):
-            return 0  # throttling acts in dispatch, not via mode changes
-        head = self._head_blocked_by_miss()
-        if head is None:
-            return 0
-        if policy.kind == "flush":
-            if not self.rob.head_timer_expired:
-                return 0
-            self._enter_flush_stall(head, c)
-            return 1
-        # Runahead variants
-        if policy.early:
-            if not self.rob.head_timer_expired:
-                return 0
-        else:
-            # Full-window stall: the ROB is full, or renaming ran out of
-            # physical registers (the window cannot grow either way). An
-            # IQ-full stall does NOT count — that is precisely the case
-            # the late-triggering variants miss (Section II-C).
-            if not (self.rob.full or self._regstall_cycle >= c - 1):
-                return 0
-            if (policy.name == "TR"
-                    and c - head.mem_issue_cycle
-                    >= self.machine.core.tr_recency_cycles):
-                return 0
-        self._enter_runahead(head, c)
-        return 1
+    @property
+    def next_dispatch_idx(self) -> int:
+        return self.backend.next_dispatch_idx
 
-    def _enter_flush_stall(self, head: DynUop, c: int) -> None:
-        squashed = self.rob.squash_younger(head.seq)
-        self._release_squashed(squashed, SquashCause.FLUSH_MECHANISM)
-        self.stats.squashed_flush_mechanism += len(squashed)
-        self.stats.flush_triggers += 1
-        self.frontend.redirect(c, penalty=1 << 60)  # gated until data returns
-        if self.pending_branch is not None and (
-                self.pending_branch.squashed
-                or self.pending_branch.dispatch_cycle < 0):
-            self.pending_branch = None
-        self.next_dispatch_idx = head.static.idx + 1
-        self.blocking = head
-        self.mode = Mode.FLUSH_STALL
-        if self.observer:
-            self.observer("flush_enter", c, blocking=head)
+    @next_dispatch_idx.setter
+    def next_dispatch_idx(self, value: int) -> None:
+        self.backend.next_dispatch_idx = value
 
-    # =========================================================== runahead
+    @property
+    def inflight(self):
+        return self.backend.inflight
 
-    def _enter_runahead(self, head: DynUop, c: int) -> None:
-        self.stats.runahead_triggers += 1
-        self.stats.ra_trigger_rob_sum += len(self.rob)
-        self.blocking = head
-        self.mode = Mode.RUNAHEAD
-        self._ra_interval += 1
-        self._ra_entry_cycle = c
-        self._ra_resume = c + 1  # checkpoint RAT, redirect front-end
-        # Seed the INV set with everything whose value cannot materialise
-        # during the interval: the blocking load itself plus every
-        # in-flight, incomplete instruction (transitively) dependent on it.
-        # Without this, a trace-driven simulator would leak statically
-        # known addresses of data-dependent loads to the prefetcher —
-        # letting runahead "prefetch" pointer chains no real runahead can.
-        blocked = {head.static.idx}
-        for u in self.rob:
-            if u is head or u.wrong_path or u.completed:
-                continue
-            for src in u.static.srcs:
-                if src in blocked:
-                    blocked.add(u.static.idx)
-                    break
-        self._ra_inv = blocked
-        self._ra_ready = {}
-        self._ra_vec_fill = 0
-        self._ra_diverged = self.pending_branch is not None
-        self._ra_fetch_idx = self.next_dispatch_idx
-        #: branch history is checkpointed with the RAT and restored at exit
-        self._ra_hist_ckpt = self.predictor.hist
-        if self.observer:
-            self.observer("runahead_enter", c, blocking=head)
-        # The front-end is reused by runahead: queued uops are dropped and
-        # will be refetched after exit.
-        if self.pending_branch is not None and \
-                self.pending_branch.dispatch_cycle < 0:
-            self.pending_branch = None
-            self._ra_diverged = False
-        self.frontend.redirect(c, penalty=1 << 60)  # normal fetch off
+    @property
+    def _out_misses(self) -> int:
+        return self.backend._out_misses
 
-    def _runahead_advance(self, c: int) -> int:
-        if c < self._ra_resume:
-            self.stats.ra_stall_resume += 1
-            return 0
-        if self._ra_diverged:
-            self.stats.ra_stall_diverged += 1
-            return 0
-        self._drain_ra_iq(c)
-        self.prdq.drain(c)
-        policy = self.policy
-        trace = self.trace
-        budget = self.width
-        progress = 0
-        #: runahead-buffer replay skips non-chain uops for free, but the
-        #: scan per cycle is still bounded (buffer index hardware).
-        free_skips = 16 * self.width if policy.buffer else 0
-        while budget > 0:
-            st = trace.get(self._ra_fetch_idx)
-            if st is None:
-                break
-            self.stats.runahead_uops_examined += 1
-            idx = st.idx
-            inv = False
-            for src in st.srcs:
-                if src in self._ra_inv:
-                    inv = True
-                    break
-            if inv:
-                self._ra_inv.add(idx)
-            cls = st.cls
-            if cls == _BRANCH and policy.buffer:
-                # The runahead buffer replays a straight chain: it cannot
-                # re-steer. Correctly-predicted branches are invisible to
-                # it; a mispredicted one ends the replay.
-                predicted = self.predictor.predict(st.pc)
-                self.predictor.shift_history(predicted)
-                if predicted != st.taken:
-                    self._ra_diverged = True
-                    self._ra_fetch_idx += 1
-                    return progress + 1
-                self._ra_fetch_idx += 1
-                progress += 1
-                if free_skips > 0:
-                    free_skips -= 1
-                else:
-                    budget -= 1
-                continue
-            if cls == _BRANCH:
-                if inv:
-                    # Miss-dependent branch: cannot execute, follow the
-                    # prediction (speculative history shift, no training).
-                    predicted = self.predictor.predict(st.pc)
-                    self.predictor.shift_history(predicted)
-                    if predicted != st.taken:
-                        # Went the wrong way and cannot be repaired: the
-                        # rest of the interval is diverged.
-                        self._ra_diverged = True
-                        self._ra_fetch_idx += 1
-                        return progress + 1
-                else:
-                    # Runahead executes valid branches: predictor trains
-                    # and history advances, exactly like normal fetch (a
-                    # known side benefit of runahead execution).
-                    predicted = self.predictor.observe(st.pc, st.taken)
-                    if predicted != st.taken:
-                        # Resolve and re-steer the cursor.
-                        self._ra_resume = c + self.machine.core.frontend_depth
-                        self._ra_fetch_idx += 1
-                        return progress + 1
-                self._ra_fetch_idx += 1
-                budget -= 1
-                progress += 1
-                continue
-            execute = not inv and (not policy.lean or self._sst_hit(st))
-            if not execute:
-                self._ra_fetch_idx += 1
-                progress += 1
-                if free_skips > 0:
-                    # Buffer replay: non-chain uops never enter the engine.
-                    free_skips -= 1
-                else:
-                    budget -= 1
-                continue
-            # Vector runahead: consecutive slice instances share one
-            # issue/IQ slot per `vector`-wide group.
-            vector_free = False
-            if policy.vector:
-                vector_free = (self._ra_vec_fill % policy.vector) != 0
-                self._ra_vec_fill += 1
-            # Acquire runahead resources: a free IQ entry, and a register
-            # via the PRDQ when the uop writes a destination.
-            if not vector_free and self.iq.free <= 0:
-                self.stats.ra_stall_iq += 1
-                break
-            ready = c
-            for src in st.srcs:
-                t = self._ra_ready.get(src)
-                if t is None:
-                    producer = self.inflight.get(src)
-                    if producer is not None and producer.completed:
-                        t = producer.done_cycle
-                    else:
-                        t = c
-                if t > ready:
-                    ready = t
-            ready += self.fus.latency(cls)
-            if st.has_dest and not vector_free:
-                if not self.prdq.can_allocate(st.is_fp):
-                    self.stats.ra_stall_prdq += 1
-                    break
-                self.prdq.allocate(st.is_fp, ready)
-            if not vector_free:
-                self.iq.runahead_used += 1
-                heapq.heappush(self._ra_iq_releases, ready)
-            self.stats.runahead_uops_executed += 1
-            if cls == _LOAD or cls == _STORE:
-                self._schedule(max(ready, c + 1), _EV_RA_ISSUE,
-                               (self._ra_interval, st, 0))
-                est = self._est_latency[self.mem.probe_level(st.addr)]
-                self._ra_ready[idx] = ready + est
-            else:
-                self._ra_ready[idx] = ready
-            self._ra_fetch_idx += 1
-            if vector_free:
-                pass  # batched into the group leader's slot
-            elif free_skips > 0 and not execute:
-                free_skips -= 1
-            else:
-                budget -= 1
-            progress += 1
-        return progress
+    @_out_misses.setter
+    def _out_misses(self, value: int) -> None:
+        self.backend._out_misses = value
 
-    def _sst_hit(self, st) -> bool:
-        hit = self.sst.lookup(st.pc)
-        if hit and self.observer:
-            self.observer("sst_hit", self.cycle, pc=st.pc)
-        return hit
+    @property
+    def _events(self):
+        return self.engine._events
 
-    def _drain_ra_iq(self, c: int) -> None:
-        rel = self._ra_iq_releases
-        while rel and rel[0] <= c:
-            heapq.heappop(rel)
-            if self.iq.runahead_used > 0:
-                self.iq.runahead_used -= 1
+    @property
+    def _ra_inv(self):
+        return self.runahead_ctl._ra_inv
 
-    def _ra_memory_issue(self, payload, when: int) -> None:
-        interval, st, retry = payload
-        if interval != self._ra_interval or self.mode != Mode.RUNAHEAD:
-            return
-        result = self.mem.access(st.addr, when, is_write=(st.cls == _STORE),
-                                 pc=st.pc)
-        if result is None:
-            # MSHRs full: retry with backoff — runahead keeps the MSHRs
-            # saturated by design, so an eager retry loop would spin.
-            backoff = min(32, 4 << min(retry, 3))
-            self._schedule(when + backoff, _EV_RA_ISSUE,
-                           (interval, st, retry + 1))
-            return
-        self.stats.runahead_prefetches += 1
-        self._ra_ready[st.idx] = result.done_cycle
-        if self.observer:
-            self.observer("runahead_prefetch", when, pc=st.pc,
-                          level=result.level)
-        if result.level == "dram":
-            if st.cls == _LOAD and not self.sst.lookup(st.pc):
-                self._train_sst(st.idx, st.pc)
-            if not result.merged:
-                self._out_misses += 1
-                self._schedule(result.done_cycle, _EV_RA_DONE, None)
-
-    def _exit_runahead(self, c: int) -> None:
-        self.stats.runahead_cycles += c - self._ra_entry_cycle
-        depth = self.machine.core.frontend_depth
-        if self.policy.flush_at_exit:
-            squashed = self.rob.squash_all()
-            self._release_squashed(squashed, SquashCause.RUNAHEAD_EXIT_FLUSH)
-            self.stats.squashed_runahead_flush += len(squashed)
-            blocking_idx = self.blocking.static.idx
-            self.fetch_idx = blocking_idx
-            self.next_dispatch_idx = blocking_idx
-            self.pending_branch = None
-            # RAT restore + full refetch from the blocking load.
-            self.frontend.redirect(c, penalty=depth)
-        else:
-            # PRE: the frozen window is kept; refetch only beyond it.
-            self.fetch_idx = self.next_dispatch_idx
-            self.frontend.redirect(c, penalty=depth)
-            if self.pending_branch is not None and \
-                    self.pending_branch.dispatch_cycle < 0:
-                self.pending_branch = None
-        self.iq.runahead_used = 0
-        self._ra_iq_releases = []
-        self.prdq.flush()
-        self.predictor.hist = self._ra_hist_ckpt
-        self._ra_ready = {}
-        self._ra_inv = set()
-        self._ra_diverged = False
-        if self.observer:
-            self.observer("runahead_exit", c, blocking=self.blocking)
-        self.blocking = None
-        self.mode = Mode.NORMAL
-
-    # ============================================================== issue
-
-    def _do_issue(self, c: int) -> int:
-        iq = self.iq
-        attempts = iq.ready_count
-        if attempts == 0:
-            return 0
-        issued = 0
-        blocked: List[DynUop] = []
-        fus = self.fus
-        while attempts > 0 and issued < self.width and iq.ready_count > 0:
-            attempts -= 1
-            u = iq.pop_ready()
-            st = u.static
-            cls = st.cls
-            if not fus.can_issue(cls, c):
-                blocked.append(u)
-                continue
-            if cls == _LOAD:
-                result = self.mem.access(st.addr, c, pc=st.pc)
-                if result is None:  # MSHRs full
-                    blocked.append(u)
-                    continue
-                fus.issue(cls, c)  # AGU slot
-                done = result.done_cycle
-                u.mem_level = result.level
-                u.mem_issue_cycle = c
-                if result.level == "dram":
-                    u.llc_miss = True
-                    # MLP counts useful (correct-path) outstanding misses;
-                    # wrong-path misses still consume MSHRs and bandwidth.
-                    if not result.merged and not u.wrong_path:
-                        u.counted_miss = True
-                        self._out_misses += 1
-            elif cls == _STORE:
-                fus.issue(cls, c)
-                u.mem_issue_cycle = c
-                done = c + 1  # address/data capture; write happens at commit
-            else:
-                done = fus.issue(cls, c)
-            u.issue_cycle = c
-            self._schedule(done, _EV_WB, u)
-            issued += 1
-        for u in reversed(blocked):
-            iq.requeue(u)
-        return issued
-
-    # =========================================================== dispatch
-
-    def _dispatch_budget(self, c: int) -> int:
-        """Per-cycle dispatch width; the THROTTLE policy rate-limits it to
-        one uop every 4 cycles while an LLC miss blocks the head."""
-        if self.policy.kind == "throttle" \
-                and self._head_blocked_by_miss() is not None:
-            return 1 if (c & 3) == 0 else 0
-        return self.width
-
-    def _do_dispatch(self, c: int) -> int:
-        if self.mode != Mode.NORMAL:
-            return 0
-        n = 0
-        frontend = self.frontend
-        while n < self._dispatch_budget(c):
-            u = frontend.peek_ready(c)
-            if u is None:
-                break
-            if not self.regs.can_allocate(u):
-                self._regstall_cycle = c
-                break
-            if self.rob.full or not self.lsq.can_allocate(u):
-                break
-            if u.static.cls != _NOP and self.iq.full:
-                break
-            frontend.pop()
-            u.dispatch_cycle = c
-            self.rob.push(u)
-            self.lsq.allocate(u)
-            self.regs.allocate(u)
-            if u.static.cls == _NOP:
-                u.completed = True
-                u.done_cycle = c
-            else:
-                for src in u.static.srcs:
-                    producer = self.inflight.get(src)
-                    if producer is not None and not producer.completed \
-                            and not producer.squashed:
-                        u.pending += 1
-                        producer.consumers.append(u)
-                self.iq.insert(u)
-            if not u.wrong_path:
-                self.inflight[u.static.idx] = u
-                self.next_dispatch_idx = u.static.idx + 1
-            n += 1
-        return n
-
-    # ============================================================== fetch
-
-    def _do_fetch(self, c: int) -> int:
-        if self.mode != Mode.NORMAL:
-            return 0
-        frontend = self.frontend
-        n = 0
-        while n < self.width and frontend.can_fetch(c):
-            if self.pending_branch is not None:
-                st = self.wrong_path_src.next_uop(self.fetch_idx)
-                u = DynUop(st, self._next_seq(), wrong_path=True)
-            else:
-                st = self.trace.get(self.fetch_idx)
-                if st is None:
-                    break
-                u = DynUop(st, self._next_seq())
-                if st.cls == _BRANCH:
-                    predicted = self.predictor.observe(st.pc, st.taken)
-                    target = self.btb.lookup(st.pc)
-                    self.btb.update(st.pc, st.target)
-                    if st.taken and target < 0:
-                        # BTB miss on a taken branch: fetch cannot follow.
-                        predicted = not st.taken
-                    u.predicted_taken = predicted
-                    if predicted != st.taken:
-                        self.pending_branch = u
-                self.fetch_idx += 1
-            frontend.push(u, c)
-            n += 1
-        return n
-
-    def _next_seq(self) -> int:
-        self._seq += 1
-        return self._seq
+    @property
+    def _ra_hist_ckpt(self) -> int:
+        return self.runahead_ctl._ra_hist_ckpt
 
     # ============================================================ results
 

@@ -54,6 +54,11 @@ class StaticUop:
         self.taken = taken
         self.target = target
 
+    def __deepcopy__(self, memo) -> "StaticUop":
+        # Immutable and owned by the trace: checkpoint deep-copies share
+        # the instance instead of duplicating the whole unrolled program.
+        return self
+
     @property
     def uop_class(self) -> UopClass:
         return UopClass(self.cls)

@@ -19,9 +19,17 @@ from typing import Any, Dict, Optional
 
 __all__ = ["HostProfiler"]
 
-#: core stage methods wrapped by ``profile_stages``
-_STAGES = ("_process_events", "_do_commit", "_controller", "_do_issue",
-           "_do_dispatch", "_do_fetch", "_fast_forward")
+#: pipeline stage methods wrapped by ``profile_stages``, as
+#: (core attribute holding the owning component, method name, report key)
+_STAGES = (
+    ("engine", "process_events", "events"),
+    ("commit_unit", "step", "commit"),
+    ("runahead_ctl", "step", "controller"),
+    ("backend", "_do_issue", "issue"),
+    ("backend", "_do_dispatch", "dispatch"),
+    ("frontend_stage", "step", "fetch"),
+    ("engine", "fast_forward", "fast_forward"),
+)
 
 
 class HostProfiler:
@@ -84,20 +92,22 @@ class HostProfiler:
     # ------------------------------------------------------------ stages
 
     def profile_stages(self, core) -> None:
-        """Wrap the core's stage methods with wall-clock timers."""
+        """Wrap the pipeline components' stage methods with wall-clock
+        timers (instance-level shadowing, so only this core is slowed)."""
         shares = self.stage_seconds
-        for name in _STAGES:
-            bound = getattr(core, name)
-            shares.setdefault(name, 0.0)
+        for owner_attr, name, key in _STAGES:
+            owner = getattr(core, owner_attr)
+            bound = getattr(owner, name)
+            shares.setdefault(key, 0.0)
 
-            def timed(*args, _fn=bound, _name=name, **kw):
+            def timed(*args, _fn=bound, _key=key, **kw):
                 t = time.perf_counter()
                 try:
                     return _fn(*args, **kw)
                 finally:
-                    shares[_name] += time.perf_counter() - t
+                    shares[_key] += time.perf_counter() - t
 
-            setattr(core, name, timed)
+            setattr(owner, name, timed)
 
     def stage_shares(self) -> Dict[str, float]:
         """Per-stage fraction of the total instrumented wall time."""

@@ -8,10 +8,11 @@ The one-call entry point for users and for the benchmark harness::
     print(result.ipc, result.abc_total)
 """
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Union
 
-from repro.common.params import MachineParams
+from repro.common.params import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP, \
+    MachineParams
 from repro.core.core import OutOfOrderCore
 from repro.core.runahead import RunaheadPolicy, get_policy
 from repro.isa.trace import Trace
@@ -67,13 +68,24 @@ class SimResult:
     def ipc_rel(self, baseline: "SimResult") -> float:
         return self.ipc / baseline.ipc if baseline.ipc else float("inf")
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable payload; round-trips via :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimResult":
+        """Inverse of :meth:`to_dict`. Unknown keys are rejected (a
+        ``TypeError``), so stale cache entries fail loudly rather than
+        deserialise into a half-filled result."""
+        return cls(**payload)
+
 
 def simulate(
     workload: Union[WorkloadSpec, Trace, str],
     machine: MachineParams,
     policy: Union[RunaheadPolicy, str],
-    instructions: int = 30_000,
-    warmup: int = 20_000,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
     seed: Optional[int] = None,
     telemetry=None,
 ) -> SimResult:

@@ -27,6 +27,15 @@ class TestRunKey:
         b = RunKey("mcf", "baseline", "PRE", 1000, 500)
         assert a.as_str() != b.as_str()
 
+    def test_variant_tags_key(self):
+        exact = RunKey("mcf", "baseline", "RAR", 1000, 500, "abc123")
+        shared = RunKey("mcf", "baseline", "RAR", 1000, 500, "abc123",
+                        "sw:OOO")
+        # empty variant preserves the legacy key format exactly
+        assert exact.as_str() == "mcf|baseline|RAR|1000|500|abc123"
+        assert shared.as_str() == "mcf|baseline|RAR|1000|500|abc123|sw:OOO"
+        assert exact.as_str() != shared.as_str()
+
 
 class TestRunnerCache:
     def test_memoisation(self):
@@ -63,3 +72,57 @@ class TestRunnerCache:
             f.write("{not json")
         r = ExperimentRunner(instructions=600, warmup=200, cache_path=path)
         assert r.run("x264", BASELINE, OOO).instructions > 0
+
+    def test_default_warmup_matches_simulate(self):
+        from repro.common.params import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
+        r = ExperimentRunner()
+        assert r.instructions == DEFAULT_INSTRUCTIONS
+        assert r.warmup == DEFAULT_WARMUP
+
+
+class TestParallelMatrix:
+    WLS = ["mcf", "x264"]
+    POLS = ["OOO", "RAR"]
+
+    def test_parallel_equals_serial(self, tmp_path):
+        serial = ExperimentRunner(instructions=800, warmup=300)
+        parallel = ExperimentRunner(instructions=800, warmup=300)
+        a = serial.run_matrix(self.WLS, BASELINE, self.POLS)
+        b = parallel.run_matrix(self.WLS, BASELINE, self.POLS, jobs=2)
+        for p in self.POLS:
+            for w in self.WLS:
+                assert a[p][w] == b[p][w]
+
+    def test_share_warmup_tags_cache_variant(self):
+        r = ExperimentRunner(instructions=800, warmup=300)
+        out = r.run_matrix(self.WLS, BASELINE, self.POLS, share_warmup=True,
+                           warmup_policy="OOO")
+        assert set(out) == set(self.POLS)
+        shared_keys = [k for k in r._cache if k.endswith("|sw:OOO")]
+        exact_keys = [k for k in r._cache if not k.endswith("|sw:OOO")]
+        # only the non-warmup-policy points carry the variant tag
+        assert len(shared_keys) == len(self.WLS)
+        assert all("|RAR|" in k for k in shared_keys)
+        assert len(exact_keys) == len(self.WLS)
+
+    def test_share_warmup_exact_for_warmup_policy(self):
+        from repro.sim import simulate
+        r = ExperimentRunner(instructions=800, warmup=300)
+        out = r.run_matrix(["x264"], BASELINE, self.POLS, share_warmup=True)
+        cold = simulate("x264", BASELINE, "OOO", instructions=800,
+                        warmup=300)
+        assert out["OOO"]["x264"] == cold
+
+    def test_matrix_merges_into_disk_cache(self, tmp_path):
+        import json
+        path = os.path.join(str(tmp_path), "cache.json")
+        r1 = ExperimentRunner(instructions=800, warmup=300, cache_path=path)
+        a = r1.run_matrix(self.WLS, BASELINE, self.POLS, jobs=2)
+        raw = json.load(open(path))
+        assert raw["schema"] == 2
+        assert len(raw["data"]) == len(self.WLS) * len(self.POLS)
+        r2 = ExperimentRunner(instructions=800, warmup=300, cache_path=path)
+        b = r2.run_matrix(self.WLS, BASELINE, self.POLS)
+        for p in self.POLS:
+            for w in self.WLS:
+                assert a[p][w] == b[p][w]

@@ -18,6 +18,9 @@ class TestSharedRunner:
         assert b.warmup == 100
 
     def test_default_sizes(self):
+        from repro.common.params import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
         r = exp.shared_runner()
-        assert r.instructions == 30_000
-        assert r.warmup == 5_000
+        # one documented default shared with simulate() (historically the
+        # runner warmed only 5,000 instructions, diverging from simulate)
+        assert r.instructions == DEFAULT_INSTRUCTIONS == 30_000
+        assert r.warmup == DEFAULT_WARMUP == 20_000

@@ -1,0 +1,34 @@
+"""Atomic JSON writes."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.io import atomic_write_json
+
+
+class TestAtomicWriteJson:
+    def test_writes_valid_json(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"a": 1, "b": [2, 3]})
+        assert json.load(open(path)) == {"a": 1, "b": [2, 3]}
+
+    def test_overwrite_replaces_whole_file(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"long": "x" * 4096})
+        atomic_write_json(path, {"short": 1})
+        assert json.load(open(path)) == {"short": 1}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, [1, 2, 3])
+        assert os.listdir(str(tmp_path)) == ["out.json"]
+
+    def test_failure_keeps_previous_file_and_cleans_up(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"v": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert json.load(open(path)) == {"v": 1}
+        assert os.listdir(str(tmp_path)) == ["out.json"]

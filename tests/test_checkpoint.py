@@ -1,0 +1,116 @@
+"""Checkpoint capture/fork and the bit-identity determinism contract."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner
+from repro.checkpoint import Checkpoint, simulate_from, warm_checkpoint
+from repro.common.params import BASELINE, CORE1
+from repro.sim import SimResult, simulate
+
+#: The paper's five main policies — the acceptance criterion demands
+#: bit-identity for every one of them.
+POLICIES = ("OOO", "FLUSH", "TR", "PRE", "RAR")
+
+N, W = 1000, 500
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_fork_matches_cold_run(self, policy):
+        """simulate_from(warm_checkpoint(P), P) == cold simulate(P)."""
+        cold = simulate("mcf", BASELINE, policy, instructions=N, warmup=W,
+                        seed=7)
+        ck = warm_checkpoint("mcf", BASELINE, policy, warmup=W, seed=7)
+        forked = simulate_from(ck, instructions=N)
+        assert forked == cold  # every field, bit for bit
+
+    def test_serial_forked_and_multiprocess_agree(self, tmp_path):
+        """The three execution paths produce identical SimResults."""
+        workloads = ("mcf", "x264")
+        cold = {(w, p): simulate(w, BASELINE, p, instructions=N, warmup=W)
+                for w in workloads for p in POLICIES}
+
+        forked = {}
+        for w in workloads:
+            for p in POLICIES:
+                ck = warm_checkpoint(w, BASELINE, p, warmup=W)
+                forked[(w, p)] = simulate_from(ck, instructions=N)
+
+        runner = ExperimentRunner(instructions=N, warmup=W,
+                                  cache_path=str(tmp_path / "cache.json"))
+        matrix = runner.run_matrix(workloads, BASELINE, POLICIES, jobs=2)
+
+        for w in workloads:
+            for p in POLICIES:
+                assert forked[(w, p)] == cold[(w, p)], (w, p, "forked")
+                assert matrix[p][w] == cold[(w, p)], (w, p, "multiprocess")
+
+    def test_double_fork_no_cross_contamination(self):
+        """Two forks of one checkpoint are independent and identical."""
+        ck = warm_checkpoint("mcf", BASELINE, "RAR", warmup=W, seed=3)
+        first = simulate_from(ck, instructions=N)
+        second = simulate_from(ck, instructions=N)
+        assert first == second
+
+
+class TestCheckpointApi:
+    def test_cross_policy_fork_runs(self):
+        """Shared-warmup approximation: fork under a different policy."""
+        ck = warm_checkpoint("mcf", BASELINE, "OOO", warmup=W)
+        r = simulate_from(ck, "RAR", instructions=N)
+        assert r.policy == "RAR"
+        # commit can overshoot by at most the commit width in the last cycle
+        assert N <= r.instructions < N + BASELINE.core.width
+
+    def test_capture_records_coordinates(self):
+        ck = warm_checkpoint("x264", CORE1, "FLUSH", warmup=300, seed=5)
+        assert ck.workload == "x264"
+        assert ck.machine is CORE1
+        assert ck.policy.name == "FLUSH"
+        assert ck.warmup == 300 and ck.seed == 5
+
+    def test_zero_warmup_checkpoint(self):
+        ck = warm_checkpoint("x264", BASELINE, "OOO", warmup=0)
+        r = simulate_from(ck, instructions=400)
+        assert r == simulate("x264", BASELINE, "OOO", instructions=400,
+                             warmup=0)
+
+    def test_rejects_nonpositive_instructions(self):
+        ck = warm_checkpoint("x264", BASELINE, "OOO", warmup=100)
+        with pytest.raises(ValueError):
+            simulate_from(ck, instructions=0)
+
+    def test_fork_is_checkpoint_method(self):
+        ck = warm_checkpoint("x264", BASELINE, "OOO", warmup=100)
+        assert isinstance(ck, Checkpoint)
+        core = ck.fork("RAR")
+        assert core.policy.name == "RAR"
+        assert core.stats.committed >= 100  # warmed state restored
+
+    def test_telemetry_attaches_to_fork(self):
+        from repro.obs import Telemetry
+        ck = warm_checkpoint("mcf", BASELINE, "RAR", warmup=W)
+        tel = Telemetry(interval=100)
+        r = simulate_from(ck, instructions=N, telemetry=tel)
+        assert len(tel.sampler.rows) >= 5
+        payload = tel.stats_dict(r)
+        assert payload["result"]["instructions"] == r.instructions
+
+
+class TestSimResultRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        r = simulate("mcf", BASELINE, "RAR", instructions=600, warmup=200)
+        assert SimResult.from_dict(r.to_dict()) == r
+
+    def test_round_trip_survives_json(self):
+        import json
+        r = simulate("x264", BASELINE, "OOO", instructions=400, warmup=100)
+        payload = json.loads(json.dumps(r.to_dict()))
+        assert SimResult.from_dict(payload) == r
+
+    def test_unknown_keys_rejected(self):
+        r = simulate("x264", BASELINE, "OOO", instructions=400, warmup=100)
+        payload = r.to_dict()
+        payload["bogus_field"] = 1
+        with pytest.raises(TypeError):
+            SimResult.from_dict(payload)

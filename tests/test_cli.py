@@ -49,6 +49,55 @@ class TestCommands:
             main(["run", "wolfenstein", "-n", "100", "-w", "0"])
 
 
+class TestSweepCommand:
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "mcf", "x264", "-j", "4",
+                                  "--share-warmup"])
+        assert args.command == "sweep"
+        assert args.workloads == ["mcf", "x264"]
+        assert args.jobs == 4
+        assert args.share_warmup is True
+        assert args.warmup_policy == "OOO"
+
+    def test_sweep_serial(self, capsys):
+        assert main(["sweep", "x264", "-p", "OOO", "RAR",
+                     "-n", "500", "-w", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "RAR" in out and "points in" in out and "jobs=1" in out
+
+    def test_sweep_parallel_share_warmup_artifacts(self, tmp_path, capsys):
+        import json
+        out_json = str(tmp_path / "sweep.json")
+        stats_dir = str(tmp_path / "stats")
+        assert main(["sweep", "mcf", "x264", "-p", "OOO", "RAR",
+                     "-j", "2", "--share-warmup", "-n", "500", "-w", "200",
+                     "--out", out_json, "--stats-dir", stats_dir]) == 0
+        out = capsys.readouterr().out
+        assert "shared warmup under OOO" in out
+        payload = json.load(open(out_json))
+        assert payload["share_warmup"] is True
+        assert len(payload["results"]) == 4
+        files = sorted(f for f in __import__("os").listdir(stats_dir))
+        assert files == ["mcf_baseline_OOO.json", "mcf_baseline_RAR.json",
+                         "x264_baseline_OOO.json", "x264_baseline_RAR.json"]
+        stats = json.load(open(f"{stats_dir}/{files[0]}"))
+        assert stats["result"]["policy"] == "OOO"
+
+    def test_sweep_matches_single_run(self, tmp_path, capsys):
+        """A sweep point equals the same point via `repro run`."""
+        import json
+        out_json = str(tmp_path / "sweep.json")
+        assert main(["sweep", "x264", "-p", "RAR", "-n", "500", "-w", "200",
+                     "--out", out_json]) == 0
+        from repro.sim import simulate
+        from repro.cli import MACHINES
+        direct = simulate("x264", MACHINES["baseline"], "RAR",
+                          instructions=500, warmup=200)
+        (point,) = json.load(open(out_json))["results"]
+        assert point == direct.to_dict()
+
+
 class TestScalingCommand:
     def test_scaling_exit_code_and_table(self, capsys):
         assert main(["scaling", "x264", "RAR", "-n", "300", "-w", "150"]) == 0

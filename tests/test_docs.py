@@ -16,7 +16,8 @@ class TestDocFilesExist:
         for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                      "CONTRIBUTING.md", "docs/mechanisms.md",
                      "docs/workloads.md", "docs/metrics.md",
-                     "docs/api.md", "docs/tutorial.md"):
+                     "docs/api.md", "docs/tutorial.md",
+                     "docs/architecture.md"):
             assert os.path.exists(os.path.join(ROOT, name)), name
 
     def test_design_confirms_paper_identity(self):
