@@ -128,12 +128,12 @@ def _run_group(task: Tuple) -> List[Dict[str, Any]]:
     ``SimResult.to_dict()`` payloads for the same reason.
     """
     (spec, machine, policy_names, instructions, warmup, share_warmup,
-     warmup_policy, stats_dir) = task
+     warmup_policy, stats_dir, validate) = task
     checkpoint = None
     if share_warmup:
         from repro.checkpoint import warm_checkpoint
         checkpoint = warm_checkpoint(spec, machine, warmup_policy,
-                                     warmup=warmup)
+                                     warmup=warmup, validate=validate)
     payloads: List[Dict[str, Any]] = []
     for name in policy_names:
         telemetry = None
@@ -144,10 +144,11 @@ def _run_group(task: Tuple) -> List[Dict[str, Any]]:
             from repro.checkpoint import simulate_from
             result = simulate_from(checkpoint, name,
                                    instructions=instructions,
-                                   telemetry=telemetry)
+                                   telemetry=telemetry, validate=validate)
         else:
             result = simulate(spec, machine, name, instructions=instructions,
-                              warmup=warmup, telemetry=telemetry)
+                              warmup=warmup, telemetry=telemetry,
+                              validate=validate)
         if telemetry is not None:
             path = os.path.join(
                 stats_dir,
@@ -226,6 +227,7 @@ class ExperimentRunner:
         share_warmup: bool = False,
         warmup_policy: Union[str, RunaheadPolicy] = "OOO",
         stats_dir: Optional[str] = None,
+        validate: bool = False,
     ) -> Dict[str, Dict[str, SimResult]]:
         """Sweep the full matrix; returns policy name -> workload -> result.
 
@@ -236,7 +238,11 @@ class ExperimentRunner:
         key so it never collides with exact per-policy runs. With
         ``jobs > 1`` whole groups fan out across a process pool; the
         in-memory/disk cache is the merge point, written once,
-        atomically, after all groups land.
+        atomically, after all groups land. ``validate`` runs every point
+        under the invariant sanitizer (:mod:`repro.validate`); sanitized
+        results are bit-identical to unsanitized ones, so they share the
+        same cache slots — but note cached points satisfied from the
+        cache were not re-checked.
         """
         specs = [get_workload(w) if isinstance(w, str) else w
                  for w in workloads]
@@ -264,7 +270,7 @@ class ExperimentRunner:
             if missing:
                 tasks.append((spec, machine, tuple(missing),
                               self.instructions, self.warmup, share_warmup,
-                              wp.name, stats_dir))
+                              wp.name, stats_dir, validate))
         if not tasks:
             return out
 

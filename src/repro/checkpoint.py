@@ -147,11 +147,15 @@ class Checkpoint:
             setattr(core.stats, attr, value)
 
     def fork(self, policy: Union[RunaheadPolicy, str, None] = None,
-             record_ace_intervals: Optional[bool] = None) -> OutOfOrderCore:
+             record_ace_intervals: Optional[bool] = None,
+             validate: bool = False) -> OutOfOrderCore:
         """A fresh core carrying this checkpoint's warmed state.
 
         The core is constructed normally (so its registry binds to the
         live structures) and then overwritten in place with the blob.
+        ``validate`` enables the invariant sanitizer on the fork — the
+        checker is wiring, not state, so it is orthogonal to whether the
+        checkpoint itself was captured from a sanitized core.
         """
         if policy is None:
             policy = self.policy
@@ -162,7 +166,8 @@ class Checkpoint:
         core_seed = 0 if self.seed is None else self.seed
         core = OutOfOrderCore(self.machine, self.trace, policy,
                               seed=core_seed,
-                              record_ace_intervals=record_ace_intervals)
+                              record_ace_intervals=record_ace_intervals,
+                              validate=validate)
         self.restore_into(core)
         return core
 
@@ -174,12 +179,15 @@ def warm_checkpoint(
     warmup: int = DEFAULT_WARMUP,
     seed: Optional[int] = None,
     record_ace_intervals: bool = False,
+    validate: bool = False,
 ) -> Checkpoint:
     """Run warmup once and capture the resulting state.
 
     Mirrors the front half of :func:`repro.sim.simulate` exactly
     (workload resolution, trace build, region preload, warmup run) so a
     fork measured under ``policy`` reproduces a cold run bit for bit.
+    ``validate`` sanitizes the warmup run itself; it does not mark the
+    checkpoint (forks opt in separately).
     """
     if isinstance(workload, str):
         workload = get_workload(workload)
@@ -188,7 +196,8 @@ def warm_checkpoint(
     trace = workload.build_trace(seed=seed)
     core_seed = 0 if seed is None else seed
     core = OutOfOrderCore(machine, trace, policy, seed=core_seed,
-                          record_ace_intervals=record_ace_intervals)
+                          record_ace_intervals=record_ace_intervals,
+                          validate=validate)
     for level, base, size in workload.resident_regions():
         core.mem.preload(base, size, level)
     if warmup > 0:
@@ -201,6 +210,7 @@ def simulate_from(
     policy: Union[RunaheadPolicy, str, None] = None,
     instructions: int = DEFAULT_INSTRUCTIONS,
     telemetry=None,
+    validate: bool = False,
 ) -> SimResult:
     """Measure ``instructions`` starting from a warmed checkpoint.
 
@@ -213,13 +223,15 @@ def simulate_from(
     """
     if instructions <= 0:
         raise ValueError("instructions must be positive")
-    core = checkpoint.fork(policy)
+    core = checkpoint.fork(policy, validate=validate)
     if telemetry is not None:
         telemetry.attach(core)
         telemetry.begin_measurement(core)
     start = _snapshot(core)
     core.run(instructions)
     result = _delta_result(core, start, checkpoint.workload)
+    if core.checker is not None:
+        core.checker.final_check()
     if telemetry is not None:
         telemetry.end_measurement(core, result)
     return result

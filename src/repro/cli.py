@@ -7,6 +7,12 @@ Subcommands:
     sweep                workload x policy matrix, optionally parallel
     scaling              Core-1..Core-4 sweep for one workload/policy pair
     report               render a --stats-out JSON file as tables
+    diff                 differential check: one point through every
+                         execution path (facade/fork/mp), bit-diffed
+
+``run`` and ``sweep`` accept ``--validate`` to enable the per-cycle
+invariant sanitizer (see docs/validation.md); ``diff`` exits non-zero on
+any divergence and can dump the full report with ``--out``.
 
 ``run`` exposes the telemetry subsystem: ``--stats-out`` (hierarchical
 stats + timeline JSON), ``--trace-out`` (Chrome trace-event JSON for
@@ -91,7 +97,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     telemetry = _build_telemetry(args)
     r = simulate(args.workload, machine, policy,
                  instructions=args.instructions, warmup=args.warmup,
-                 telemetry=telemetry)
+                 telemetry=telemetry, validate=args.validate)
     print(f"{r.workload} on {r.machine} under {r.policy}:")
     print(f"  instructions   {r.instructions}")
     print(f"  cycles         {r.cycles}")
@@ -168,7 +174,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                jobs=args.jobs,
                                share_warmup=args.share_warmup,
                                warmup_policy=args.warmup_policy,
-                               stats_dir=args.stats_dir)
+                               stats_dir=args.stats_dir,
+                               validate=args.validate)
     elapsed = time.perf_counter() - t0
 
     rows: List[List] = []
@@ -241,6 +248,22 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.validate.diff import differential_check
+
+    report = differential_check(
+        args.workload, MACHINES[args.machine], args.policy,
+        instructions=args.instructions, warmup=args.warmup,
+        seed=args.seed, paths=args.paths,
+        bisect_interval=args.bisect_interval, validate=args.validate)
+    print(report.summary())
+    if args.out:
+        from repro.common.io import atomic_write_json
+        atomic_write_json(args.out, report.to_dict(), indent=2)
+        print(f"report JSON -> {args.out}")
+    return 0 if report.identical else 1
+
+
 def cmd_scaling(args: argparse.Namespace) -> int:
     rows: List[List] = []
     for machine in (CORE1, CORE2, CORE3, CORE4):
@@ -289,6 +312,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also time pipeline stages (slows simulation)")
     p.add_argument("--heartbeat", type=float, default=0.0, metavar="SEC",
                    help="progress line on stderr every SEC wall seconds")
+    p.add_argument("--validate", action="store_true",
+                   help="run with the per-cycle invariant sanitizer")
     _add_size_args(p)
 
     p = sub.add_parser("report", help="render a --stats-out file as tables")
@@ -325,6 +350,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats-dir", metavar="DIR",
                    help="write per-point telemetry stats JSON into DIR "
                         "(forces cached points to re-run)")
+    p.add_argument("--validate", action="store_true",
+                   help="run every point under the invariant sanitizer")
+    _add_size_args(p)
+
+    p = sub.add_parser(
+        "diff", help="differential check across execution paths")
+    p.add_argument("workload")
+    p.add_argument("policy", nargs="?", default="RAR")
+    p.add_argument("-m", "--machine", default="baseline",
+                   choices=sorted(MACHINES))
+    p.add_argument("--paths", nargs="+", default=["facade", "fork", "mp"],
+                   choices=("facade", "fork", "mp"), metavar="PATH",
+                   help="execution paths to compare; the first is the "
+                        "reference (default: facade fork mp)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="trace/wrong-path seed (default: workload's)")
+    p.add_argument("--bisect-interval", type=int, default=500, metavar="N",
+                   help="timeline period used to localise a divergence; "
+                        "0 disables bisection (default 500)")
+    p.add_argument("--validate", action="store_true",
+                   help="also sanitize every path with the invariant "
+                        "checker")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the full diff report as JSON")
     _add_size_args(p)
 
     p = sub.add_parser("scaling", help="Core-1..4 sweep")
@@ -364,6 +413,7 @@ def main(argv=None) -> int:
         "report": cmd_report,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
+        "diff": cmd_diff,
         "scaling": cmd_scaling,
         "trace": cmd_trace,
         "characterize": cmd_characterize,

@@ -151,6 +151,7 @@ class OutOfOrderCore:
         record_ace_intervals: bool = False,
         observer=None,
         telemetry=None,
+        validate: bool = False,
     ):
         """``observer``, when provided, is called as
         ``observer(event, cycle, **data)`` on notable pipeline events:
@@ -163,7 +164,16 @@ class OutOfOrderCore:
         ``telemetry``, a :class:`repro.obs.Telemetry`, attaches itself to
         the observer hook, the memory hierarchy and the run loop; the
         core's :attr:`registry` carries its hierarchical stats whether or
-        not a telemetry object is attached."""
+        not a telemetry object is attached.
+
+        ``validate=True`` appends a
+        :class:`repro.validate.invariants.InvariantChecker` to the engine
+        pipeline (stepped last each cycle) and chains it onto the
+        observer hook. The checker is purely observational and is *not*
+        part of :attr:`components` — it carries no architectural state,
+        so checkpoints stay interchangeable between sanitized and
+        unsanitized cores. When ``validate`` is false (the default) no
+        checker object exists and the hot path is untouched."""
         self.machine = machine
         self.trace = trace
         self.policy = policy
@@ -216,12 +226,23 @@ class OutOfOrderCore:
                            self.runahead_ctl)
         for comp in self.components:
             comp.bind()
-        self.engine.wire((self.commit_unit, self.runahead_ctl,
-                          self.backend, self.frontend_stage))
+        pipeline = (self.commit_unit, self.runahead_ctl,
+                    self.backend, self.frontend_stage)
+        self.checker = None
+        if validate:
+            # Imported lazily: the validate package is optional wiring,
+            # and importing it here at module scope would be a cycle.
+            from repro.validate.invariants import InvariantChecker
+            self.checker = InvariantChecker(self)
+            self.checker.bind()
+            pipeline = pipeline + (self.checker,)
+        self.engine.wire(pipeline)
         self.engine.on_event(EV_WB, self.backend.writeback)
         self.engine.on_event(EV_RA_ISSUE, self.runahead_ctl.ra_memory_issue)
         self.engine.on_event(EV_RA_DONE, self.backend.ra_miss_done)
 
+        if self.checker is not None:
+            self.checker.attach_observer()
         if telemetry is not None:
             telemetry.attach(self)
 

@@ -49,10 +49,22 @@ class LoadStoreQueues:
             uop.in_sq = True
 
     def release(self, uop: DynUop) -> None:
-        if uop.in_lq:
+        """Release the entry held by a dispatched load/store.
+
+        Releasing a load/store whose flags are already cleared is a
+        double release (commit + squash double-accounting) and raises
+        instead of silently no-opping — a silent no-op would leave the
+        occupancy counters permanently high and mask the caller's bug.
+        """
+        st = uop.static
+        if st.is_load:
+            if not uop.in_lq:
+                raise RuntimeError(f"LQ double release: {uop!r}")
             self.lq_used -= 1
             uop.in_lq = False
-        elif uop.in_sq:
+        elif st.is_store:
+            if not uop.in_sq:
+                raise RuntimeError(f"SQ double release: {uop!r}")
             self.sq_used -= 1
             uop.in_sq = False
         if self.lq_used < 0 or self.sq_used < 0:

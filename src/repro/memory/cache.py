@@ -28,6 +28,10 @@ class Cache:
         self.name = name
         self._set_mask = params.num_sets - 1
         self._line_shift = params.line_size.bit_length() - 1
+        #: bits of the line number consumed by the set index; the tag is
+        #: the remainder (shared by _index and _reconstruct, which must
+        #: stay exact inverses of each other)
+        self._tag_shift = params.num_sets.bit_length() - 1
         #: set index -> list of tags, MRU last
         self._sets: Dict[int, List[int]] = {}
         #: dirty lines, keyed by (set, tag)
@@ -39,7 +43,7 @@ class Cache:
 
     def _index(self, addr: int) -> Tuple[int, int]:
         line = addr >> self._line_shift
-        return line & self._set_mask, line >> self.params.num_sets.bit_length() - 1
+        return line & self._set_mask, line >> self._tag_shift
 
     def lookup(self, addr: int, update_lru: bool = True) -> bool:
         """Check presence; promotes to MRU on hit when ``update_lru``."""
@@ -102,8 +106,7 @@ class Cache:
         return True
 
     def _reconstruct(self, set_idx: int, tag: int) -> int:
-        set_bits = self.params.num_sets.bit_length() - 1
-        return ((tag << set_bits) | set_idx) << self._line_shift
+        return ((tag << self._tag_shift) | set_idx) << self._line_shift
 
     @property
     def accesses(self) -> int:

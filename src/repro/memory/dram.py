@@ -53,13 +53,17 @@ class Dram:
             busy = p.t_rp + p.t_rcd + p.bus_cycles_per_access
             self.row_conflicts += 1
         data_cycle = start + latency
-        # Shared data bus: consecutive bursts cannot overlap.
+        # Shared data bus: consecutive bursts cannot overlap. When the bus
+        # pushes the burst back, the bank stays occupied for the same span
+        # — its column access cannot complete before the burst issues.
+        bus_push = 0
         if data_cycle < self._bus_free:
+            bus_push = self._bus_free - data_cycle
             data_cycle = self._bus_free
         self._bus_free = data_cycle + p.bus_cycles_per_access
         # The bank frees once the row is open and the burst has issued —
         # NOT when the data reaches the core; row hits pipeline at tCCD.
-        self._banks[bank] = (row, start + busy)
+        self._banks[bank] = (row, start + busy + bus_push)
         self.accesses += 1
         return data_cycle
 

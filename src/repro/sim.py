@@ -88,6 +88,7 @@ def simulate(
     warmup: int = DEFAULT_WARMUP,
     seed: Optional[int] = None,
     telemetry=None,
+    validate: bool = False,
 ) -> SimResult:
     """Run one workload on one machine under one policy.
 
@@ -104,6 +105,10 @@ def simulate(
         telemetry: optional :class:`repro.obs.Telemetry`; attached to the
             core, with the measurement window marked after warmup so its
             stats dump reconciles with the returned result.
+        validate: run with the per-cycle invariant sanitizer enabled
+            (:mod:`repro.validate`); any breach raises
+            :class:`~repro.validate.invariants.InvariantViolation`.
+            Results are bit-identical with or without.
 
     Returns:
         a :class:`SimResult` with the measured window's statistics.
@@ -127,7 +132,7 @@ def simulate(
     # seed=0 with seed=None.
     core_seed = 0 if seed is None else seed
     core = OutOfOrderCore(machine, trace, policy, seed=core_seed,
-                          telemetry=telemetry)
+                          telemetry=telemetry, validate=validate)
     for level, base, size in regions:
         core.mem.preload(base, size, level)
     if warmup > 0:
@@ -137,6 +142,8 @@ def simulate(
     start = _snapshot(core)
     core.run(instructions)
     result = _delta_result(core, start, name)
+    if core.checker is not None:
+        core.checker.final_check()
     if telemetry is not None:
         telemetry.end_measurement(core, result)
     return result

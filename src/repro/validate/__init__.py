@@ -1,0 +1,40 @@
+"""Simulator sanitizer: per-cycle invariant checking + differential runs.
+
+Two validation layers, both opt-in and zero-cost when disabled:
+
+- :class:`~repro.validate.invariants.InvariantChecker` — a pipeline
+  :class:`~repro.core.engine.Component` stepped after every simulated
+  cycle that cross-checks the core's redundant state (ROB ordering and
+  capacity, LSQ counter reconciliation, physical-register/PRDQ leak
+  accounting, ACE interval well-formedness and live-bit capacity, stats
+  formula reconciliation). Enabled via ``validate=True`` on
+  :func:`repro.sim.simulate`, :class:`repro.core.core.OutOfOrderCore`
+  and the checkpoint API; any breach raises
+  :class:`~repro.validate.invariants.InvariantViolation` at the exact
+  cycle it first becomes observable.
+- :func:`~repro.validate.diff.differential_check` — runs the same
+  (workload, machine, policy, seed) point through the independent
+  execution paths (cold facade, checkpoint fork, multiprocess worker),
+  diffs the full :meth:`SimResult.to_dict` payloads field by field, and
+  on divergence bisects to the first differing stats-timeline interval.
+  Exposed on the command line as ``repro diff``.
+
+See docs/validation.md for the invariant catalog and a walkthrough.
+"""
+
+from repro.validate.diff import (
+    DiffReport,
+    Divergence,
+    FieldDiff,
+    differential_check,
+)
+from repro.validate.invariants import InvariantChecker, InvariantViolation
+
+__all__ = [
+    "DiffReport",
+    "Divergence",
+    "FieldDiff",
+    "InvariantChecker",
+    "InvariantViolation",
+    "differential_check",
+]

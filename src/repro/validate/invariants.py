@@ -1,0 +1,313 @@
+"""Per-cycle invariant checker (the simulator sanitizer).
+
+The checker is a :class:`~repro.core.engine.Component` appended to the
+engine's pipeline when a core is built with ``validate=True``. It steps
+*last* every simulated cycle — after events, commit, the runahead
+controller, issue/dispatch and fetch — and cross-checks state that the
+simulator tracks redundantly. Every invariant ties a fast counter to the
+ground truth it summarises, so silent drift (the failure mode both
+simplified-simulator validation papers document) is caught at the first
+cycle it becomes observable instead of surfacing as a quietly wrong
+figure.
+
+Invariant catalog (see docs/validation.md for the full rationale):
+
+``rob-order``      ROB entries are age-ordered (seq strictly increasing
+                   head→tail) and commits leave the ROB in age order.
+``rob-capacity``   ROB occupancy never exceeds ``rob_size``.
+``lsq-reconcile``  ``LoadStoreQueues.lq_used``/``sq_used`` equal the
+                   number of in-flight uops whose ``in_lq``/``in_sq``
+                   flags are set, and stay within capacity.
+``reg-leak``       free + runahead-borrowed + held-by-in-flight physical
+                   registers equals the rename pool size, per class.
+``prdq-leak``      every PRDQ entry corresponds to exactly one borrowed
+                   register, the queue respects its capacity, and all
+                   runahead loans are returned outside runahead mode.
+``iq-capacity``    IQ occupancy (incl. runahead-borrowed entries) within
+                   capacity; the runahead-borrow counter never negative.
+``ace-interval``   every recorded ACE interval is well-formed: known
+                   structure, ``end > start``, ``start >= 0``,
+                   ``bits >= 0``.
+``ace-capacity``   per-structure live ACE bits never exceed the
+                   structure's physical capacity at any cycle
+                   (whole-run sweep in :meth:`final_check`).
+``stats-formula``  registry formulas (``core.ipc``, ``core.mpki``,
+                   ``ace.avf``) reconcile against independently
+                   recomputed values from the raw counters.
+
+The per-cycle checks are a single O(ROB) sweep; a sanitized run costs
+roughly 2-3x host time. A core built without ``validate=True`` never
+constructs the checker — the hot path contains no hook, test or branch
+for it (the same wiring pattern as the ``obs`` telemetry layer).
+"""
+
+import math
+from typing import Dict
+
+from repro.common.enums import Mode
+from repro.core.engine import Component
+from repro.reliability.ace import STRUCTURES
+from repro.reliability.fault_injection import structure_bits
+
+__all__ = ["InvariantChecker", "InvariantViolation"]
+
+
+class InvariantViolation(AssertionError):
+    """One breached invariant, pinned to the cycle it was detected.
+
+    Attributes:
+        invariant: catalog name (e.g. ``"lsq-reconcile"``).
+        cycle: simulated cycle at detection time.
+        detail: human-readable description of the inconsistent state.
+    """
+
+    def __init__(self, invariant: str, cycle: int, detail: str):
+        self.invariant = invariant
+        self.cycle = cycle
+        self.detail = detail
+        super().__init__(f"[{invariant}] at cycle {cycle}: {detail}")
+
+
+class InvariantChecker(Component):
+    """Cross-checks redundant core state once per simulated cycle.
+
+    Purely observational: it never mutates simulator state, so a
+    sanitized run is bit-identical to an unsanitized one. The checker is
+    deliberately *not* part of ``core.components`` — it carries no
+    architectural state and must stay out of the checkpoint blob (a
+    checkpoint captured with the sanitizer on forks cleanly into cores
+    with it off, and vice versa).
+    """
+
+    name = "invariant_checker"
+    state_attrs = ()
+
+    def __init__(self, core) -> None:
+        self.core = core
+        #: cycles swept (not every wall-clock cycle: fast-forwarded idle
+        #: spans are checked once at the jump target, which is exact
+        #: because pipeline state is constant across the span)
+        self.cycles_checked = 0
+        self.commits_checked = 0
+        self.ace_intervals_checked = 0
+        self._last_commit_seq = -1
+        self._ace_seen = 0
+        self._chained_observer = None
+
+    def bind(self) -> None:
+        core = self.core
+        self.rob = core.rob
+        self.iq = core.iq
+        self.lsq = core.lsq
+        self.regs = core.regs
+        self.prdq = core.prdq
+        self.ace = core.ace
+        self.stats = core.stats
+        self.ra = core.runahead_ctl
+        self._struct_bits = structure_bits(core.machine.core)
+
+    def attach_observer(self) -> None:
+        """Chain onto the core's observer hook to watch commit order."""
+        self._chained_observer = self.core.observer
+        self.core.observer = self._on_event
+
+    def _on_event(self, event: str, cycle: int, **data) -> None:
+        if event == "commit":
+            uop = data["uop"]
+            if uop.seq <= self._last_commit_seq:
+                raise InvariantViolation(
+                    "rob-order", cycle,
+                    f"commit out of age order: seq {uop.seq} after "
+                    f"{self._last_commit_seq}")
+            self._last_commit_seq = uop.seq
+            self.commits_checked += 1
+        if self._chained_observer is not None:
+            self._chained_observer(event, cycle, **data)
+
+    # =============================================================== step
+
+    def step(self, cycle: int) -> int:
+        self.check_cycle(cycle)
+        return 0  # observational: never counts as pipeline activity
+
+    def check_cycle(self, cycle: int) -> None:
+        """Run every per-cycle invariant; raises on the first breach."""
+        self.cycles_checked += 1
+        rob = self.rob
+        if len(rob) > rob.size:
+            raise InvariantViolation(
+                "rob-capacity", cycle,
+                f"occupancy {len(rob)} > size {rob.size}")
+
+        # One sweep of the in-flight window gathers everything the
+        # counters summarise.
+        lq_flags = sq_flags = int_held = fp_held = 0
+        prev_seq = -1
+        for u in rob:
+            if u.seq <= prev_seq:
+                raise InvariantViolation(
+                    "rob-order", cycle,
+                    f"seq {u.seq} follows {prev_seq} in the ROB")
+            prev_seq = u.seq
+            if u.in_lq:
+                lq_flags += 1
+            elif u.in_sq:
+                sq_flags += 1
+            st = u.static
+            if st.has_dest:
+                if st.is_fp:
+                    fp_held += 1
+                else:
+                    int_held += 1
+
+        lsq = self.lsq
+        if lsq.lq_used != lq_flags or lsq.sq_used != sq_flags:
+            raise InvariantViolation(
+                "lsq-reconcile", cycle,
+                f"counters (lq={lsq.lq_used}, sq={lsq.sq_used}) != "
+                f"in-flight flags (lq={lq_flags}, sq={sq_flags})")
+        if not (0 <= lsq.lq_used <= lsq.lq_size
+                and 0 <= lsq.sq_used <= lsq.sq_size):
+            raise InvariantViolation(
+                "lsq-reconcile", cycle,
+                f"occupancy out of range: lq={lsq.lq_used}/{lsq.lq_size}, "
+                f"sq={lsq.sq_used}/{lsq.sq_size}")
+
+        regs = self.regs
+        for klass, free, borrowed, held, pool in (
+            ("int", regs.int_free, regs.runahead_int, int_held,
+             regs._int_max_free),
+            ("fp", regs.fp_free, regs.runahead_fp, fp_held,
+             regs._fp_max_free),
+        ):
+            if free < 0 or borrowed < 0:
+                raise InvariantViolation(
+                    "reg-leak", cycle,
+                    f"{klass} counters negative: free={free}, "
+                    f"runahead={borrowed}")
+            if free + borrowed + held != pool:
+                raise InvariantViolation(
+                    "reg-leak", cycle,
+                    f"{klass} registers leak: free={free} + "
+                    f"runahead={borrowed} + held={held} != pool={pool}")
+
+        prdq = self.prdq
+        if len(prdq) > prdq.size:
+            raise InvariantViolation(
+                "prdq-leak", cycle,
+                f"occupancy {len(prdq)} > size {prdq.size}")
+        if regs.runahead_int + regs.runahead_fp != len(prdq):
+            raise InvariantViolation(
+                "prdq-leak", cycle,
+                f"borrowed registers ({regs.runahead_int}+"
+                f"{regs.runahead_fp}) != PRDQ entries ({len(prdq)})")
+        if self.ra.mode != Mode.RUNAHEAD:
+            if len(prdq) or regs.runahead_int or regs.runahead_fp \
+                    or self.iq.runahead_used:
+                raise InvariantViolation(
+                    "prdq-leak", cycle,
+                    f"runahead loans outlive the interval in mode "
+                    f"{self.ra.mode.name}: prdq={len(prdq)}, "
+                    f"regs={regs.runahead_int}+{regs.runahead_fp}, "
+                    f"iq={self.iq.runahead_used}")
+
+        iq = self.iq
+        if iq.runahead_used < 0 or len(iq) > iq.size:
+            raise InvariantViolation(
+                "iq-capacity", cycle,
+                f"occupancy {len(iq)} (runahead {iq.runahead_used}) "
+                f"vs size {iq.size}")
+
+        ace = self.ace
+        if ace.record_intervals and len(ace.intervals) > self._ace_seen:
+            self._check_new_intervals(cycle)
+
+    def _check_new_intervals(self, cycle: int) -> None:
+        intervals = self.ace.intervals
+        for structure, start, end, bits in intervals[self._ace_seen:]:
+            if structure not in STRUCTURES:
+                raise InvariantViolation(
+                    "ace-interval", cycle,
+                    f"unknown structure {structure!r}")
+            if start < 0 or end <= start:
+                raise InvariantViolation(
+                    "ace-interval", cycle,
+                    f"malformed interval [{start}, {end}) on {structure}")
+            if bits < 0:
+                raise InvariantViolation(
+                    "ace-interval", cycle,
+                    f"negative bits {bits} on {structure}")
+            self.ace_intervals_checked += 1
+        self._ace_seen = len(intervals)
+
+    # ======================================================== final check
+
+    def final_check(self) -> None:
+        """Whole-run invariants, called once after the run completes."""
+        cycle = self.core.cycle
+        self.check_cycle(cycle)
+        if self.ace.record_intervals:
+            self._check_ace_capacity(cycle)
+        self._check_formulas(cycle)
+
+    def _check_ace_capacity(self, cycle: int) -> None:
+        """Per-structure live ACE bits never exceed physical capacity.
+
+        Sweeps each structure's recorded intervals as +bits/-bits deltas
+        in cycle order; the running sum is the live ACE bit count, which
+        can never exceed the structure's total bits. ``fu`` is skipped:
+        functional units are charged width x occupancy but are excluded
+        from the paper's AVF denominator, so ``structure_bits`` carries
+        no capacity for them.
+        """
+        per_struct: Dict[str, Dict[int, int]] = {}
+        for structure, start, end, bits in self.ace.intervals:
+            deltas = per_struct.setdefault(structure, {})
+            deltas[start] = deltas.get(start, 0) + bits
+            deltas[end] = deltas.get(end, 0) - bits
+        for structure, deltas in per_struct.items():
+            capacity = self._struct_bits.get(structure, 0)
+            if capacity <= 0:
+                continue  # fu: no capacity in the AVF denominator
+            live = 0
+            for c in sorted(deltas):
+                live += deltas[c]
+                if live > capacity:
+                    raise InvariantViolation(
+                        "ace-capacity", cycle,
+                        f"{structure}: {live} live ACE bits at cycle {c} "
+                        f"exceed capacity {capacity}")
+            if live != 0:
+                raise InvariantViolation(
+                    "ace-capacity", cycle,
+                    f"{structure}: unterminated intervals leave "
+                    f"{live} live bits after the final end")
+
+    def _check_formulas(self, cycle: int) -> None:
+        """Registry formulas must match independent recomputation."""
+        stats = self.stats
+        reg = stats.registry
+        cycles = stats.cycles
+        expected = {
+            "core.ipc": stats.committed / cycles if cycles else 0.0,
+            "core.mpki": (1000.0 * stats.demand_llc_misses / stats.committed
+                          if stats.committed else 0.0),
+        }
+        total_bits = self.core.machine.core.total_bits
+        denom = total_bits * cycles
+        expected["ace.avf"] = self.ace.total / denom if denom else 0.0
+        for name, want in expected.items():
+            got = reg.value(name)
+            if not math.isclose(got, want, rel_tol=1e-12, abs_tol=1e-15):
+                raise InvariantViolation(
+                    "stats-formula", cycle,
+                    f"{name} formula yields {got!r}, independent "
+                    f"recomputation yields {want!r}")
+
+    def summary(self) -> Dict[str, int]:
+        """Checker effort counters (for reports and tests)."""
+        return {
+            "cycles_checked": self.cycles_checked,
+            "commits_checked": self.commits_checked,
+            "ace_intervals_checked": self.ace_intervals_checked,
+        }

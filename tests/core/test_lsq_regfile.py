@@ -52,6 +52,18 @@ class TestLsq:
         with pytest.raises(RuntimeError):
             lsq.release(u)
 
+    def test_double_release_with_cleared_flags_raises(self):
+        """A second release used to silently no-op (flags already
+        cleared), masking commit+squash double-accounting."""
+        lsq = LoadStoreQueues(2, 2)
+        load, store = dyn(UopClass.LOAD), dyn(UopClass.STORE, 2)
+        for u in (load, store):
+            lsq.allocate(u)
+            lsq.release(u)
+            with pytest.raises(RuntimeError, match="double release"):
+                lsq.release(u)
+        assert lsq.lq_used == 0 and lsq.sq_used == 0
+
 
 class TestRegFiles:
     def test_initial_free_excludes_architectural(self):

@@ -109,3 +109,50 @@ class TestValidation:
     def test_zero_sets_rejected(self):
         with pytest.raises(ValueError):
             Cache(CacheParams(size=64, assoc=4, latency=1), "bad")
+
+
+class TestIndexReconstruct:
+    """_reconstruct must invert _index for every geometry (the victim
+    address handed back to the hierarchy is rebuilt from (set, tag))."""
+
+    GEOMETRIES = (
+        (4096, 4, 64),    # typical set-associative
+        (4096, 1, 64),    # direct-mapped (single way)
+        (256, 4, 64),     # num_sets == 1 (fully associative, tag shift 0)
+        (64, 1, 64),      # one set, one way
+        (32768, 8, 64),   # L1-like
+        (2048, 2, 128),   # wider lines
+    )
+
+    def test_reconstruct_inverts_index(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        geometries = self.GEOMETRIES
+
+        @settings(max_examples=300, deadline=None)
+        @given(addr=st.integers(min_value=0, max_value=(1 << 44) - 1),
+               geo=st.sampled_from(geometries))
+        def check(addr, geo):
+            size, assoc, line = geo
+            c = cache(size=size, assoc=assoc, line=line)
+            set_idx, tag = c._index(addr)
+            assert 0 <= set_idx < c.params.num_sets
+            recon = c._reconstruct(set_idx, tag)
+            assert recon == addr & ~(line - 1)  # line-aligned round trip
+            assert c._index(recon) == (set_idx, tag)
+
+        check()
+
+    def test_single_set_uses_whole_line_as_tag(self):
+        c = cache(size=256, assoc=4, line=64)  # num_sets == 1
+        assert c.params.num_sets == 1
+        set_idx, tag = c._index(0xDEADBEEF00)
+        assert set_idx == 0
+        assert tag == 0xDEADBEEF00 >> 6
+
+    def test_victim_reconstruction_direct_mapped(self):
+        c = cache(size=128, assoc=1, line=64)  # 2 sets, 1 way
+        c.insert(0x0)
+        victim = c.insert(0x80)  # same set (set 0), evicts 0x0
+        assert victim == (0x0, False)

@@ -80,3 +80,28 @@ class TestBus:
         for i in range(5):
             d.access(i * 64, i)
         assert d.accesses == 5
+
+    def test_bus_pushback_delays_bank_release(self):
+        """A burst pushed back by the shared bus keeps its bank busy.
+
+        Saturate the bus across two banks: the second bank's burst is
+        delayed behind the first bank's, so the second bank cannot start
+        its next (conflicting) row access at the nominal release time —
+        its column access only completes when the delayed burst issues.
+        """
+        d = dram(ranks=1, banks_per_rank=2, bus_cycles_per_access=100)
+        p = d.params
+        t0 = d.access(0, 0)                  # bank 0, row miss
+        assert t0 == p.row_miss_latency
+        t1 = d.access(p.row_size, 0)         # bank 1, row miss, bus-pushed
+        assert t1 == t0 + p.bus_cycles_per_access
+        push = t1 - p.row_miss_latency
+        busy = p.t_rp + p.t_rcd + p.bus_cycles_per_access
+        bank1_free = busy + push
+        # Conflicting row in bank 1, arriving after the nominal release
+        # but while the pushed-back burst still occupies the bank: must
+        # wait for the real release.
+        arrive = busy + 8
+        assert arrive < bank1_free
+        t2 = d.access(p.row_size * (1 + p.num_banks), arrive)
+        assert t2 == bank1_free + p.row_miss_latency

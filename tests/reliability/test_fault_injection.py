@@ -103,3 +103,51 @@ class TestInjector:
         assert r.empirical_avf == 0.25
         assert r.structure_avf("rob") == 0.5
         assert r.structure_avf("iq") == 0.0
+
+
+class TestEdgeCases:
+    def test_zero_length_intervals_contribute_nothing(self):
+        """An [c, c) interval opens and closes at the same cycle: its
+        +bits/-bits deltas cancel, so no strike can ever land in it."""
+        lb = _LiveBits([(50, 50, 120), (70, 70, 64)])
+        for c in (0, 49, 50, 51, 70, 100):
+            assert lb.live(c) == 0
+        intervals = [("rob", 50, 50, 120), ("iq", 70, 70, 80)]
+        inj = FaultInjector(intervals, BASELINE.core, cycles=100, seed=2)
+        assert inj.run(2000).hits == 0
+
+    def test_strike_at_final_cycle(self):
+        """Intervals are half-open: cycle T-1 of an interval ending at T
+        is vulnerable, cycle T is not — a strike drawn at the last
+        simulated cycle (randrange's maximum) must see the right state."""
+        bits = structure_bits(BASELINE.core)
+        T = 4
+        lb = _LiveBits([(T - 1, T, bits["rob"])])
+        assert lb.live(T - 1) == bits["rob"]
+        assert lb.live(T) == 0
+        inj = FaultInjector([("rob", T - 1, T, bits["rob"])],
+                            BASELINE.core, cycles=T, seed=3)
+        result = inj.run(4000)
+        # The ROB is fully ACE for 1 of 4 cycles: every rob-strike in
+        # that cycle hits, nothing else ever does.
+        rob_trials = result.trials_by_structure["rob"]
+        assert result.hits == result.hits_by_structure.get("rob", 0)
+        assert result.hits == pytest.approx(rob_trials / T, rel=0.25)
+
+    def test_per_structure_empirical_matches_analytical(self):
+        """structure_avf must converge per structure, not just in
+        aggregate — a mis-weighted sampler could pass the total while
+        over-charging one structure and under-charging another."""
+        core = run_recording()
+        bits = structure_bits(BASELINE.core)
+        result = FaultInjector(core.ace.intervals, BASELINE.core,
+                               core.cycle, seed=13).run(60_000)
+        checked = 0
+        for s in ("rob", "iq", "lq", "sq", "rf"):
+            analytical = core.ace.bits[s] / (bits[s] * core.cycle)
+            if result.trials_by_structure.get(s, 0) < 2000:
+                continue  # too few samples for a tolerance claim
+            assert result.structure_avf(s) == pytest.approx(
+                analytical, rel=0.25, abs=0.01), s
+            checked += 1
+        assert checked >= 3  # the big structures must all be sampled

@@ -1,0 +1,162 @@
+"""The per-cycle invariant sanitizer: clean runs pass, corruption raises."""
+
+import pytest
+
+from repro.checkpoint import simulate_from, warm_checkpoint
+from repro.common.params import BASELINE
+from repro.core.core import OutOfOrderCore
+from repro.sim import simulate
+from repro.validate import InvariantChecker, InvariantViolation
+from repro.workloads.catalog import get_workload
+
+
+def sanitized_core(workload="mcf", policy="RAR", instructions=1500,
+                   record_ace_intervals=False):
+    """A core run under the sanitizer, returned live for corruption."""
+    from repro.core.runahead import get_policy
+    spec = get_workload(workload)
+    core = OutOfOrderCore(BASELINE, spec.build_trace(), get_policy(policy),
+                          record_ace_intervals=record_ace_intervals,
+                          validate=True)
+    for level, base, size in spec.resident_regions():
+        core.mem.preload(base, size, level)
+    core.run(instructions)
+    return core
+
+
+class TestCleanRuns:
+    def test_disabled_by_default(self):
+        spec = get_workload("x264")
+        core = OutOfOrderCore(BASELINE, spec.build_trace())
+        assert core.checker is None
+        # No extra pipeline stage when the sanitizer is off.
+        assert all(c.name != "invariant_checker"
+                   for c in core.engine._pipeline)
+
+    def test_checker_outside_components(self):
+        """The checker must stay out of the checkpoint blob."""
+        core = sanitized_core(instructions=200)
+        assert core.checker is not None
+        assert core.checker not in core.components
+        assert core.engine._pipeline[-1] is core.checker
+
+    @pytest.mark.parametrize("policy", ["OOO", "FLUSH", "TR", "PRE", "RAR"])
+    def test_all_mechanisms_pass(self, policy):
+        core = sanitized_core(policy=policy)
+        core.checker.final_check()
+        s = core.checker.summary()
+        assert s["cycles_checked"] > 0
+        assert s["commits_checked"] >= 1500
+
+    def test_bit_identical_with_and_without(self):
+        kw = dict(instructions=1500, warmup=500)
+        a = simulate("mcf", BASELINE, "RAR", **kw)
+        b = simulate("mcf", BASELINE, "RAR", validate=True, **kw)
+        assert a.to_dict() == b.to_dict()
+
+    def test_ace_intervals_checked(self):
+        core = sanitized_core(record_ace_intervals=True)
+        core.checker.final_check()
+        assert core.checker.summary()["ace_intervals_checked"] > 0
+
+    def test_checkpoint_forks_orthogonal_to_sanitizer(self):
+        """Sanitized and unsanitized cores exchange checkpoints freely."""
+        ck = warm_checkpoint("mcf", BASELINE, "PRE", warmup=500,
+                             validate=True)
+        plain = simulate_from(ck, "PRE", instructions=1000)
+        checked = simulate_from(ck, "PRE", instructions=1000, validate=True)
+        assert plain.to_dict() == checked.to_dict()
+
+
+class TestDetection:
+    def test_lsq_double_release_detected(self):
+        """The historical bug: a load's flag cleared without the counter
+        moving (silent double release). The reconciliation sweep must
+        catch it on the very next cycle."""
+        core = sanitized_core(policy="OOO", instructions=300)
+        while not any(u.in_lq for u in core.rob):
+            core.engine.step()
+            core.engine.cycle += 1
+        victim = next(u for u in core.rob if u.in_lq)
+        victim.in_lq = False  # counter now over-reports by one
+        with pytest.raises(InvariantViolation, match="lsq-reconcile"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_rob_age_order_violation(self):
+        core = sanitized_core(instructions=300)
+        while len(core.rob) < 2:
+            core.engine.step()
+            core.engine.cycle += 1
+        core.rob._q.append(core.rob.head)  # duplicate oldest at the tail
+        with pytest.raises(InvariantViolation, match="rob-order"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_rob_capacity_violation(self):
+        core = sanitized_core(instructions=300)
+        while len(core.rob) < 2:
+            core.engine.step()
+            core.engine.cycle += 1
+        core.rob.size = len(core.rob) - 1
+        with pytest.raises(InvariantViolation, match="rob-capacity"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_register_leak_detected(self):
+        core = sanitized_core(instructions=300)
+        core.regs.int_free += 1  # a register materialises from nowhere
+        with pytest.raises(InvariantViolation, match="reg-leak"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_prdq_phantom_entry_detected(self):
+        core = sanitized_core(instructions=300)
+        core.prdq._q.append((1 << 60, False))  # entry with no borrow
+        with pytest.raises(InvariantViolation, match="prdq-leak"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_commit_out_of_order_detected(self):
+        core = sanitized_core(policy="OOO", instructions=300)
+        core.checker._last_commit_seq = 1 << 60
+        with pytest.raises(InvariantViolation, match="rob-order"):
+            core.run(50)
+
+    def test_malformed_ace_interval_detected(self):
+        core = sanitized_core(record_ace_intervals=True, instructions=300)
+        core.ace.intervals.append(("rob", 100, 50, 120))  # end < start
+        with pytest.raises(InvariantViolation, match="ace-interval"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_unknown_ace_structure_detected(self):
+        core = sanitized_core(record_ace_intervals=True, instructions=300)
+        core.ace.intervals.append(("tlb", 0, 10, 64))
+        with pytest.raises(InvariantViolation, match="ace-interval"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_ace_capacity_overflow_detected(self):
+        from repro.reliability.fault_injection import structure_bits
+        core = sanitized_core(record_ace_intervals=True, instructions=300)
+        cap = structure_bits(BASELINE.core)["iq"]
+        core.ace.intervals.append(("iq", 0, 1, cap + 1))
+        core.checker._ace_seen = len(core.ace.intervals)  # skip well-formed
+        with pytest.raises(InvariantViolation, match="ace-capacity"):
+            core.checker.final_check()
+
+    def test_formula_drift_detected(self):
+        core = sanitized_core(instructions=300)
+        core.registry.get("core.ipc").fn = lambda v: 0.123  # stale formula
+        with pytest.raises(InvariantViolation, match="stats-formula"):
+            core.checker.final_check()
+
+    def test_violation_carries_location(self):
+        v = InvariantViolation("lsq-reconcile", 42, "boom")
+        assert v.invariant == "lsq-reconcile"
+        assert v.cycle == 42
+        assert "cycle 42" in str(v) and "boom" in str(v)
+        assert isinstance(v, AssertionError)
+
+
+class TestChecker:
+    def test_step_is_pure_observation(self):
+        core = sanitized_core(instructions=300)
+        assert isinstance(core.checker, InvariantChecker)
+        assert core.checker.step(core.cycle) == 0
+        assert core.checker.state_attrs == ()
+        assert core.checker.wake_candidates(core.cycle) == ()
