@@ -3,16 +3,25 @@
 Run from the repo root (CI does this on every push)::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--out BENCH_obs.json]
+    PYTHONPATH=src python benchmarks/perf_smoke.py --profile
+    PYTHONPATH=src python benchmarks/perf_smoke.py --speed \
+        [--speed-out BENCH_speed.json]
     PYTHONPATH=src python benchmarks/perf_smoke.py --sweep \
         [--sweep-out BENCH_refactor.json]
 
 The default mode appends one record with the simulated-KIPS throughput
 of the standard (mcf, baseline, RAR) point so the host-performance
-trajectory of the simulator is tracked over time. ``--sweep`` instead
-times a small workload x policy matrix twice — serial, then with
-``jobs=2`` + shared-warmup checkpoint forking — and appends the
-wall-clock speedup to ``BENCH_refactor.json``. Both files are JSON
-lists of records.
+trajectory of the simulator is tracked over time. ``--profile`` runs the
+same point under cProfile and prints the top-25 functions by tottime
+(no record is appended — profiling overhead would pollute the
+trajectory); every perf PR should start from that table (see
+docs/performance.md). ``--speed`` times the 2x2 {mcf, lbm} x {OOO, RAR}
+matrix, appends the per-point KIPS to ``BENCH_speed.json`` and exits
+non-zero if any point regressed more than 20% against the previous
+committed entry. ``--sweep`` instead times a small workload x policy
+matrix twice — serial, then with ``jobs=2`` + shared-warmup checkpoint
+forking — and appends the wall-clock speedup to ``BENCH_refactor.json``.
+All files are JSON lists of records.
 """
 
 import argparse
@@ -73,6 +82,79 @@ def run_kips_smoke(args) -> int:
     return 0
 
 
+def run_profile(args) -> int:
+    """cProfile the smoke point; print the top-25 functions by tottime."""
+    import cProfile
+    import pstats
+
+    from repro import BASELINE, simulate
+
+    profile = cProfile.Profile()
+    profile.enable()
+    simulate(args.workload, BASELINE, args.policy,
+             instructions=args.instructions, warmup=args.warmup)
+    profile.disable()
+    pstats.Stats(profile).sort_stats("tottime").print_stats(25)
+    return 0
+
+
+#: the committed-trajectory matrix timed by ``--speed``
+SPEED_MATRIX = (("mcf", "OOO"), ("mcf", "RAR"), ("lbm", "OOO"), ("lbm", "RAR"))
+
+#: a point may drop to this fraction of the previous committed entry
+#: before the run fails (hosted-runner wall clocks are noisy)
+REGRESSION_FLOOR = 0.8
+
+
+def run_speed_matrix(args) -> int:
+    """Time the 2x2 speed matrix; fail on a >20% per-point regression."""
+    from repro import BASELINE, Telemetry, simulate
+
+    history = []
+    if os.path.exists(args.speed_out):
+        try:
+            with open(args.speed_out) as f:
+                history = json.load(f)
+        except (json.JSONDecodeError, OSError):
+            history = []
+    last = history[-1] if isinstance(history, list) and history else None
+
+    points = {}
+    for workload, policy in SPEED_MATRIX:
+        tele = Telemetry(profile=True)
+        simulate(workload, BASELINE, policy,
+                 instructions=args.instructions, warmup=args.warmup,
+                 telemetry=tele)
+        key = f"{workload}/{policy}"
+        points[key] = round(tele.profiler.kips, 2)
+        print(f"{key}: {points[key]} KIPS")
+
+    record = _base_record()
+    record.update({
+        "instructions": args.instructions,
+        "warmup": args.warmup,
+        "points": points,
+    })
+    n = _append_record(args.speed_out, record)
+    print(f"speed matrix -> {args.speed_out} ({n} records)")
+
+    regressions = []
+    if last is not None and isinstance(last.get("points"), dict):
+        for key, kips in points.items():
+            ref = last["points"].get(key)
+            if ref and kips < REGRESSION_FLOOR * ref:
+                regressions.append(
+                    f"{key}: {kips} KIPS < {REGRESSION_FLOOR:.0%} of the "
+                    f"previous committed {ref} KIPS")
+    if regressions:
+        print("KIPS regression vs previous committed entry:",
+              file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def run_sweep_smoke(args) -> int:
     """Time the same small matrix serial vs parallel+shared-warmup.
 
@@ -123,12 +205,23 @@ def main(argv=None) -> int:
     parser.add_argument("--policy", default="RAR")
     parser.add_argument("-n", "--instructions", type=int, default=8000)
     parser.add_argument("-w", "--warmup", type=int, default=4000)
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the smoke point (top-25 by tottime); "
+                             "appends no record")
+    parser.add_argument("--speed", action="store_true",
+                        help="time the {mcf,lbm} x {OOO,RAR} matrix and "
+                             "fail on a >20%% per-point KIPS regression")
+    parser.add_argument("--speed-out", default="BENCH_speed.json")
     parser.add_argument("--sweep", action="store_true",
                         help="time serial vs parallel shared-warmup sweep")
     parser.add_argument("--sweep-out", default="BENCH_refactor.json")
     parser.add_argument("-j", "--jobs", type=int, default=2,
                         help="pool size for the parallel sweep leg")
     args = parser.parse_args(argv)
+    if args.profile:
+        return run_profile(args)
+    if args.speed:
+        return run_speed_matrix(args)
     if args.sweep:
         return run_sweep_smoke(args)
     return run_kips_smoke(args)

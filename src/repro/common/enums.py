@@ -44,6 +44,34 @@ class UopClass(IntEnum):
                             UopClass.INT_CMP)
 
 
+#: uop class -> FU class actually used, indexable by ``int(UopClass)``.
+#: Loads, stores, branches and compares execute on an integer-add unit
+#: (address generation / condition evaluation); NOPs are charged to the
+#: integer adder for latency-table purposes but never reach the IQ.
+FU_CLASS = tuple(
+    int({
+        UopClass.NOP: UopClass.INT_ADD,
+        UopClass.INT_ADD: UopClass.INT_ADD,
+        UopClass.INT_MUL: UopClass.INT_MUL,
+        UopClass.INT_DIV: UopClass.INT_DIV,
+        UopClass.FP_ADD: UopClass.FP_ADD,
+        UopClass.FP_MUL: UopClass.FP_MUL,
+        UopClass.FP_DIV: UopClass.FP_DIV,
+        UopClass.LOAD: UopClass.INT_ADD,
+        UopClass.STORE: UopClass.INT_ADD,
+        UopClass.BRANCH: UopClass.INT_ADD,
+        UopClass.INT_CMP: UopClass.INT_ADD,
+    }[c])
+    for c in UopClass
+)
+
+#: ``has_dest``/``is_fp`` by ``int(UopClass)`` — the hot path reads these
+#: tables (via precomputed :class:`repro.isa.uop.StaticUop` slots) instead
+#: of re-deriving the class properties per call.
+HAS_DEST = tuple(bool(c.has_dest) for c in UopClass)
+IS_FP = tuple(bool(c.is_fp) for c in UopClass)
+
+
 class Mode(IntEnum):
     """Execution mode of the core."""
 

@@ -49,7 +49,10 @@ class FrontEndStage(Component):
     """
 
     name = "frontend_stage"
-    state_attrs = ("fetch_idx", "pending_branch", "_seq")
+    state_attrs = ("fetch_idx", "pending_branch", "_seq", "quiesced")
+    # Fetch is gated whenever the core leaves NORMAL mode; the runahead
+    # controller flips `quiesced` in RunaheadController.set_mode so the
+    # engine skips this stage entirely during runahead/flush intervals.
 
     def __init__(self, core) -> None:
         self.core = core
@@ -75,16 +78,28 @@ class FrontEndStage(Component):
         if self.ra.mode != Mode.NORMAL:
             return 0
         frontend = self.frontend
+        if c < frontend.resume_cycle:
+            return 0
+        # Inlined push/can_fetch: neither the gate nor the capacity can
+        # change while fetching, so hoist them out of the loop.
+        pipe = frontend._pipe
+        cap = frontend.capacity
+        arrival = c + frontend.depth
+        width = self.width
+        trace = self.trace
+        seq = self._seq
         n = 0
-        while n < self.width and frontend.can_fetch(c):
+        while n < width and len(pipe) < cap:
             if self.pending_branch is not None:
                 st = self.wrong_path_src.next_uop(self.fetch_idx)
-                u = DynUop(st, self.next_seq(), wrong_path=True)
+                seq += 1
+                u = DynUop(st, seq, True)
             else:
-                st = self.trace.get(self.fetch_idx)
+                st = trace.get(self.fetch_idx)
                 if st is None:
                     break
-                u = DynUop(st, self.next_seq())
+                seq += 1
+                u = DynUop(st, seq)
                 if st.cls == _BRANCH:
                     predicted = self.predictor.observe(st.pc, st.taken)
                     target = self.btb.lookup(st.pc)
@@ -96,8 +111,9 @@ class FrontEndStage(Component):
                     if predicted != st.taken:
                         self.pending_branch = u
                 self.fetch_idx += 1
-            frontend.push(u, c)
+            pipe.append((u, arrival))
             n += 1
+        self._seq = seq
         return n
 
     def wake_candidates(self, cycle: int):
@@ -139,16 +155,17 @@ class CommitUnit(Component):
 
     def step(self, c: int) -> int:
         n = 0
-        if self.ra.mode == Mode.NORMAL:
-            rob = self.rob
+        rob = self.rob
+        q = rob._q
+        if self.ra.mode == Mode.NORMAL and q:
             stats = self.stats
             inflight = self.backend.inflight
             observer = self.core.observer
             while n < self.width:
-                head = rob.head
+                head = q[0] if q else None
                 if head is None or not head.completed:
                     break
-                rob.pop_head()
+                q.popleft()
                 if head.wrong_path:
                     raise RuntimeError("wrong-path uop reached commit")
                 head.commit_cycle = c
@@ -169,7 +186,17 @@ class CommitUnit(Component):
                     observer("commit", c, uop=head)
                 stats.committed += 1
                 n += 1
-        self.rob.advance_timer(1)
+        # Inlined rob.advance_timer(1): one call per simulated cycle.
+        if not q:
+            rob._head_seq = -1
+            rob._timer = rob.timer_init
+        else:
+            head = q[0]
+            if head.seq != rob._head_seq:
+                rob._head_seq = head.seq
+                rob._timer = rob.timer_init
+            elif rob._timer > 0:
+                rob._timer -= 1
         return n
 
     def wake_candidates(self, cycle: int):
@@ -192,7 +219,7 @@ class WindowBackEnd(Component):
 
     name = "backend"
     state_attrs = ("next_dispatch_idx", "inflight", "_out_misses",
-                   "_regstall_cycle")
+                   "_regstall_cycle", "quiesced")
 
     def __init__(self, core) -> None:
         self.core = core
@@ -219,9 +246,17 @@ class WindowBackEnd(Component):
         self.machine = core.machine
         self.fe = core.frontend_stage
         self.ra = core.runahead_ctl
+        self._throttled = core.policy.kind == "throttle"
 
     def step(self, c: int) -> int:
-        return self._do_issue(c) + self._do_dispatch(c)
+        n = self._do_issue(c) + self._do_dispatch(c)
+        # Outside NORMAL mode the back-end can only issue already-ready
+        # frozen-window uops; once the ready lists drain there is nothing
+        # to do until a writeback wakes a consumer (which re-arms us) or
+        # the mode flips back (set_mode re-arms us).
+        if self.iq._nready == 0 and self.ra.mode != Mode.NORMAL:
+            self.quiesced = True
+        return n
 
     # ========================================================== writeback
 
@@ -232,10 +267,13 @@ class WindowBackEnd(Component):
             return
         uop.completed = True
         uop.done_cycle = when
-        for consumer in uop.consumers:
-            consumer.pending -= 1
-            self.iq.wakeup(consumer)
-        uop.consumers = []
+        if uop.consumers:
+            iq = self.iq
+            for consumer in uop.consumers:
+                consumer.pending -= 1
+                iq.wakeup(consumer)
+            uop.consumers = []
+            self.quiesced = False
         st = uop.static
         if st.cls == _LOAD and uop.mem_level == "dram" and not uop.wrong_path:
             self.ra.train_sst(st.idx, st.pc)
@@ -292,25 +330,52 @@ class WindowBackEnd(Component):
     # ============================================================== issue
 
     def _do_issue(self, c: int) -> int:
+        # Select directly over the IQ's per-class ready FIFOs: repeatedly
+        # take the globally oldest head (smallest ready_ord), skipping any
+        # FU class already found full this cycle (`blocked_fu` bitmask —
+        # sound because within one cycle FU slots only fill, never free).
+        # MSHR-rejected loads are set aside individually and restored to
+        # their FIFO fronts afterwards, so pick order next cycle matches
+        # the scan-based queue exactly. Age order + identical mem.access
+        # attempt sequence ⇒ bit-identical results.
         iq = self.iq
-        attempts = iq.ready_count
-        if attempts == 0:
+        if iq._nready == 0:
             return 0
+        ready = iq._ready
         issued = 0
-        blocked: List[DynUop] = []
+        width = self.width
         fus = self.fus
-        while attempts > 0 and issued < self.width and iq.ready_count > 0:
-            attempts -= 1
-            u = iq.pop_ready()
+        schedule = self.engine.schedule
+        blocked_fu = 0
+        stashed: Dict[int, List[DynUop]] = {}
+        while issued < width:
+            m = iq._nonempty & ~blocked_fu
+            u = None
+            u_cls = -1
+            while m:
+                low = m & -m
+                m ^= low
+                fc = low.bit_length() - 1
+                head = ready[fc][0]
+                if u is None or head.ready_ord < u.ready_ord:
+                    u = head
+                    u_cls = fc
+            if u is None:
+                break
             st = u.static
             cls = st.cls
             if not fus.can_issue(cls, c):
-                blocked.append(u)
+                blocked_fu |= 1 << u_cls
                 continue
+            dq = ready[u_cls]
+            dq.popleft()
+            if not dq:
+                iq._nonempty &= ~(1 << u_cls)
+            iq._nready -= 1
             if cls == _LOAD:
                 result = self.mem.access(st.addr, c, pc=st.pc)
-                if result is None:  # MSHRs full
-                    blocked.append(u)
+                if result is None:  # MSHRs full: retry next cycle
+                    stashed.setdefault(u_cls, []).append(u)
                     continue
                 fus.issue(cls, c)  # AGU slot
                 done = result.done_cycle
@@ -330,10 +395,14 @@ class WindowBackEnd(Component):
             else:
                 done = fus.issue(cls, c)
             u.issue_cycle = c
-            self.engine.schedule(done, EV_WB, u)
+            schedule(done, EV_WB, u)
             issued += 1
-        for u in reversed(blocked):
-            iq.requeue(u)
+        for fc, uops in stashed.items():
+            dq = ready[fc]
+            for u in reversed(uops):
+                dq.appendleft(u)
+            iq._nonempty |= 1 << fc
+            iq._nready += len(uops)
         return issued
 
     # =========================================================== dispatch
@@ -341,47 +410,88 @@ class WindowBackEnd(Component):
     def _dispatch_budget(self, c: int) -> int:
         """Per-cycle dispatch width; the THROTTLE policy rate-limits it to
         one uop every 4 cycles while an LLC miss blocks the head."""
-        if self.core.policy.kind == "throttle" \
-                and self.ra.head_blocked_by_miss() is not None:
+        if self._throttled and self.ra.head_blocked_by_miss() is not None:
             return 1 if (c & 3) == 0 else 0
         return self.width
 
     def _do_dispatch(self, c: int) -> int:
         if self.ra.mode != Mode.NORMAL:
             return 0
+        # The budget is loop-invariant (the ROB head only changes at
+        # commit/squash, never mid-dispatch), so evaluate it once.
+        budget = self._dispatch_budget(c) if self._throttled else self.width
         n = 0
-        frontend = self.frontend
+        pipe = self.frontend._pipe
         inflight = self.inflight
-        while n < self._dispatch_budget(c):
-            u = frontend.peek_ready(c)
-            if u is None:
+        rob = self.rob
+        robq = rob._q
+        lsq = self.lsq
+        regs = self.regs
+        iq = self.iq
+        while n < budget:
+            # Inlined peek/pop plus the allocator capacity checks, in the
+            # same order (and with the same short-circuits) as the
+            # regfile/ROB/LSQ/IQ methods they replace.
+            if not pipe:
                 break
-            if not self.regs.can_allocate(u):
+            u, ready_at = pipe[0]
+            if ready_at > c:
+                break
+            st = u.static
+            if st.has_dest and (regs.fp_free if st.is_fp
+                                else regs.int_free) <= 0:
                 self._regstall_cycle = c
                 break
-            if self.rob.full or not self.lsq.can_allocate(u):
+            if len(robq) >= rob.size:
                 break
-            if u.static.cls != _NOP and self.iq.full:
+            if st.is_load:
+                if lsq.lq_used >= lsq.lq_size:
+                    break
+            elif st.is_store:
+                if lsq.sq_used >= lsq.sq_size:
+                    break
+            cls = st.cls
+            if cls != _NOP and len(iq._waiting) + iq._nready \
+                    + iq.runahead_used >= iq.size:
                 break
-            frontend.pop()
+            pipe.popleft()
             u.dispatch_cycle = c
-            self.rob.push(u)
-            self.lsq.allocate(u)
-            self.regs.allocate(u)
-            if u.static.cls == _NOP:
+            robq.append(u)
+            if st.is_load:
+                lsq.lq_used += 1
+                u.in_lq = True
+            elif st.is_store:
+                lsq.sq_used += 1
+                u.in_sq = True
+            if st.has_dest:
+                if st.is_fp:
+                    regs.fp_free -= 1
+                else:
+                    regs.int_free -= 1
+            if cls == _NOP:
                 u.completed = True
                 u.done_cycle = c
             else:
-                for src in u.static.srcs:
+                pending = 0
+                for src in st.srcs:
                     producer = inflight.get(src)
                     if producer is not None and not producer.completed \
                             and not producer.squashed:
-                        u.pending += 1
+                        pending += 1
                         producer.consumers.append(u)
-                self.iq.insert(u)
+                if pending:
+                    u.pending = pending
+                    iq._waiting.add(u)
+                else:
+                    u.ready_ord = iq._next_ord
+                    iq._next_ord += 1
+                    fc = st.fu_cls
+                    iq._ready[fc].append(u)
+                    iq._nonempty |= 1 << fc
+                    iq._nready += 1
             if not u.wrong_path:
-                inflight[u.static.idx] = u
-                self.next_dispatch_idx = u.static.idx + 1
+                inflight[st.idx] = u
+                self.next_dispatch_idx = st.idx + 1
             n += 1
         return n
 
@@ -438,6 +548,19 @@ class RunaheadController(Component):
         self.backend = core.backend
         self._est_latency = core._est_latency
 
+    def set_mode(self, mode: Mode) -> None:
+        """Central mode switch: keeps the quiescence flags of the gated
+        components in sync with the mode (the front-end is fully idle
+        outside NORMAL; the back-end is idle once its ready lists drain —
+        see :class:`WindowBackEnd.step`)."""
+        self.mode = mode
+        normal = mode == Mode.NORMAL
+        self.fe.quiesced = not normal
+        if normal:
+            self.backend.quiesced = False
+        elif self.iq._nready == 0:
+            self.backend.quiesced = True
+
     def step(self, c: int) -> int:
         self.update_windows(c)
         mode = self.mode
@@ -447,7 +570,7 @@ class RunaheadController(Component):
             blocking = self.blocking
             if blocking is not None and blocking.completed:
                 # Data returned: head will commit; refetch the rest.
-                self.mode = Mode.NORMAL
+                self.set_mode(Mode.NORMAL)
                 self.blocking = None
                 self.fe.fetch_idx = self.backend.next_dispatch_idx
                 self.frontend.resume_cycle = \
@@ -481,36 +604,38 @@ class RunaheadController(Component):
 
     def update_windows(self, c: int) -> None:
         """Maintain the Figure 5 attribution windows."""
-        head = self.rob.head
+        q = self.rob._q
+        head = q[0] if q else None
         ace = self.ace
         blocked = (
             head is not None
-            and head.static.cls == _LOAD
             and head.llc_miss
             and not head.completed
+            and head.static.cls == _LOAD
             and not head.wrong_path
         )
-        if blocked:
-            if ace.head_blocked.is_open and self._hb_seq != head.seq:
+        if not blocked:
+            # Common case first: nothing blocked, close any open windows.
+            if ace.head_blocked._open_start >= 0:
                 ace.head_blocked.close(c)
-            if not ace.head_blocked.is_open:
-                ace.head_blocked.open(c)
-                self._hb_seq = head.seq
-            if ace.full_stall.is_open and self._fs_seq != head.seq:
+            if ace.full_stall._open_start >= 0:
                 ace.full_stall.close(c)
-            # "Full-window stall": the window cannot grow — ROB full or
-            # renaming out of registers (same condition as the late
-            # runahead trigger).
-            window_stalled = self.rob.full \
-                or self.backend._regstall_cycle >= c - 1
-            if not ace.full_stall.is_open and window_stalled:
-                ace.full_stall.open(c)
-                self._fs_seq = head.seq
-        else:
-            if ace.head_blocked.is_open:
-                ace.head_blocked.close(c)
-            if ace.full_stall.is_open:
-                ace.full_stall.close(c)
+            return
+        if ace.head_blocked.is_open and self._hb_seq != head.seq:
+            ace.head_blocked.close(c)
+        if not ace.head_blocked.is_open:
+            ace.head_blocked.open(c)
+            self._hb_seq = head.seq
+        if ace.full_stall.is_open and self._fs_seq != head.seq:
+            ace.full_stall.close(c)
+        # "Full-window stall": the window cannot grow — ROB full or
+        # renaming out of registers (same condition as the late
+        # runahead trigger).
+        window_stalled = self.rob.full \
+            or self.backend._regstall_cycle >= c - 1
+        if not ace.full_stall.is_open and window_stalled:
+            ace.full_stall.open(c)
+            self._fs_seq = head.seq
 
     def head_blocked_by_miss(self) -> Optional[DynUop]:
         head = self.rob.head
@@ -571,7 +696,7 @@ class RunaheadController(Component):
             fe.pending_branch = None
         backend.next_dispatch_idx = head.static.idx + 1
         self.blocking = head
-        self.mode = Mode.FLUSH_STALL
+        self.set_mode(Mode.FLUSH_STALL)
         observer = self.core.observer
         if observer:
             observer("flush_enter", c, blocking=head)
@@ -583,7 +708,7 @@ class RunaheadController(Component):
         self.stats.runahead_triggers += 1
         self.stats.ra_trigger_rob_sum += len(self.rob)
         self.blocking = head
-        self.mode = Mode.RUNAHEAD
+        self.set_mode(Mode.RUNAHEAD)
         self._ra_interval += 1
         self._ra_entry_cycle = c
         self._ra_resume = c + 1  # checkpoint RAT, redirect front-end
@@ -631,6 +756,11 @@ class RunaheadController(Component):
         policy = self.core.policy
         trace = self.trace
         inflight = self.backend.inflight
+        stats = self.stats
+        ra_inv = self._ra_inv
+        ra_ready = self._ra_ready
+        iq = self.iq
+        uop_lat = self.fus._uop_latency
         budget = self.width
         progress = 0
         #: runahead-buffer replay skips non-chain uops for free, but the
@@ -640,15 +770,15 @@ class RunaheadController(Component):
             st = trace.get(self._ra_fetch_idx)
             if st is None:
                 break
-            self.stats.runahead_uops_examined += 1
+            stats.runahead_uops_examined += 1
             idx = st.idx
             inv = False
             for src in st.srcs:
-                if src in self._ra_inv:
+                if src in ra_inv:
                     inv = True
                     break
             if inv:
-                self._ra_inv.add(idx)
+                ra_inv.add(idx)
             cls = st.cls
             if cls == _BRANCH and policy.buffer:
                 # The runahead buffer replays a straight chain: it cannot
@@ -711,12 +841,14 @@ class RunaheadController(Component):
                 self._ra_vec_fill += 1
             # Acquire runahead resources: a free IQ entry, and a register
             # via the PRDQ when the uop writes a destination.
-            if not vector_free and self.iq.free <= 0:
-                self.stats.ra_stall_iq += 1
+            if not vector_free and (
+                    len(iq._waiting) + iq._nready + iq.runahead_used
+                    >= iq.size):
+                stats.ra_stall_iq += 1
                 break
             ready = c
             for src in st.srcs:
-                t = self._ra_ready.get(src)
+                t = ra_ready.get(src)
                 if t is None:
                     producer = inflight.get(src)
                     if producer is not None and producer.completed:
@@ -725,23 +857,23 @@ class RunaheadController(Component):
                         t = c
                 if t > ready:
                     ready = t
-            ready += self.fus.latency(cls)
+            ready += uop_lat[cls]
             if st.has_dest and not vector_free:
                 if not self.prdq.can_allocate(st.is_fp):
-                    self.stats.ra_stall_prdq += 1
+                    stats.ra_stall_prdq += 1
                     break
                 self.prdq.allocate(st.is_fp, ready)
             if not vector_free:
-                self.iq.runahead_used += 1
+                iq.runahead_used += 1
                 heapq.heappush(self._ra_iq_releases, ready)
-            self.stats.runahead_uops_executed += 1
+            stats.runahead_uops_executed += 1
             if cls == _LOAD or cls == _STORE:
                 self.engine.schedule(max(ready, c + 1), EV_RA_ISSUE,
                                      (self._ra_interval, st, 0))
                 est = self._est_latency[self.mem.probe_level(st.addr)]
-                self._ra_ready[idx] = ready + est
+                ra_ready[idx] = ready + est
             else:
-                self._ra_ready[idx] = ready
+                ra_ready[idx] = ready
             self._ra_fetch_idx += 1
             if vector_free:
                 pass  # batched into the group leader's slot
@@ -844,4 +976,4 @@ class RunaheadController(Component):
         if observer:
             observer("runahead_exit", c, blocking=self.blocking)
         self.blocking = None
-        self.mode = Mode.NORMAL
+        self.set_mode(Mode.NORMAL)

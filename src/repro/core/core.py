@@ -342,7 +342,9 @@ class OutOfOrderCore:
 
     @mode.setter
     def mode(self, value) -> None:
-        self.runahead_ctl.mode = value
+        # Through set_mode so the quiescence flags stay consistent even
+        # when a test or external driver forces the mode directly.
+        self.runahead_ctl.set_mode(value)
 
     @property
     def blocking(self):

@@ -39,10 +39,20 @@ class Component:
     - :attr:`state_attrs` — names of the mutable attributes this component
       owns; the default :meth:`snapshot_state`/:meth:`restore_state` pair
       round-trips exactly those for checkpointing.
+    - :attr:`quiesced` — set (by the component itself, or by whoever owns
+      the condition, e.g. the runahead controller on a mode switch) when
+      :meth:`step` is guaranteed to do nothing until an external event
+      re-arms it; the engine then skips the call entirely. Quiescing is
+      per-component, generalizing the all-or-nothing fast-forward: the
+      commit unit keeps stepping (head-timer clock) while a gated
+      front-end or a drained issue window costs nothing.
     """
 
     name = "component"
     state_attrs: Tuple[str, ...] = ()
+    #: True ⇒ step() would provably make no progress this cycle; must be
+    #: cleared by the event that can make the component runnable again.
+    quiesced = False
 
     def bind(self) -> None:
         """Cache cross-component references after all components exist."""
@@ -108,14 +118,49 @@ class SimEngine(Component):
         stats = self._stats
         target = stats.committed + max_instructions
         telemetry = core.telemetry
-        while stats.committed < target:
-            if self.step():
-                self.cycle += 1
+        # Two loop bodies so the common telemetry-off path pays neither the
+        # per-cycle ``is not None`` test nor the ``stats.cycles`` store;
+        # the clock is published once on every exit path instead.
+        try:
+            if telemetry is None:
+                # Inlined step() body: the per-cycle loop is the hottest
+                # code in the simulator, so the cross-component references
+                # are hoisted out of it entirely. process_events and
+                # fast_forward stay dynamic lookups — the host profiler
+                # shadows them on the instance.
+                pipeline = self._pipeline
+                backend = self._backend
+                ra = self._ra
+                flush_stall = Mode.FLUSH_STALL
+                while stats.committed < target:
+                    c = self.cycle
+                    ev = self._events
+                    progress = (self.process_events(c)
+                                if ev and ev[0][0] <= c else 0)
+                    for comp in pipeline:
+                        if comp.quiesced:
+                            continue
+                        progress += comp.step(c)
+                    out_misses = backend._out_misses
+                    if out_misses > 0:
+                        stats.mlp_sum += out_misses
+                        stats.mlp_cycles += 1
+                    if ra.mode is flush_stall:
+                        stats.flush_stall_cycles += 1
+                    if progress:
+                        self.cycle = c + 1
+                    else:
+                        self.fast_forward()
             else:
-                self.fast_forward()
+                while stats.committed < target:
+                    if self.step():
+                        self.cycle += 1
+                    else:
+                        self.fast_forward()
+                    stats.cycles = self.cycle
+                    telemetry.tick(core)
+        finally:
             stats.cycles = self.cycle
-            if telemetry is not None:
-                telemetry.tick(core)
 
     # =============================================================== step
 
@@ -126,8 +171,11 @@ class SimEngine(Component):
         that idle stretches can fast-forward.
         """
         c = self.cycle
-        progress = self.process_events(c)
+        ev = self._events
+        progress = self.process_events(c) if ev and ev[0][0] <= c else 0
         for comp in self._pipeline:
+            if comp.quiesced:
+                continue
             progress += comp.step(c)
         stats = self._stats
         out_misses = self._backend._out_misses

@@ -1,80 +1,96 @@
-"""Functional-unit pool (Table II).
+"""Functional-unit pool (Table II) with an O(1) scoreboard.
 
 Pipelined units accept one uop per unit per cycle; non-pipelined units
 (dividers) are busy for their full latency. Loads, stores and branches use
 an integer-add unit for address generation / condition evaluation.
+
+Availability is tracked with per-class free-slot counters instead of a
+per-cycle scan: pipelined classes keep a ``(stamp, used)`` pair — the last
+cycle anything issued and how many slots that cycle consumed — so a fresh
+cycle needs no reset sweep at all, and both :meth:`can_issue` and
+:meth:`issue` are constant-time table lookups. Latencies and the
+uop-class→FU-class mapping are precomputed as lists indexed by
+``UopClass`` (see ``repro.common.enums.FU_CLASS``). The ``fu-scoreboard``
+invariant (``repro.validate``) cross-checks these counters against the
+in-flight writeback events under ``--validate``.
 """
 
 from typing import Dict, List
 
-from repro.common.enums import UopClass
+from repro.common.enums import FU_CLASS
 from repro.common.params import CoreParams, FuParams
-
-#: uop class -> FU class actually used
-_FU_CLASS = {
-    int(UopClass.NOP): int(UopClass.INT_ADD),
-    int(UopClass.INT_ADD): int(UopClass.INT_ADD),
-    int(UopClass.INT_MUL): int(UopClass.INT_MUL),
-    int(UopClass.INT_DIV): int(UopClass.INT_DIV),
-    int(UopClass.FP_ADD): int(UopClass.FP_ADD),
-    int(UopClass.FP_MUL): int(UopClass.FP_MUL),
-    int(UopClass.FP_DIV): int(UopClass.FP_DIV),
-    int(UopClass.LOAD): int(UopClass.INT_ADD),
-    int(UopClass.STORE): int(UopClass.INT_ADD),
-    int(UopClass.BRANCH): int(UopClass.INT_ADD),
-    int(UopClass.INT_CMP): int(UopClass.INT_ADD),
-}
 
 
 def fu_class_for(cls: int) -> int:
-    return _FU_CLASS[cls]
+    """FU class actually used by a uop class (table lookup)."""
+    return FU_CLASS[cls]
 
 
 class FuPool:
     def __init__(self, core: CoreParams):
         self.params: Dict[int, FuParams] = core.fu_params()
-        #: pipelined classes: uops issued this cycle (reset every cycle)
-        self._issued_now: Dict[int, int] = {c: 0 for c in self.params}
+        n = len(FU_CLASS)
+        #: per-FU-class tables (index = FU class int)
+        self._count: List[int] = [0] * n
+        self._latency: List[int] = [0] * n
+        self._pipelined: List[bool] = [True] * n
+        for c, p in self.params.items():
+            self._count[c] = p.count
+            self._latency[c] = p.latency
+            self._pipelined[c] = p.pipelined
+        #: per-uop-class latency through the FU-class mapping
+        self._uop_latency: List[int] = [self._latency[FU_CLASS[c]]
+                                        for c in range(n)]
+        #: pipelined classes: last cycle anything issued + slots it used
+        self._stamp: List[int] = [-1] * n
+        self._used: List[int] = [0] * n
         #: non-pipelined classes: per-unit next-free cycle
         self._unit_free: Dict[int, List[int]] = {
             c: [0] * p.count for c, p in self.params.items() if not p.pipelined
         }
-        self._now = -1
-
-    def _roll(self, cycle: int) -> None:
-        if cycle != self._now:
-            self._now = cycle
-            for c in self._issued_now:
-                self._issued_now[c] = 0
 
     def latency(self, uop_cls: int) -> int:
-        return self.params[fu_class_for(uop_cls)].latency
+        return self._uop_latency[uop_cls]
 
     def exec_cycles(self, uop_cls: int) -> int:
         """Cycles a committed uop occupied a unit (for FU ACE accounting)."""
-        return self.params[fu_class_for(uop_cls)].latency
+        return self._uop_latency[uop_cls]
 
     def can_issue(self, uop_cls: int, cycle: int) -> bool:
-        self._roll(cycle)
-        fc = fu_class_for(uop_cls)
-        p = self.params[fc]
-        if p.pipelined:
-            return self._issued_now[fc] < p.count
-        return any(free <= cycle for free in self._unit_free[fc])
+        fc = FU_CLASS[uop_cls]
+        if self._pipelined[fc]:
+            return self._stamp[fc] != cycle or self._used[fc] < self._count[fc]
+        for free in self._unit_free[fc]:
+            if free <= cycle:
+                return True
+        return False
 
     def issue(self, uop_cls: int, cycle: int) -> int:
         """Reserve a unit; returns the completion (writeback) cycle."""
-        self._roll(cycle)
-        fc = fu_class_for(uop_cls)
-        p = self.params[fc]
-        if p.pipelined:
-            if self._issued_now[fc] >= p.count:
+        fc = FU_CLASS[uop_cls]
+        if self._pipelined[fc]:
+            if self._stamp[fc] != cycle:
+                self._stamp[fc] = cycle
+                self._used[fc] = 0
+            if self._used[fc] >= self._count[fc]:
                 raise OverflowError(f"FU class {fc} over-issued at {cycle}")
-            self._issued_now[fc] += 1
-            return cycle + p.latency
+            self._used[fc] += 1
+            return cycle + self._latency[fc]
         units = self._unit_free[fc]
+        done = cycle + self._latency[fc]
         for i, free in enumerate(units):
             if free <= cycle:
-                units[i] = cycle + p.latency
-                return cycle + p.latency
+                units[i] = done
+                return done
         raise OverflowError(f"non-pipelined FU class {fc} busy at {cycle}")
+
+    # ---------------------------------------------------------- scoreboard
+
+    def used_this_cycle(self, fu_cls: int, cycle: int) -> int:
+        """Slots of a pipelined class consumed at ``cycle`` (0 if the
+        scoreboard stamp is from an earlier cycle)."""
+        return self._used[fu_cls] if self._stamp[fu_cls] == cycle else 0
+
+    def busy_units(self, fu_cls: int, cycle: int) -> int:
+        """Occupied units of a non-pipelined class at ``cycle``."""
+        return sum(1 for free in self._unit_free[fu_cls] if free > cycle)

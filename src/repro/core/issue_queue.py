@@ -1,29 +1,52 @@
-"""Issue queue with ready-list wakeup/select.
+"""Issue queue with event-driven ready-list wakeup/select.
 
 Dispatch inserts uops with a pending-producer count; completion events
-decrement it (wakeup) and move zero-pending uops to the ready list, from
-which select pulls oldest-first each cycle. Occupancy counts both waiting
-and ready-but-unissued uops — an IQ entry is released at *issue*, which is
-also the end of its ACE-vulnerable interval.
+decrement it (wakeup) and move zero-pending uops onto the ready lists,
+from which select pulls oldest-first each cycle. Occupancy counts both
+waiting and ready-but-unissued uops — an IQ entry is released at *issue*,
+which is also the end of its ACE-vulnerable interval.
+
+The ready set is kept as one FIFO deque *per FU class*, with a global
+monotonically increasing wakeup stamp (``DynUop.ready_ord``) assigned as
+each uop becomes ready. Selection takes the smallest stamp among the
+class heads, which reproduces exactly the single-FIFO age order the
+scan-based queue used — but lets the select loop skip a whole class in
+O(1) once its functional units are exhausted for the cycle, instead of
+popping and requeueing every ready uop of that class. The
+``iq-ready-coherence`` invariant (``repro.validate``) recomputes
+readiness from scratch under ``--validate`` to keep the incremental
+lists honest.
 """
 
 from collections import deque
 from typing import Deque, List
 
+from repro.common.enums import FU_CLASS
 from repro.isa.uop import DynUop
+
+#: FU classes are a dense prefix of UopClass (INT_ADD..FP_DIV).
+NUM_FU_CLASSES = max(FU_CLASS) + 1
 
 
 class IssueQueue:
     def __init__(self, size: int):
         self.size = size
         self._waiting: set = set()
-        self._ready: Deque[DynUop] = deque()
+        #: per-FU-class FIFO of ready uops, each stamped with ``ready_ord``
+        self._ready: List[Deque[DynUop]] = [deque()
+                                            for _ in range(NUM_FU_CLASSES)]
+        self._nready = 0
+        #: bitmask of FU classes whose ready FIFO is non-empty — lets
+        #: select iterate only the populated classes
+        self._nonempty = 0
+        #: next global wakeup-order stamp
+        self._next_ord = 0
         #: extra entries claimed by runahead slice uops (lean runahead uses
         #: the *free* IQ entries, per PRE)
         self.runahead_used = 0
 
     def __len__(self) -> int:
-        return len(self._waiting) + len(self._ready) + self.runahead_used
+        return len(self._waiting) + self._nready + self.runahead_used
 
     @property
     def full(self) -> bool:
@@ -33,31 +56,63 @@ class IssueQueue:
     def free(self) -> int:
         return max(0, self.size - len(self))
 
+    def _push_ready(self, uop: DynUop) -> None:
+        uop.ready_ord = self._next_ord
+        self._next_ord += 1
+        fc = uop.static.fu_cls
+        self._ready[fc].append(uop)
+        self._nonempty |= 1 << fc
+        self._nready += 1
+
     def insert(self, uop: DynUop) -> None:
-        if self.full:
+        if len(self._waiting) + self._nready + self.runahead_used \
+                >= self.size:
             raise OverflowError("IQ full")
         if uop.pending == 0:
-            self._ready.append(uop)
+            self._push_ready(uop)
         else:
             self._waiting.add(uop)
 
     def wakeup(self, uop: DynUop) -> None:
         """Producer completed: move a waiting uop with no more pending
-        producers into the ready list."""
+        producers onto its class's ready list."""
         if uop.pending == 0 and uop in self._waiting:
             self._waiting.discard(uop)
-            self._ready.append(uop)
+            self._push_ready(uop)
 
     def pop_ready(self) -> DynUop:
-        return self._ready.popleft()
+        """Remove and return the oldest-woken ready uop (smallest
+        ``ready_ord`` among the per-class FIFO heads)."""
+        best: DynUop = None  # type: ignore[assignment]
+        best_cls = -1
+        for cls, dq in enumerate(self._ready):
+            if dq:
+                head = dq[0]
+                if best is None or head.ready_ord < best.ready_ord:
+                    best = head
+                    best_cls = cls
+        if best is None:
+            raise IndexError("pop from an empty ready list")
+        dq = self._ready[best_cls]
+        dq.popleft()
+        if not dq:
+            self._nonempty &= ~(1 << best_cls)
+        self._nready -= 1
+        return best
 
     def requeue(self, uop: DynUop) -> None:
-        """Put a selected uop back (structural hazard: FU/MSHR busy)."""
-        self._ready.appendleft(uop)
+        """Put a selected uop back (structural hazard: FU/MSHR busy).
+
+        The uop keeps its original ``ready_ord``, so it stays at the front
+        of its class FIFO and ahead of anything woken later."""
+        fc = uop.static.fu_cls
+        self._ready[fc].appendleft(uop)
+        self._nonempty |= 1 << fc
+        self._nready += 1
 
     @property
     def ready_count(self) -> int:
-        return len(self._ready)
+        return self._nready
 
     def squash(self, pred) -> int:
         """Drop all queued uops matching ``pred``; returns count dropped."""
@@ -65,12 +120,21 @@ class IssueQueue:
         for u in dropped:
             self._waiting.discard(u)
         n = len(dropped)
-        kept = [u for u in self._ready if not pred(u)]
-        n += len(self._ready) - len(kept)
-        self._ready = deque(kept)
+        for cls, dq in enumerate(self._ready):
+            kept = [u for u in dq if not pred(u)]
+            removed = len(dq) - len(kept)
+            if removed:
+                n += removed
+                self._nready -= removed
+                self._ready[cls] = deque(kept)
+                if not kept:
+                    self._nonempty &= ~(1 << cls)
         return n
 
     def clear(self) -> None:
         self._waiting.clear()
-        self._ready.clear()
+        for dq in self._ready:
+            dq.clear()
+        self._nready = 0
+        self._nonempty = 0
         self.runahead_used = 0

@@ -53,7 +53,8 @@ class ReorderBuffer:
         self.advance_timer(1)
 
     def advance_timer(self, cycles: int) -> None:
-        head = self.head
+        q = self._q
+        head = q[0] if q else None
         if head is None:
             self._head_seq = -1
             self._timer = self.timer_init

@@ -50,24 +50,21 @@ class WrongPathSource:
         self._cold_lines = cold_size // 64
         self._count = 0
 
+    _MIX_INT = tuple(int(c) for c in _MIX)
+    _IS_MEM = tuple(c in (UopClass.LOAD, UopClass.STORE) for c in _MIX)
+
     def next_uop(self, after_idx: int) -> StaticUop:
         """A wrong-path uop; ``idx`` is negative so it never aliases the trace."""
         self._count += 1
-        cls = self._MIX[self._count % len(self._MIX)]
+        slot = self._count & 7  # len(_MIX) == 8
         addr = NO_ADDR
-        if cls in (UopClass.LOAD, UopClass.STORE):
+        if self._IS_MEM[slot]:
             if self._rng.random() < self.COLD_FRACTION:
                 addr = self._cold_base + self._rng.randrange(self._cold_lines) * 64
             else:
                 addr = self._warm_base + self._rng.randrange(self._warm_lines) * 64
-        return StaticUop(
-            idx=-self._count,
-            pc=0x100000 + (self._count % 251) * 4,
-            cls=int(cls),
-            srcs=(),
-            addr=addr,
-            taken=False,
-        )
+        return StaticUop(-self._count, 0x100000 + (self._count % 251) * 4,
+                         self._MIX_INT[slot], (), addr, False)
 
 
 class FrontEnd:
@@ -97,7 +94,7 @@ class FrontEnd:
         return len(self._pipe) >= self.capacity
 
     def can_fetch(self, cycle: int) -> bool:
-        return cycle >= self.resume_cycle and not self.full
+        return cycle >= self.resume_cycle and len(self._pipe) < self.capacity
 
     def push(self, uop, cycle: int) -> None:
         self._pipe.append((uop, cycle + self.depth))

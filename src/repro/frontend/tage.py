@@ -16,7 +16,7 @@ from typing import List, Optional, Tuple
 
 class _TaggedTable:
     __slots__ = ("size", "tag_bits", "hist_len", "tags", "ctrs", "useful",
-                 "_idx_mask", "_tag_mask")
+                 "_idx_mask", "_tag_mask", "_idx_bits", "f_idx", "f_tag")
 
     def __init__(self, size: int, tag_bits: int, hist_len: int):
         self.size = size
@@ -27,6 +27,12 @@ class _TaggedTable:
         self.useful = [0] * size
         self._idx_mask = size - 1
         self._tag_mask = (1 << tag_bits) - 1
+        self._idx_bits = size.bit_length() - 1
+        # Folded-history CSRs, maintained incrementally on every history
+        # shift (hardware keeps exactly these registers; recomputing the
+        # fold per prediction is the software-only slow path).
+        self.f_idx = 0
+        self.f_tag = 0
 
     def fold(self, hist: int, bits: int) -> int:
         h = hist & ((1 << self.hist_len) - 1)
@@ -37,11 +43,33 @@ class _TaggedTable:
         return folded
 
     def index(self, pc: int, hist: int) -> int:
-        return (pc ^ (pc >> 4) ^ self.fold(hist, self.size.bit_length() - 1)) \
+        return (pc ^ (pc >> 4) ^ self.fold(hist, self._idx_bits)) \
             & self._idx_mask
 
     def tag(self, pc: int, hist: int) -> int:
         return (pc ^ self.fold(hist, self.tag_bits)) & self._tag_mask or 1
+
+    def shift_folded(self, hist: int, b: int) -> None:
+        """Advance both CSRs for appending outcome bit ``b`` to ``hist``
+        (pass the history *before* the shift: the outgoing bit is read
+        from it). Rotate-left by one, inject the new bit at position 0
+        and cancel the bit leaving the window at position ``L mod B``."""
+        ln = self.hist_len
+        out = (hist >> (ln - 1)) & 1
+        bits = self._idx_bits
+        f = self.f_idx
+        f = ((f << 1) | (f >> (bits - 1))) & self._idx_mask
+        self.f_idx = f ^ b ^ (out << (ln % bits))
+        bits = self.tag_bits
+        f = self.f_tag
+        f = ((f << 1) | (f >> (bits - 1))) & self._tag_mask
+        self.f_tag = f ^ b ^ (out << (ln % bits))
+
+    def refold(self, hist: int) -> None:
+        """Recompute both CSRs from scratch (history overwritten, e.g. the
+        runahead-exit checkpoint restore)."""
+        self.f_idx = self.fold(hist, self._idx_bits)
+        self.f_tag = self.fold(hist, self.tag_bits)
 
 
 class _LoopPredictor:
@@ -109,7 +137,7 @@ class TageScL:
             h *= ratio
         self.bimodal = [1] * bimodal_size  # 2-bit: 0..3, taken when >= 2
         self._bimodal_mask = bimodal_size - 1
-        self.hist = 0
+        self._hist = 0
         self.loop = _LoopPredictor()
         # Statistical corrector: per-PC bias counters that veto TAGE when
         # the TAGE prediction has been persistently wrong for this PC.
@@ -117,6 +145,18 @@ class TageScL:
         self._alloc_seed = 0x9E3779B9
         self.predictions = 0
         self.mispredictions = 0
+
+    @property
+    def hist(self) -> int:
+        return self._hist
+
+    @hist.setter
+    def hist(self, value: int) -> None:
+        # Overwriting the history (runahead exit restores a checkpoint)
+        # invalidates every CSR: refold from scratch.
+        self._hist = value
+        for table in self.tables:
+            table.refold(value)
 
     # ------------------------------------------------------------- predict
 
@@ -127,8 +167,8 @@ class TageScL:
         pred: Optional[bool] = None
         for t in range(len(self.tables) - 1, -1, -1):
             table = self.tables[t]
-            idx = table.index(pc, self.hist)
-            if table.tags[idx] == table.tag(pc, self.hist):
+            idx = (pc ^ (pc >> 4) ^ table.f_idx) & table._idx_mask
+            if table.tags[idx] == ((pc ^ table.f_tag) & table._tag_mask or 1):
                 provider = t
                 pidx = idx
                 pred = table.ctrs[idx] >= 0
@@ -195,9 +235,9 @@ class TageScL:
             start += 1
         for t in range(start, len(self.tables)):
             table = self.tables[t]
-            idx = table.index(pc, self.hist)
+            idx = (pc ^ (pc >> 4) ^ table.f_idx) & table._idx_mask
             if table.useful[idx] == 0:
-                table.tags[idx] = table.tag(pc, self.hist)
+                table.tags[idx] = (pc ^ table.f_tag) & table._tag_mask or 1
                 table.ctrs[idx] = 0 if taken else -1
                 return
             table.useful[idx] -= 1
@@ -211,7 +251,11 @@ class TageScL:
 
     def shift_history(self, taken: bool) -> None:
         """Append one outcome to the global history register."""
-        self.hist = ((self.hist << 1) | (1 if taken else 0)) & ((1 << 256) - 1)
+        b = 1 if taken else 0
+        hist = self._hist
+        for table in self.tables:
+            table.shift_folded(hist, b)
+        self._hist = ((hist << 1) | b) & ((1 << 256) - 1)
 
     @property
     def mispredict_rate(self) -> float:

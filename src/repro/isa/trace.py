@@ -36,6 +36,8 @@ class Trace:
     def get(self, idx: int) -> Optional[StaticUop]:
         """Return the uop at ``idx``, or None past the end of the stream."""
         buf = self._buf
+        if idx < len(buf):  # fast path: already materialised
+            return buf[idx]
         while idx >= len(buf) and not self._exhausted:
             try:
                 uop = next(self._source)

@@ -13,10 +13,14 @@ dynamic instruction and these are the hottest objects in the system.
 
 from typing import Optional, Tuple
 
-from repro.common.enums import UopClass
+from repro.common.enums import FU_CLASS, HAS_DEST, IS_FP, UopClass
 
 #: Sentinel address for non-memory uops.
 NO_ADDR = -1
+
+_LOAD = int(UopClass.LOAD)
+_STORE = int(UopClass.STORE)
+_BRANCH = int(UopClass.BRANCH)
 
 
 class StaticUop:
@@ -32,9 +36,16 @@ class StaticUop:
         addr: byte address touched by loads/stores, ``NO_ADDR`` otherwise.
         taken: branch outcome (meaningless for non-branches).
         target: branch target PC (for BTB modelling).
+        has_dest: whether this uop writes a renamed destination register.
+        is_fp: whether this uop executes on the floating-point units.
+        fu_cls: the FU class this uop occupies (loads/stores/branches use
+            an integer adder) — precomputed because issue/wakeup consult
+            it for every ready-list operation.
     """
 
-    __slots__ = ("idx", "pc", "cls", "srcs", "addr", "taken", "target")
+    __slots__ = ("idx", "pc", "cls", "srcs", "addr", "taken", "target",
+                 "has_dest", "is_fp", "fu_cls",
+                 "is_load", "is_store", "is_branch", "is_mem")
 
     def __init__(
         self,
@@ -53,6 +64,13 @@ class StaticUop:
         self.addr = addr
         self.taken = taken
         self.target = target
+        self.has_dest = HAS_DEST[cls]
+        self.is_fp = IS_FP[cls]
+        self.fu_cls = FU_CLASS[cls]
+        self.is_load = cls == _LOAD
+        self.is_store = cls == _STORE
+        self.is_branch = cls == _BRANCH
+        self.is_mem = self.is_load or self.is_store
 
     def __deepcopy__(self, memo) -> "StaticUop":
         # Immutable and owned by the trace: checkpoint deep-copies share
@@ -62,31 +80,6 @@ class StaticUop:
     @property
     def uop_class(self) -> UopClass:
         return UopClass(self.cls)
-
-    @property
-    def is_load(self) -> bool:
-        return self.cls == UopClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.cls == UopClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        return self.cls == UopClass.BRANCH
-
-    @property
-    def is_mem(self) -> bool:
-        return self.cls == UopClass.LOAD or self.cls == UopClass.STORE
-
-    @property
-    def is_fp(self) -> bool:
-        return UopClass.FP_ADD <= self.cls <= UopClass.FP_DIV
-
-    @property
-    def has_dest(self) -> bool:
-        return self.cls not in (UopClass.NOP, UopClass.STORE, UopClass.BRANCH,
-                                UopClass.INT_CMP)
 
     def __repr__(self) -> str:
         return (
@@ -125,6 +118,7 @@ class DynUop:
         "mem_issue_cycle",
         "in_lq",
         "in_sq",
+        "ready_ord",
     )
 
     def __init__(self, static: StaticUop, seq: int, wrong_path: bool = False,
@@ -155,6 +149,9 @@ class DynUop:
         self.mem_issue_cycle = -1
         self.in_lq = False
         self.in_sq = False
+        #: global wakeup-order stamp assigned when this uop enters the
+        #: issue queue's ready lists (see ``repro.core.issue_queue``)
+        self.ready_ord = -1
 
     @property
     def mispredicted(self) -> bool:

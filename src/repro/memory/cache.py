@@ -47,7 +47,9 @@ class Cache:
 
     def lookup(self, addr: int, update_lru: bool = True) -> bool:
         """Check presence; promotes to MRU on hit when ``update_lru``."""
-        set_idx, tag = self._index(addr)
+        line = addr >> self._line_shift
+        set_idx = line & self._set_mask
+        tag = line >> self._tag_shift
         ways = self._sets.get(set_idx)
         if ways is None or tag not in ways:
             self.misses += 1
@@ -72,7 +74,9 @@ class Cache:
         hierarchy propagates them (and books DRAM bandwidth for LLC
         victims).
         """
-        set_idx, tag = self._index(addr)
+        line = addr >> self._line_shift
+        set_idx = line & self._set_mask
+        tag = line >> self._tag_shift
         ways = self._sets.setdefault(set_idx, [])
         victim: Optional[Tuple[int, bool]] = None
         if tag in ways:

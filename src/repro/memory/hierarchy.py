@@ -58,11 +58,17 @@ class MemoryHierarchy:
         self.l3 = Cache(machine.l3, "l3")
         self.dram = Dram(machine.dram)
         self.mshr_limit = machine.l1d.mshrs or 1 << 30
+        # Accumulated lookup latencies, precomputed off the hot path.
+        self._lat_l1 = machine.l1d.latency
+        self._lat_l12 = machine.l1d.latency + machine.l2.latency
+        self._lat_l123 = self._lat_l12 + machine.l3.latency
         #: line -> (done_cycle, level) for in-flight fills
         self._outstanding: Dict[int, Tuple[int, str]] = {}
         #: (done_cycle) min-heap substitute: sorted-enough list of demand
         #: miss completions, pruned lazily for the MSHR count
         self._mshr_done: List[int] = []
+        #: lower bound on the next MSHR completion (gates lazy pruning)
+        self._mshr_min = 1 << 62
         self._prefetch_done: List[int] = []
         self.prefetcher: Optional[StridePrefetcher] = None
         self._pf_levels: Tuple[str, ...] = ()
@@ -87,11 +93,13 @@ class MemoryHierarchy:
     def mshr_in_use(self, cycle: int) -> int:
         """Demand L1 MSHRs currently in flight."""
         done = self._mshr_done
-        if done:
+        # Prune only when an entry can actually have expired (the cached
+        # minimum bounds every completion cycle from below).
+        if done and self._mshr_min <= cycle:
             alive = [d for d in done if d > cycle]
-            if len(alive) != len(done):
-                self._mshr_done = alive
-                done = alive
+            self._mshr_done = alive
+            self._mshr_min = min(alive) if alive else 1 << 62
+            done = alive
         return len(done)
 
     def mshr_available(self, cycle: int) -> bool:
@@ -108,7 +116,7 @@ class MemoryHierarchy:
     ) -> Optional[AccessResult]:
         """One demand access. Returns None when rejected (MSHRs full)."""
         line = addr & LINE_MASK
-        lat_l1 = self.machine.l1d.latency
+        lat_l1 = self._lat_l1
 
         pending = self._outstanding.get(line)
         if pending is not None:
@@ -121,20 +129,30 @@ class MemoryHierarchy:
             del self._outstanding[line]
 
         self.demand_accesses += 1
-        if self.l1d.lookup(line):
+        # Inlined l1d.lookup() hit path — the overwhelmingly common case.
+        l1 = self.l1d
+        line_no = line >> l1._line_shift
+        set_idx = line_no & l1._set_mask
+        tag = line_no >> l1._tag_shift
+        ways = l1._sets.get(set_idx)
+        if ways is not None and tag in ways:
+            l1.hits += 1
+            if ways[-1] != tag:
+                ways.remove(tag)
+                ways.append(tag)
             if is_write:
-                self.l1d.mark_dirty(line)
+                l1._dirty.add((set_idx, tag))
             return AccessResult(cycle + lat_l1, "l1")
+        l1.misses += 1
 
         if not self.mshr_available(cycle):
             self.rejected_mshr_full += 1
             return None
 
-        lat = lat_l1 + self.machine.l2.latency
         if self.l2.lookup(line):
-            result = AccessResult(cycle + lat, "l2")
+            result = AccessResult(cycle + self._lat_l12, "l2")
         else:
-            lat += self.machine.l3.latency
+            lat = self._lat_l123
             if self.l3.lookup(line):
                 result = AccessResult(cycle + lat, "l3")
             else:
@@ -152,6 +170,8 @@ class MemoryHierarchy:
             self._fill(self.l2, victim[0], cycle, dirty=True)
         self._outstanding[line] = (result.done_cycle, result.level)
         self._mshr_done.append(result.done_cycle)
+        if result.done_cycle < self._mshr_min:
+            self._mshr_min = result.done_cycle
         self._maybe_prefetch(line, cycle, pc, result.level)
         return result
 

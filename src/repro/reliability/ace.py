@@ -71,7 +71,13 @@ class BlockedWindows:
         if b <= a:
             return 0
         total = 0
-        starts, ends, prefix = self._starts, self._ends, self._prefix
+        starts = self._starts
+        # Common case in unblocked phases: nothing recorded yet.
+        if not starts:
+            if self._open_start >= 0 and b > self._open_start:
+                return b - max(a, self._open_start)
+            return 0
+        ends, prefix = self._ends, self._prefix
         if starts:
             # Windows with end > a and start < b intersect [a, b).
             lo = bisect_right(ends, a)
@@ -108,6 +114,15 @@ class AceAccountant:
         """``fu_exec_cycles(cls) -> int`` maps uop class to FU occupancy."""
         self.bits: Dict[str, int] = {s: 0 for s in STRUCTURES}
         self._fu_exec_cycles = fu_exec_cycles
+        # Per-structure bit widths, hoisted out of the commit hot path.
+        self._b_rob = BIT_BUDGET["rob"]
+        self._b_iq = BIT_BUDGET["iq"]
+        self._b_lq = BIT_BUDGET["lq"]
+        self._b_sq = BIT_BUDGET["sq"]
+        self._b_int_reg = BIT_BUDGET["int_reg"]
+        self._b_fp_reg = BIT_BUDGET["fp_reg"]
+        self._b_int_fu = BIT_BUDGET["int_fu"]
+        self._b_fp_fu = BIT_BUDGET["fp_fu"]
         #: Figure 5 attribution targets
         self.head_blocked = BlockedWindows()
         self.full_stall = BlockedWindows()
@@ -138,20 +153,20 @@ class AceAccountant:
         d, i, w, c = (uop.dispatch_cycle, uop.issue_cycle, uop.done_cycle,
                       uop.commit_cycle)
 
-        self._charge("rob", d, c, BIT_BUDGET["rob"])
+        self._charge("rob", d, c, self._b_rob)
         if i >= 0:
-            self._charge("iq", d, i, BIT_BUDGET["iq"])
+            self._charge("iq", d, i, self._b_iq)
             if st.is_load:
-                self._charge("lq", i, c, BIT_BUDGET["lq"])
+                self._charge("lq", i, c, self._b_lq)
             elif st.is_store:
-                self._charge("sq", i, c, BIT_BUDGET["sq"])
+                self._charge("sq", i, c, self._b_sq)
         if st.has_dest and w >= 0:
             self._charge("rf", w, c,
-                         BIT_BUDGET["fp_reg" if st.is_fp else "int_reg"])
+                         self._b_fp_reg if st.is_fp else self._b_int_reg)
         # Functional units: width × execution cycles, anchored at issue.
         fu_start = i if i >= 0 else d
         self._charge("fu", fu_start, fu_start + self._fu_exec_cycles(st.cls),
-                     BIT_BUDGET["fp_fu" if st.is_fp else "int_fu"])
+                     self._b_fp_fu if st.is_fp else self._b_int_fu)
         self.committed_charged += 1
 
     @property

@@ -25,6 +25,22 @@ Invariant catalog (see docs/validation.md for the full rationale):
                    runahead loans are returned outside runahead mode.
 ``iq-capacity``    IQ occupancy (incl. runahead-borrowed entries) within
                    capacity; the runahead-borrow counter never negative.
+``iq-ready-coherence``  the event-driven ready lists agree with a
+                   from-scratch recomputation: every ready uop has zero
+                   pending producers, every waiting uop's ``pending``
+                   equals the live consumer references held by in-flight
+                   producers, per-class FIFOs are age-ordered
+                   (``ready_ord`` strictly increasing), and the
+                   ``_nready``/``_nonempty`` summaries match the lists.
+``fu-scoreboard``  the FU pool's O(1) free-slot counters agree with
+                   ground truth recovered from the writeback event heap:
+                   pipelined per-class slots used this cycle equal the
+                   EV_WB events issued this cycle; non-pipelined busy
+                   units equal the in-flight EV_WB events of the class.
+``quiesce-coherence``  a quiesced component really has nothing to do:
+                   the back-end only quiesces outside NORMAL mode with
+                   an empty ready set; the front-end only outside NORMAL
+                   mode.
 ``ace-interval``   every recorded ACE interval is well-formed: known
                    structure, ``end > start``, ``start >= 0``,
                    ``bits >= 0``.
@@ -45,7 +61,8 @@ import math
 from typing import Dict
 
 from repro.common.enums import Mode
-from repro.core.engine import Component
+from repro.core.engine import EV_WB, Component
+from repro.core.issue_queue import NUM_FU_CLASSES
 from repro.reliability.ace import STRUCTURES
 from repro.reliability.fault_injection import structure_bits
 
@@ -90,6 +107,8 @@ class InvariantChecker(Component):
         self.cycles_checked = 0
         self.commits_checked = 0
         self.ace_intervals_checked = 0
+        self.ready_uops_checked = 0
+        self.fu_events_checked = 0
         self._last_commit_seq = -1
         self._ace_seen = 0
         self._chained_observer = None
@@ -104,6 +123,10 @@ class InvariantChecker(Component):
         self.ace = core.ace
         self.stats = core.stats
         self.ra = core.runahead_ctl
+        self.engine = core.engine
+        self.fus = core.fus
+        self.backend = core.backend
+        self.fe_stage = core.frontend_stage
         self._struct_bits = structure_bits(core.machine.core)
 
     def attach_observer(self) -> None:
@@ -140,8 +163,12 @@ class InvariantChecker(Component):
                 f"occupancy {len(rob)} > size {rob.size}")
 
         # One sweep of the in-flight window gathers everything the
-        # counters summarise.
+        # counters summarise, including the ground-truth producer
+        # references for the iq-ready-coherence recomputation (an
+        # uncompleted producer holds one entry in ``consumers`` per
+        # pending reader it will wake at writeback).
         lq_flags = sq_flags = int_held = fp_held = 0
+        consumer_refs: Dict[int, int] = {}
         prev_seq = -1
         for u in rob:
             if u.seq <= prev_seq:
@@ -153,6 +180,9 @@ class InvariantChecker(Component):
                 lq_flags += 1
             elif u.in_sq:
                 sq_flags += 1
+            for consumer in u.consumers:
+                key = id(consumer)
+                consumer_refs[key] = consumer_refs.get(key, 0) + 1
             st = u.static
             if st.has_dest:
                 if st.is_fp:
@@ -218,9 +248,145 @@ class InvariantChecker(Component):
                 f"occupancy {len(iq)} (runahead {iq.runahead_used}) "
                 f"vs size {iq.size}")
 
+        self._check_iq_ready(cycle, consumer_refs)
+        self._check_fu_scoreboard(cycle)
+        self._check_quiescence(cycle)
+
         ace = self.ace
         if ace.record_intervals and len(ace.intervals) > self._ace_seen:
             self._check_new_intervals(cycle)
+
+    def _check_iq_ready(self, cycle: int,
+                        consumer_refs: Dict[int, int]) -> None:
+        """Incremental ready lists vs a from-scratch recomputation.
+
+        ``consumer_refs`` maps ``id(uop)`` to the number of in-flight,
+        uncompleted producers still holding a wakeup reference to it —
+        the ground truth that ``DynUop.pending`` summarises.
+        """
+        iq = self.iq
+        nready = 0
+        mask = 0
+        seen = set()
+        for fc, dq in enumerate(iq._ready):
+            nready += len(dq)
+            if dq:
+                mask |= 1 << fc
+            prev_ord = -1
+            for u in dq:
+                key = id(u)
+                if key in seen:
+                    raise InvariantViolation(
+                        "iq-ready-coherence", cycle,
+                        f"{u!r} queued twice in the ready lists")
+                seen.add(key)
+                if u.pending != 0:
+                    raise InvariantViolation(
+                        "iq-ready-coherence", cycle,
+                        f"ready uop {u!r} has pending={u.pending}")
+                if consumer_refs.get(key, 0):
+                    raise InvariantViolation(
+                        "iq-ready-coherence", cycle,
+                        f"ready uop {u!r} still referenced by "
+                        f"{consumer_refs[key]} uncompleted producer(s)")
+                if u.squashed:
+                    raise InvariantViolation(
+                        "iq-ready-coherence", cycle,
+                        f"squashed uop {u!r} still on a ready list")
+                if u.static.fu_cls != fc:
+                    raise InvariantViolation(
+                        "iq-ready-coherence", cycle,
+                        f"{u!r} (fu class {u.static.fu_cls}) queued under "
+                        f"class {fc}")
+                if not prev_ord < u.ready_ord < iq._next_ord:
+                    raise InvariantViolation(
+                        "iq-ready-coherence", cycle,
+                        f"wakeup stamps out of order in class {fc}: "
+                        f"{u.ready_ord} after {prev_ord} "
+                        f"(next stamp {iq._next_ord})")
+                prev_ord = u.ready_ord
+        if nready != iq._nready:
+            raise InvariantViolation(
+                "iq-ready-coherence", cycle,
+                f"_nready={iq._nready} but the class FIFOs hold {nready}")
+        if mask != iq._nonempty:
+            raise InvariantViolation(
+                "iq-ready-coherence", cycle,
+                f"_nonempty={iq._nonempty:#x} but populated classes are "
+                f"{mask:#x}")
+        for u in iq._waiting:
+            if id(u) in seen:
+                raise InvariantViolation(
+                    "iq-ready-coherence", cycle,
+                    f"{u!r} is both waiting and ready")
+            if u.squashed:
+                raise InvariantViolation(
+                    "iq-ready-coherence", cycle,
+                    f"squashed uop {u!r} still waiting in the IQ")
+            refs = consumer_refs.get(id(u), 0)
+            if u.pending != refs or u.pending <= 0:
+                raise InvariantViolation(
+                    "iq-ready-coherence", cycle,
+                    f"waiting uop {u!r} has pending={u.pending} but "
+                    f"{refs} uncompleted producer reference(s)")
+        self.ready_uops_checked += nready
+
+    def _check_fu_scoreboard(self, cycle: int) -> None:
+        """O(1) free-slot counters vs the writeback event heap.
+
+        Every issued uop schedules exactly one EV_WB at a strictly future
+        cycle, so at check time (the end of the cycle) the heap still
+        holds every uop issued this cycle — the ground truth for the
+        pipelined per-cycle slot counters — and, for the non-pipelined
+        classes, exactly the uops whose unit is still reserved
+        (``done > cycle``), squashed or not: a reserved divider stays
+        busy even if its uop was squashed.
+        """
+        issued_now = [0] * NUM_FU_CLASSES
+        in_flight = [0] * NUM_FU_CLASSES
+        for _when, _n, kind, payload in self.engine._events:
+            if kind != EV_WB:
+                continue
+            fc = payload.static.fu_cls
+            in_flight[fc] += 1
+            if payload.issue_cycle == cycle:
+                issued_now[fc] += 1
+            self.fu_events_checked += 1
+        fus = self.fus
+        for fc, params in fus.params.items():
+            if fus._pipelined[fc]:
+                got = fus.used_this_cycle(fc, cycle)
+                if got != issued_now[fc]:
+                    raise InvariantViolation(
+                        "fu-scoreboard", cycle,
+                        f"pipelined class {fc}: scoreboard says {got} "
+                        f"slot(s) used, event heap says {issued_now[fc]}")
+                if got > params.count:
+                    raise InvariantViolation(
+                        "fu-scoreboard", cycle,
+                        f"pipelined class {fc}: {got} slots used > "
+                        f"{params.count} units")
+            else:
+                got = fus.busy_units(fc, cycle)
+                if got != in_flight[fc]:
+                    raise InvariantViolation(
+                        "fu-scoreboard", cycle,
+                        f"non-pipelined class {fc}: {got} reserved "
+                        f"unit(s), event heap says {in_flight[fc]}")
+
+    def _check_quiescence(self, cycle: int) -> None:
+        """A quiesced component must provably have nothing to do."""
+        mode = self.ra.mode
+        if self.backend.quiesced and (
+                mode == Mode.NORMAL or self.iq._nready != 0):
+            raise InvariantViolation(
+                "quiesce-coherence", cycle,
+                f"back-end quiesced in mode {mode.name} with "
+                f"{self.iq._nready} ready uop(s)")
+        if self.fe_stage.quiesced and mode == Mode.NORMAL:
+            raise InvariantViolation(
+                "quiesce-coherence", cycle,
+                "front-end quiesced in NORMAL mode")
 
     def _check_new_intervals(self, cycle: int) -> None:
         intervals = self.ace.intervals
@@ -310,4 +476,6 @@ class InvariantChecker(Component):
             "cycles_checked": self.cycles_checked,
             "commits_checked": self.commits_checked,
             "ace_intervals_checked": self.ace_intervals_checked,
+            "ready_uops_checked": self.ready_uops_checked,
+            "fu_events_checked": self.fu_events_checked,
         }

@@ -160,3 +160,82 @@ class TestChecker:
         assert core.checker.step(core.cycle) == 0
         assert core.checker.state_attrs == ()
         assert core.checker.wake_candidates(core.cycle) == ()
+
+
+class TestEventDrivenDetection:
+    """PR 4's incremental fast paths: ready lists, FU scoreboard and
+    component quiescence must stay coherent with their ground truth."""
+
+    @staticmethod
+    def _step_until(core, cond, limit=5000):
+        for _ in range(limit):
+            if cond():
+                return
+            core.engine.step()
+            core.engine.cycle += 1
+        raise AssertionError("condition never reached")
+
+    def test_effort_counters(self):
+        core = sanitized_core(instructions=800)
+        s = core.checker.summary()
+        assert s["ready_uops_checked"] > 0
+        assert s["fu_events_checked"] > 0
+
+    def test_nready_drift_detected(self):
+        core = sanitized_core(instructions=300)
+        core.iq._nready += 1
+        with pytest.raises(InvariantViolation, match="iq-ready-coherence"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_nonempty_mask_drift_detected(self):
+        core = sanitized_core(instructions=300)
+        empty = next(i for i, dq in enumerate(core.iq._ready) if not dq)
+        core.iq._nonempty |= 1 << empty
+        with pytest.raises(InvariantViolation, match="iq-ready-coherence"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_ready_uop_with_pending_detected(self):
+        core = sanitized_core(policy="OOO", instructions=300)
+        self._step_until(core, lambda: core.iq._nready > 0)
+        victim = next(dq[0] for dq in core.iq._ready if dq)
+        victim.pending = 1
+        with pytest.raises(InvariantViolation, match="iq-ready-coherence"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_waiting_pending_drift_detected(self):
+        core = sanitized_core(policy="OOO", instructions=300)
+        self._step_until(core, lambda: core.iq._waiting)
+        victim = next(iter(core.iq._waiting))
+        victim.pending += 1  # claims a producer that does not exist
+        with pytest.raises(InvariantViolation, match="iq-ready-coherence"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_fu_pipelined_scoreboard_drift_detected(self):
+        core = sanitized_core(instructions=300)
+        fus = core.fus
+        fc = next(c for c, p in fus.params.items() if p.pipelined)
+        fus._stamp[fc] = core.cycle
+        fus._used[fc] = fus.params[fc].count + 1  # phantom issues
+        with pytest.raises(InvariantViolation, match="fu-scoreboard"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_fu_nonpipelined_scoreboard_drift_detected(self):
+        core = sanitized_core(instructions=300)
+        fus = core.fus
+        fc = next(c for c, p in fus.params.items() if not p.pipelined)
+        # Reserve every divider with no writeback event backing it.
+        fus._unit_free[fc] = [core.cycle + 100] * len(fus._unit_free[fc])
+        with pytest.raises(InvariantViolation, match="fu-scoreboard"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_backend_false_quiesce_detected(self):
+        core = sanitized_core(policy="OOO", instructions=300)
+        core.backend.quiesced = True  # OOO never leaves NORMAL mode
+        with pytest.raises(InvariantViolation, match="quiesce-coherence"):
+            core.checker.check_cycle(core.cycle)
+
+    def test_frontend_false_quiesce_detected(self):
+        core = sanitized_core(policy="OOO", instructions=300)
+        core.frontend_stage.quiesced = True
+        with pytest.raises(InvariantViolation, match="quiesce-coherence"):
+            core.checker.check_cycle(core.cycle)
