@@ -128,7 +128,7 @@ def _run_group(task: Tuple) -> List[Dict[str, Any]]:
     ``SimResult.to_dict()`` payloads for the same reason.
     """
     (spec, machine, policy_names, instructions, warmup, share_warmup,
-     warmup_policy, stats_dir, validate) = task
+     warmup_policy, stats_dir, validate, oracle) = task
     checkpoint = None
     if share_warmup:
         from repro.checkpoint import warm_checkpoint
@@ -144,11 +144,12 @@ def _run_group(task: Tuple) -> List[Dict[str, Any]]:
             from repro.checkpoint import simulate_from
             result = simulate_from(checkpoint, name,
                                    instructions=instructions,
-                                   telemetry=telemetry, validate=validate)
+                                   telemetry=telemetry, validate=validate,
+                                   oracle=oracle)
         else:
             result = simulate(spec, machine, name, instructions=instructions,
                               warmup=warmup, telemetry=telemetry,
-                              validate=validate)
+                              validate=validate, oracle=oracle)
         if telemetry is not None:
             path = os.path.join(
                 stats_dir,
@@ -228,6 +229,7 @@ class ExperimentRunner:
         warmup_policy: Union[str, RunaheadPolicy] = "OOO",
         stats_dir: Optional[str] = None,
         validate: bool = False,
+        oracle: bool = False,
     ) -> Dict[str, Dict[str, SimResult]]:
         """Sweep the full matrix; returns policy name -> workload -> result.
 
@@ -242,7 +244,9 @@ class ExperimentRunner:
         under the invariant sanitizer (:mod:`repro.validate`); sanitized
         results are bit-identical to unsanitized ones, so they share the
         same cache slots — but note cached points satisfied from the
-        cache were not re-checked.
+        cache were not re-checked. ``oracle`` likewise lockstep-checks
+        every point's retirement stream against the architectural oracle
+        (:mod:`repro.validate.oracle`), also bit-identical.
         """
         specs = [get_workload(w) if isinstance(w, str) else w
                  for w in workloads]
@@ -270,7 +274,7 @@ class ExperimentRunner:
             if missing:
                 tasks.append((spec, machine, tuple(missing),
                               self.instructions, self.warmup, share_warmup,
-                              wp.name, stats_dir, validate))
+                              wp.name, stats_dir, validate, oracle))
         if not tasks:
             return out
 

@@ -148,14 +148,18 @@ class Checkpoint:
 
     def fork(self, policy: Union[RunaheadPolicy, str, None] = None,
              record_ace_intervals: Optional[bool] = None,
-             validate: bool = False) -> OutOfOrderCore:
+             validate: bool = False,
+             oracle: bool = False) -> OutOfOrderCore:
         """A fresh core carrying this checkpoint's warmed state.
 
         The core is constructed normally (so its registry binds to the
         live structures) and then overwritten in place with the blob.
         ``validate`` enables the invariant sanitizer on the fork — the
         checker is wiring, not state, so it is orthogonal to whether the
-        checkpoint itself was captured from a sanitized core.
+        checkpoint itself was captured from a sanitized core. ``oracle``
+        likewise attaches the commit-stream oracle to the fork; it is
+        attached *after* the restore, so its reference walk resumes at
+        the restored window's oldest in-flight instruction.
         """
         if policy is None:
             policy = self.policy
@@ -169,6 +173,9 @@ class Checkpoint:
                               record_ace_intervals=record_ace_intervals,
                               validate=validate)
         self.restore_into(core)
+        if oracle:
+            from repro.validate.oracle import attach_oracle
+            attach_oracle(core)
         return core
 
 
@@ -211,6 +218,7 @@ def simulate_from(
     instructions: int = DEFAULT_INSTRUCTIONS,
     telemetry=None,
     validate: bool = False,
+    oracle: bool = False,
 ) -> SimResult:
     """Measure ``instructions`` starting from a warmed checkpoint.
 
@@ -223,7 +231,7 @@ def simulate_from(
     """
     if instructions <= 0:
         raise ValueError("instructions must be positive")
-    core = checkpoint.fork(policy, validate=validate)
+    core = checkpoint.fork(policy, validate=validate, oracle=oracle)
     if telemetry is not None:
         telemetry.attach(core)
         telemetry.begin_measurement(core)
@@ -232,6 +240,8 @@ def simulate_from(
     result = _delta_result(core, start, checkpoint.workload)
     if core.checker is not None:
         core.checker.final_check()
+    if core.oracle is not None:
+        core.oracle.final_check(expect_drained=core.engine.exhausted)
     if telemetry is not None:
         telemetry.end_measurement(core, result)
     return result

@@ -9,10 +9,14 @@ Subcommands:
     report               render a --stats-out JSON file as tables
     diff                 differential check: one point through every
                          execution path (facade/fork/mp), bit-diffed
+    golden               golden conformance fingerprints for the
+                         25-point baseline: --check or --regen
 
 ``run`` and ``sweep`` accept ``--validate`` to enable the per-cycle
-invariant sanitizer (see docs/validation.md); ``diff`` exits non-zero on
-any divergence and can dump the full report with ``--out``.
+invariant sanitizer and ``--oracle`` for the commit-stream architectural
+oracle (see docs/validation.md); ``diff`` exits non-zero on any
+divergence and can dump the full report with ``--out``; ``golden
+--check`` exits non-zero on any fingerprint drift.
 
 ``run`` exposes the telemetry subsystem: ``--stats-out`` (hierarchical
 stats + timeline JSON), ``--trace-out`` (Chrome trace-event JSON for
@@ -97,7 +101,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     telemetry = _build_telemetry(args)
     r = simulate(args.workload, machine, policy,
                  instructions=args.instructions, warmup=args.warmup,
-                 telemetry=telemetry, validate=args.validate)
+                 telemetry=telemetry, validate=args.validate,
+                 oracle=args.oracle)
     print(f"{r.workload} on {r.machine} under {r.policy}:")
     print(f"  instructions   {r.instructions}")
     print(f"  cycles         {r.cycles}")
@@ -175,7 +180,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                share_warmup=args.share_warmup,
                                warmup_policy=args.warmup_policy,
                                stats_dir=args.stats_dir,
-                               validate=args.validate)
+                               validate=args.validate,
+                               oracle=args.oracle)
     elapsed = time.perf_counter() - t0
 
     rows: List[List] = []
@@ -264,6 +270,30 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0 if report.identical else 1
 
 
+def cmd_golden(args: argparse.Namespace) -> int:
+    from repro.validate.golden import check_golden, golden_points, \
+        regen_golden
+
+    if args.regen:
+        written = regen_golden(args.dir, jobs=args.jobs,
+                               instructions=args.instructions,
+                               warmup=args.warmup)
+        print(f"froze {len(golden_points())} golden points:")
+        for path in written:
+            print(f"  {path}")
+        return 0
+    problems = check_golden(args.dir, jobs=args.jobs)
+    if problems:
+        print(f"golden check FAILED ({len(problems)} mismatch(es)):")
+        for line in problems:
+            print(f"  {line}")
+        print("if the change is intended, refreeze with "
+              "`python -m repro golden --regen` and review the diff")
+        return 1
+    print(f"golden check OK: {len(golden_points())} points conformant")
+    return 0
+
+
 def cmd_scaling(args: argparse.Namespace) -> int:
     rows: List[List] = []
     for machine in (CORE1, CORE2, CORE3, CORE4):
@@ -314,6 +344,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="progress line on stderr every SEC wall seconds")
     p.add_argument("--validate", action="store_true",
                    help="run with the per-cycle invariant sanitizer")
+    p.add_argument("--oracle", action="store_true",
+                   help="lockstep-check retirement against the "
+                        "commit-stream architectural oracle")
     _add_size_args(p)
 
     p = sub.add_parser("report", help="render a --stats-out file as tables")
@@ -352,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(forces cached points to re-run)")
     p.add_argument("--validate", action="store_true",
                    help="run every point under the invariant sanitizer")
+    p.add_argument("--oracle", action="store_true",
+                   help="lockstep-check every point's retirement against "
+                        "the commit-stream architectural oracle")
     _add_size_args(p)
 
     p = sub.add_parser(
@@ -375,6 +411,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="FILE",
                    help="write the full diff report as JSON")
     _add_size_args(p)
+
+    p = sub.add_parser(
+        "golden", help="golden conformance fingerprints (25-point baseline)")
+    mode = p.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="re-measure and diff against the frozen files")
+    mode.add_argument("--regen", action="store_true",
+                      help="refreeze the fingerprints (review the diff!)")
+    p.add_argument("--dir", default="tests/golden", metavar="DIR",
+                   help="golden file directory (default tests/golden)")
+    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                   help="worker processes, one point per task (default 1)")
+    p.add_argument("-n", "--instructions", type=int, default=3000,
+                   help="measured instructions when regenerating "
+                        "(default 3000; --check uses the frozen files')")
+    p.add_argument("-w", "--warmup", type=int, default=3000,
+                   help="warmup instructions when regenerating "
+                        "(default 3000; --check uses the frozen files')")
 
     p = sub.add_parser("scaling", help="Core-1..4 sweep")
     p.add_argument("workload")
@@ -414,6 +468,7 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "diff": cmd_diff,
+        "golden": cmd_golden,
         "scaling": cmd_scaling,
         "trace": cmd_trace,
         "characterize": cmd_characterize,

@@ -140,6 +140,12 @@ class CommitUnit(Component):
 
     def __init__(self, core) -> None:
         self.core = core
+        #: called as ``commit_hook(uop, cycle)`` for every retiring uop,
+        #: *before* the commit releases LSQ/register resources — so a
+        #: lockstep checker (the commit-stream oracle) can reconcile the
+        #: entry this commit is about to free. Wiring, not architectural
+        #: state: never captured by checkpoints.
+        self.commit_hook = None
 
     def bind(self) -> None:
         core = self.core
@@ -161,6 +167,7 @@ class CommitUnit(Component):
             stats = self.stats
             inflight = self.backend.inflight
             observer = self.core.observer
+            hook = self.commit_hook
             while n < self.width:
                 head = q[0] if q else None
                 if head is None or not head.completed:
@@ -169,6 +176,8 @@ class CommitUnit(Component):
                 if head.wrong_path:
                     raise RuntimeError("wrong-path uop reached commit")
                 head.commit_cycle = c
+                if hook is not None:
+                    hook(head, c)
                 self.lsq.release(head)
                 self.regs.release(head)
                 self.ace.charge_commit(head)

@@ -200,6 +200,9 @@ class OutOfOrderCore:
                                  record_intervals=record_ace_intervals)
         self.observer = observer
         self.telemetry = None
+        #: commit-stream oracle, set by CommitOracle.attach (wiring, not
+        #: state — like the invariant checker, never checkpointed)
+        self.oracle = None
         self.stats = SimStats()
         self.registry = self.stats.registry
         self._register_component_stats()

@@ -25,6 +25,19 @@ EV_RA_ISSUE = 1  # a runahead uop's memory access reaches the hierarchy
 EV_RA_DONE = 2   # a runahead-initiated LLC miss completed (MLP counter)
 
 
+class TraceExhausted(Exception):
+    """Internal control-flow signal: a finite trace fully drained.
+
+    Raised by :meth:`SimEngine.fast_forward` when the simulator goes
+    idle *because the architectural stream ended* (trace exhausted at
+    the fetch cursor, front-end and window empty, no events, NORMAL
+    mode) and caught by :meth:`SimEngine.run`, which ends the run
+    cleanly with everything committed — a finite trace terminates with
+    a clean terminal commit instead of a deadlock error, even when the
+    requested instruction budget exceeds the stream's length.
+    """
+
+
 class Component:
     """One pipeline piece stepped by the :class:`SimEngine`.
 
@@ -93,6 +106,10 @@ class SimEngine(Component):
     def __init__(self, core) -> None:
         self.core = core
         self.cycle = 0
+        #: True once a finite trace drained and ended a run early; the
+        #: oracle's terminal-commit check keys off this. Status, not
+        #: architectural state — deliberately outside ``state_attrs``.
+        self.exhausted = False
         self._ev_count = 0
         self._events: List[Tuple[int, int, int, object]] = []
         self._handlers: Dict[int, Callable[[object, int], None]] = {}
@@ -159,6 +176,8 @@ class SimEngine(Component):
                         self.fast_forward()
                     stats.cycles = self.cycle
                     telemetry.tick(core)
+        except TraceExhausted:
+            pass  # finite stream drained: end the run cleanly
         finally:
             stats.cycles = self.cycle
 
@@ -201,6 +220,9 @@ class SimEngine(Component):
         candidates = [x for x in candidates if x > c]
         if not candidates:
             core = self.core
+            if self._stream_drained():
+                self.exhausted = True
+                raise TraceExhausted
             raise RuntimeError(
                 f"simulator deadlock at cycle {c} "
                 f"(mode={self._ra.mode.name}, rob={len(core.rob)}, "
@@ -222,6 +244,23 @@ class SimEngine(Component):
                 stats.flush_stall_cycles += span
             stats.fast_forwarded_cycles += span
         self.cycle = target
+
+    def _stream_drained(self) -> bool:
+        """True when the idle state is the *end of a finite trace*: the
+        fetch cursor is past the stream, nothing is queued, in flight or
+        pending, and the machine is back in NORMAL mode — i.e. every
+        architectural instruction the trace carries has committed. Any
+        other candidate-less idle state is a genuine deadlock."""
+        core = self.core
+        fe = core.frontend_stage
+        return (
+            self._ra.mode == Mode.NORMAL
+            and not self._events
+            and len(core.rob) == 0
+            and len(core.frontend) == 0
+            and fe.pending_branch is None
+            and core.trace.get(fe.fetch_idx) is None
+        )
 
     # ============================================================= events
 

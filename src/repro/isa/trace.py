@@ -33,8 +33,22 @@ class Trace:
         """Number of uops materialised so far (grows on demand)."""
         return len(self._buf)
 
+    @property
+    def exhausted(self) -> bool:
+        """True once the source generator has ended: :meth:`get` past
+        ``len(self)`` returns None and the stream can no longer grow."""
+        return self._exhausted
+
     def get(self, idx: int) -> Optional[StaticUop]:
-        """Return the uop at ``idx``, or None past the end of the stream."""
+        """Return the uop at ``idx``, or None past the end of the stream.
+
+        ``idx`` must be non-negative: a negative cursor (a squash rewind
+        gone wrong) would silently wrap around to the *tail* of the
+        materialised buffer via Python list indexing and replay the
+        wrong instructions, so it raises instead.
+        """
+        if idx < 0:
+            raise IndexError(f"trace index must be non-negative, got {idx}")
         buf = self._buf
         if idx < len(buf):  # fast path: already materialised
             return buf[idx]

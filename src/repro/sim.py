@@ -89,6 +89,7 @@ def simulate(
     seed: Optional[int] = None,
     telemetry=None,
     validate: bool = False,
+    oracle: bool = False,
 ) -> SimResult:
     """Run one workload on one machine under one policy.
 
@@ -109,6 +110,12 @@ def simulate(
             (:mod:`repro.validate`); any breach raises
             :class:`~repro.validate.invariants.InvariantViolation`.
             Results are bit-identical with or without.
+        oracle: lockstep-check every retirement (warmup included)
+            against the commit-stream architectural oracle
+            (:mod:`repro.validate.oracle`); any retirement-semantics
+            drift raises
+            :class:`~repro.validate.oracle.OracleViolation`. Purely
+            observational, bit-identical with or without.
 
     Returns:
         a :class:`SimResult` with the measured window's statistics.
@@ -133,6 +140,10 @@ def simulate(
     core_seed = 0 if seed is None else seed
     core = OutOfOrderCore(machine, trace, policy, seed=core_seed,
                           telemetry=telemetry, validate=validate)
+    if oracle:
+        # Lazy import, same pattern as the invariant checker wiring.
+        from repro.validate.oracle import attach_oracle
+        attach_oracle(core)
     for level, base, size in regions:
         core.mem.preload(base, size, level)
     if warmup > 0:
@@ -144,6 +155,8 @@ def simulate(
     result = _delta_result(core, start, name)
     if core.checker is not None:
         core.checker.final_check()
+    if core.oracle is not None:
+        core.oracle.final_check(expect_drained=core.engine.exhausted)
     if telemetry is not None:
         telemetry.end_measurement(core, result)
     return result

@@ -18,6 +18,16 @@ Two validation layers, both opt-in and zero-cost when disabled:
   diffs the full :meth:`SimResult.to_dict` payloads field by field, and
   on divergence bisects to the first differing stats-timeline interval.
   Exposed on the command line as ``repro diff``.
+- :class:`~repro.validate.oracle.CommitOracle` — a program-order
+  functional reference model walking the trace stream, lockstep-checked
+  against every retirement via a commit hook; any retirement-semantics
+  drift raises :class:`~repro.validate.oracle.OracleViolation`.
+  Enabled via ``oracle=True`` on :func:`repro.sim.simulate` and the
+  checkpoint API.
+- :mod:`repro.validate.golden` — canonical conformance fingerprints
+  (stable hash of the full result payload plus the oracle's commit
+  digest) for the 25-point baseline matrix, frozen under
+  ``tests/golden/`` and checked by ``repro golden``.
 
 See docs/validation.md for the invariant catalog and a walkthrough.
 """
@@ -29,12 +39,16 @@ from repro.validate.diff import (
     differential_check,
 )
 from repro.validate.invariants import InvariantChecker, InvariantViolation
+from repro.validate.oracle import CommitOracle, OracleViolation, attach_oracle
 
 __all__ = [
+    "CommitOracle",
     "DiffReport",
     "Divergence",
     "FieldDiff",
     "InvariantChecker",
     "InvariantViolation",
+    "OracleViolation",
+    "attach_oracle",
     "differential_check",
 ]

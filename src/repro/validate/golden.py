@@ -1,0 +1,243 @@
+"""Golden conformance fingerprints for the 25-point baseline matrix.
+
+The performance contract (docs/performance.md) already freezes the
+25-point baseline — mcf on the five machine generations under the five
+paper policies — as the bit-identity gate for optimisation work. This
+module freezes its *results*: every point gets a canonical fingerprint
+(a stable SHA-256 over the full :meth:`SimResult.to_dict` payload plus
+the commit oracle's architectural digest), and the fingerprints live in
+version control under ``tests/golden/``. Any change to simulator
+semantics — intended or not — shows up as a fingerprint diff, reviewed
+like any other code change (the SimPoint/gem5 "golden outputs"
+workflow).
+
+Every point is measured the same way regardless of parallelism: warm a
+checkpoint under the measured policy, fork it with the commit oracle
+attached, and measure the fork. Forking a checkpoint warmed under the
+same policy is bit-identical to a cold run (the checkpoint contract),
+so ``--jobs 1`` and ``--jobs 4`` take the identical code path per point
+and the fingerprints cannot depend on scheduling.
+
+Command line::
+
+    python -m repro golden --check           # verify against tests/golden
+    python -m repro golden --regen           # refreeze after a reviewed change
+"""
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.params import BASELINE, CORE1, CORE2, CORE3, CORE4, \
+    MachineParams
+
+__all__ = [
+    "GOLDEN_DIR",
+    "GOLDEN_INSTRUCTIONS",
+    "GOLDEN_MACHINES",
+    "GOLDEN_POLICIES",
+    "GOLDEN_SCHEMA",
+    "GOLDEN_WARMUP",
+    "GOLDEN_WORKLOAD",
+    "canonical_fingerprint",
+    "check_golden",
+    "golden_points",
+    "measure_point",
+    "regen_golden",
+]
+
+#: Bump when the file layout changes; a mismatched schema is reported as
+#: a check failure (regen required), never silently reinterpreted.
+GOLDEN_SCHEMA = 1
+
+#: The frozen matrix: one workload x five machines x five policies,
+#: mirroring the performance baseline in docs/performance.md.
+GOLDEN_WORKLOAD = "mcf"
+GOLDEN_MACHINES: Dict[str, MachineParams] = {
+    "baseline": BASELINE,
+    "core-1": CORE1,
+    "core-2": CORE2,
+    "core-3": CORE3,
+    "core-4": CORE4,
+}
+GOLDEN_POLICIES: Tuple[str, ...] = ("OOO", "FLUSH", "TR", "PRE", "RAR")
+GOLDEN_INSTRUCTIONS = 3000
+GOLDEN_WARMUP = 3000
+GOLDEN_DIR = os.path.join("tests", "golden")
+
+
+def golden_points() -> List[Tuple[str, str]]:
+    """The frozen (machine, policy) grid, in file order."""
+    return [(m, p) for m in GOLDEN_MACHINES for p in GOLDEN_POLICIES]
+
+
+def canonical_fingerprint(payload: Any) -> str:
+    """Stable hash of a JSON-serialisable payload.
+
+    Canonical form is JSON with sorted keys and no whitespace, so the
+    fingerprint is independent of dict insertion order, file formatting
+    and Python version — it changes exactly when a value changes.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def measure_point(machine_name: str, policy: str,
+                  instructions: int = GOLDEN_INSTRUCTIONS,
+                  warmup: int = GOLDEN_WARMUP) -> Dict[str, Any]:
+    """Measure one golden point and return its frozen entry.
+
+    Always runs via warm-checkpoint + oracle'd fork (see module
+    docstring), so the entry is the same whichever process measures it.
+    """
+    from repro.checkpoint import warm_checkpoint
+    from repro.sim import _delta_result, _snapshot
+
+    machine = GOLDEN_MACHINES[machine_name]
+    cp = warm_checkpoint(GOLDEN_WORKLOAD, machine, policy, warmup=warmup)
+    core = cp.fork(oracle=True)
+    start = _snapshot(core)
+    core.run(instructions)
+    result = _delta_result(core, start, cp.workload)
+    core.oracle.final_check(expect_drained=core.engine.exhausted)
+    digest = core.oracle.digest()
+    fingerprint = canonical_fingerprint(
+        {"result": result.to_dict(), "commit_digest": digest})
+    return {
+        "fingerprint": fingerprint,
+        "commit_digest": digest,
+        # Informational context so a fingerprint diff is reviewable
+        # without rerunning — never part of the hash input above.
+        "ipc": result.ipc,
+        "cycles": result.cycles,
+        "abc_total": result.abc_total,
+    }
+
+
+def _measure_task(task: Tuple[str, str, int, int]) -> Tuple[str, str,
+                                                            Dict[str, Any]]:
+    """Pool worker: one point per task for even load balance."""
+    machine_name, policy, instructions, warmup = task
+    return machine_name, policy, measure_point(machine_name, policy,
+                                               instructions, warmup)
+
+
+def _measure_all(jobs: int, instructions: int,
+                 warmup: int) -> Dict[str, Dict[str, Dict[str, Any]]]:
+    """Measure the full grid; returns machine -> policy -> entry."""
+    from repro.analysis.experiments import _pool_context
+
+    tasks = [(m, p, instructions, warmup) for m, p in golden_points()]
+    if jobs > 1:
+        with _pool_context().Pool(min(jobs, len(tasks))) as pool:
+            measured = pool.map(_measure_task, tasks)
+    else:
+        measured = [_measure_task(t) for t in tasks]
+    out: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    for machine_name, policy, entry in measured:
+        out.setdefault(machine_name, {})[policy] = entry
+    return out
+
+
+def _machine_path(directory: str, machine_name: str) -> str:
+    return os.path.join(directory, f"{machine_name}.json")
+
+
+def regen_golden(directory: str = GOLDEN_DIR, jobs: int = 1,
+                 instructions: int = GOLDEN_INSTRUCTIONS,
+                 warmup: int = GOLDEN_WARMUP) -> List[str]:
+    """(Re)freeze the fingerprints; returns the files written."""
+    from repro.common.io import atomic_write_json
+
+    os.makedirs(directory, exist_ok=True)
+    grid = _measure_all(jobs, instructions, warmup)
+    written: List[str] = []
+    for machine_name in GOLDEN_MACHINES:
+        payload = {
+            "schema": GOLDEN_SCHEMA,
+            "workload": GOLDEN_WORKLOAD,
+            "machine": machine_name,
+            "instructions": instructions,
+            "warmup": warmup,
+            "points": grid[machine_name],
+        }
+        path = _machine_path(directory, machine_name)
+        atomic_write_json(path, payload, indent=2)
+        written.append(path)
+    return written
+
+
+def check_golden(directory: str = GOLDEN_DIR,
+                 jobs: int = 1) -> List[str]:
+    """Re-measure the grid and diff against the frozen files.
+
+    Returns a list of human-readable mismatch lines — empty means fully
+    conformant. Run sizes are taken from the frozen files themselves so
+    a check is self-consistent; a file frozen at different sizes than
+    the module defaults still checks against what it recorded.
+    """
+    problems: List[str] = []
+    frozen: Dict[str, Dict[str, Any]] = {}
+    instructions: Optional[int] = None
+    warmup: Optional[int] = None
+    for machine_name in GOLDEN_MACHINES:
+        path = _machine_path(directory, machine_name)
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+        except OSError:
+            problems.append(f"{machine_name}: missing golden file {path} "
+                            f"(run `repro golden --regen`)")
+            continue
+        except ValueError as e:
+            problems.append(f"{machine_name}: unreadable golden file "
+                            f"{path}: {e}")
+            continue
+        if payload.get("schema") != GOLDEN_SCHEMA:
+            problems.append(
+                f"{machine_name}: schema {payload.get('schema')} != "
+                f"{GOLDEN_SCHEMA} (run `repro golden --regen`)")
+            continue
+        if payload.get("workload") != GOLDEN_WORKLOAD:
+            problems.append(
+                f"{machine_name}: workload {payload.get('workload')!r} != "
+                f"{GOLDEN_WORKLOAD!r}")
+            continue
+        if instructions is None:
+            instructions = payload["instructions"]
+            warmup = payload["warmup"]
+        elif (payload["instructions"] != instructions
+              or payload["warmup"] != warmup):
+            problems.append(
+                f"{machine_name}: run sizes ({payload['instructions']}, "
+                f"{payload['warmup']}) disagree with the other golden "
+                f"files ({instructions}, {warmup})")
+            continue
+        missing = [p for p in GOLDEN_POLICIES
+                   if p not in payload.get("points", {})]
+        if missing:
+            problems.append(f"{machine_name}: missing points {missing}")
+            continue
+        frozen[machine_name] = payload["points"]
+    if not frozen:
+        return problems
+
+    grid = _measure_all(jobs, instructions, warmup)
+    for machine_name, points in frozen.items():
+        for policy in GOLDEN_POLICIES:
+            want = points[policy]
+            got = grid[machine_name][policy]
+            if got["fingerprint"] != want["fingerprint"]:
+                detail = (f"commit digest also drifted "
+                          f"({want['commit_digest'][:12]} -> "
+                          f"{got['commit_digest'][:12]})"
+                          if got["commit_digest"] != want["commit_digest"]
+                          else "commit digest unchanged (timing-only drift)")
+                problems.append(
+                    f"{machine_name}/{policy}: fingerprint "
+                    f"{want['fingerprint'][:12]} -> "
+                    f"{got['fingerprint'][:12]}; ipc {want['ipc']:.4f} -> "
+                    f"{got['ipc']:.4f}, cycles {want['cycles']} -> "
+                    f"{got['cycles']}; {detail}")
+    return problems

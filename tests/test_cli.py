@@ -196,3 +196,40 @@ class TestCharacterizeCommand:
                      "-n", "500", "-w", "300"]) == 0
         out = capsys.readouterr().out
         assert "replayed" in out
+
+
+class TestGoldenCommand:
+    def test_parser_requires_mode(self):
+        parser = build_parser()
+        args = parser.parse_args(["golden", "--check", "--jobs", "2"])
+        assert args.command == "golden" and args.check and not args.regen
+        assert args.jobs == 2
+        with pytest.raises(SystemExit):
+            parser.parse_args(["golden"])  # --check or --regen required
+        with pytest.raises(SystemExit):
+            parser.parse_args(["golden", "--check", "--regen"])
+
+    def test_regen_check_roundtrip(self, tmp_path, capsys, monkeypatch):
+        from repro.common.params import BASELINE
+        from repro.validate import golden
+        monkeypatch.setattr(golden, "GOLDEN_MACHINES",
+                            {"baseline": BASELINE})
+        monkeypatch.setattr(golden, "GOLDEN_POLICIES", ("RAR",))
+        d = str(tmp_path / "golden")
+        assert main(["golden", "--regen", "--dir", d,
+                     "-n", "300", "-w", "200"]) == 0
+        assert "froze" in capsys.readouterr().out
+        assert main(["golden", "--check", "--dir", d]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_missing_dir_fails(self, tmp_path, capsys):
+        assert main(["golden", "--check",
+                     "--dir", str(tmp_path / "nope")]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestOracleFlag:
+    def test_run_with_oracle(self, capsys):
+        assert main(["run", "x264", "OOO", "-n", "300", "-w", "100",
+                     "--oracle", "--validate"]) == 0
+        assert "IPC" in capsys.readouterr().out

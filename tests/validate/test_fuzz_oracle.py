@@ -1,0 +1,115 @@
+"""Property-based fuzzing of the simulator under full oracle lockstep.
+
+Hypothesis draws random workload characteristics (class mix, dependence
+chains, branch behaviour, address-pattern kind) and random finite
+traces, and every realisation runs under both the per-cycle invariant
+sanitizer and the commit-stream oracle across the paper's mechanism
+space. Failures shrink to a minimal (seed, knobs) tuple and reproduce
+deterministically (``derandomize=True``).
+
+The suite is in the slow tier (``-m slow``): it runs in the CI
+conformance job, not in tier-1.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.enums import UopClass
+from repro.common.params import BASELINE
+from repro.isa.trace import Trace
+from repro.isa.uop import NO_ADDR, StaticUop
+from repro.sim import simulate
+from repro.workloads.base import WorkloadSpec, make_body
+from repro.workloads.patterns import PatternSpec, hot_mix
+
+pytestmark = pytest.mark.slow
+
+POLICIES = ("OOO", "FLUSH", "TR", "PRE", "RAR")
+
+_FUZZ_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
+)
+
+
+@st.composite
+def workload_specs(draw) -> WorkloadSpec:
+    """A random synthetic workload over the generator's full knob space."""
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    n_slots = draw(st.integers(min_value=8, max_value=96))
+    body = make_body(
+        random.Random(seed),
+        n_slots=n_slots,
+        load_frac=draw(st.floats(min_value=0.05, max_value=0.40)),
+        store_frac=draw(st.floats(min_value=0.0, max_value=0.15)),
+        branch_frac=draw(st.floats(min_value=0.02, max_value=0.25)),
+        fp_frac=draw(st.floats(min_value=0.0, max_value=0.20)),
+        chain=draw(st.floats(min_value=0.0, max_value=0.9)),
+        hard_branch_frac=draw(st.floats(min_value=0.0, max_value=0.5)),
+        load_consume=draw(st.floats(min_value=0.0, max_value=0.9)),
+    )
+    kind = draw(st.sampled_from(("stream", "chase", "random")))
+    ws = draw(st.sampled_from((2 * 1024 * 1024, 16 * 1024 * 1024,
+                               64 * 1024 * 1024)))
+    cold = PatternSpec(kind=kind, working_set=ws)
+    hot_fraction = draw(st.floats(min_value=0.0, max_value=0.8))
+    pattern = hot_mix(cold, hot_fraction) if hot_fraction >= 0.05 else cold
+    return WorkloadSpec(
+        name=f"fuzz-{seed}-{n_slots}",
+        memory_intensive=True,
+        body=body,
+        patterns={"main": pattern},
+        seed=seed,
+    )
+
+
+@st.composite
+def finite_traces(draw) -> Trace:
+    """A random finite trace, including degenerate lengths."""
+    n = draw(st.integers(min_value=0, max_value=120))
+    pc_base = 0x1000
+    uops = []
+    for i in range(n):
+        cls = draw(st.sampled_from((int(UopClass.INT_ADD),
+                                    int(UopClass.LOAD),
+                                    int(UopClass.STORE),
+                                    int(UopClass.BRANCH))))
+        pc = pc_base + 4 * i
+        addr = NO_ADDR
+        taken = False
+        target = 0
+        if cls in (int(UopClass.LOAD), int(UopClass.STORE)):
+            addr = draw(st.integers(min_value=0, max_value=1 << 24)) * 64
+        elif cls == int(UopClass.BRANCH):
+            taken = draw(st.booleans())
+            target = pc_base if taken else pc + 4
+        srcs = (i - 1,) if i > 0 and draw(st.booleans()) else ()
+        uops.append(StaticUop(idx=i, pc=pc, cls=cls, srcs=srcs, addr=addr,
+                              taken=taken, target=target))
+    return Trace.from_list(uops, name=f"fuzz-finite-{n}")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@_FUZZ_SETTINGS
+@given(spec=workload_specs())
+def test_random_workloads_pass_oracle_lockstep(policy, spec):
+    r = simulate(spec, BASELINE, policy, instructions=5000, warmup=0,
+                 oracle=True, validate=True)
+    assert r.instructions >= 5000
+    assert r.cycles > 0
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@_FUZZ_SETTINGS
+@given(trace=finite_traces())
+def test_random_finite_traces_drain_cleanly(policy, trace):
+    n = len(trace)
+    r = simulate(trace, BASELINE, policy, instructions=10_000, warmup=0,
+                 oracle=True, validate=True)
+    assert r.instructions == n
