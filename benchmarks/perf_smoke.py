@@ -8,6 +8,12 @@ Run from the repo root (CI does this on every push)::
         [--speed-out BENCH_speed.json]
     PYTHONPATH=src python benchmarks/perf_smoke.py --sweep \
         [--sweep-out BENCH_refactor.json]
+    PYTHONPATH=src python benchmarks/perf_smoke.py --diff 5
+
+History bookkeeping lives in :mod:`repro.obs.bench`: every record is
+stamped with timestamp/python/host/git SHA, appended atomically, and
+gated against the previous committed entry — the default mode and
+``--speed`` fail on a >20% KIPS regression (``bench.REGRESSION_FLOOR``).
 
 The default mode appends one record with the simulated-KIPS throughput
 of the standard (mcf, baseline, RAR) point so the host-performance
@@ -16,57 +22,30 @@ same point under cProfile and prints the top-25 functions by tottime
 (no record is appended — profiling overhead would pollute the
 trajectory); every perf PR should start from that table (see
 docs/performance.md). ``--speed`` times the 2x2 {mcf, lbm} x {OOO, RAR}
-matrix, appends the per-point KIPS to ``BENCH_speed.json`` and exits
-non-zero if any point regressed more than 20% against the previous
-committed entry. ``--sweep`` instead times a small workload x policy
-matrix twice — serial, then with ``jobs=2`` + shared-warmup checkpoint
-forking — and appends the wall-clock speedup to ``BENCH_refactor.json``.
-All files are JSON lists of records.
+matrix and appends the per-point KIPS to ``BENCH_speed.json``.
+``--sweep`` times a small workload x policy matrix twice — serial, then
+with ``jobs=2`` + shared-warmup checkpoint forking — with the parallel
+leg recording a run ledger, whose aggregated per-point KIPS ride along
+in the appended record. ``--diff N`` renders the last N entries of a
+history side by side. All files are JSON lists of records.
 """
 
 import argparse
-import json
 import os
-import platform
 import sys
 import time
 
 
-def _append_record(path: str, record: dict) -> int:
-    history = []
-    if os.path.exists(path):
-        try:
-            with open(path) as f:
-                history = json.load(f)
-        except (json.JSONDecodeError, OSError):
-            history = []
-    if not isinstance(history, list):
-        history = []
-    history.append(record)
-    with open(path, "w") as f:
-        json.dump(history, f, indent=1)
-        f.write("\n")
-    return len(history)
-
-
-def _base_record() -> dict:
-    return {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "python": platform.python_version(),
-        "host": platform.machine(),
-    }
-
-
 def run_kips_smoke(args) -> int:
     from repro import BASELINE, Telemetry, simulate
+    from repro.obs import bench
 
     tele = Telemetry(profile=True)
     result = simulate(args.workload, BASELINE, args.policy,
                       instructions=args.instructions, warmup=args.warmup,
                       telemetry=tele)
     prof = tele.profiler
-    record = _base_record()
-    record.update({
+    record = {
         "workload": result.workload,
         "policy": result.policy,
         "instructions": result.instructions,
@@ -75,10 +54,22 @@ def run_kips_smoke(args) -> int:
         "kips": round(prof.kips, 2),
         "cycles_per_second": round(prof.cycles_per_second, 1),
         "wall_seconds": round(prof.wall_seconds, 3),
-    })
-    n = _append_record(args.out, record)
+    }
+    n = bench.append_entry(args.out, record)
     print(f"{record['kips']} KIPS ({record['cycles_per_second']} cycles/s) "
           f"-> {args.out} ({n} records)")
+    regressions = bench.check_regression(bench.load_history(args.out),
+                                         fields=["kips"])
+    return _report_regressions(regressions)
+
+
+def _report_regressions(regressions) -> int:
+    if regressions:
+        print("KIPS regression vs previous committed entry:",
+              file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -101,23 +92,11 @@ def run_profile(args) -> int:
 #: the committed-trajectory matrix timed by ``--speed``
 SPEED_MATRIX = (("mcf", "OOO"), ("mcf", "RAR"), ("lbm", "OOO"), ("lbm", "RAR"))
 
-#: a point may drop to this fraction of the previous committed entry
-#: before the run fails (hosted-runner wall clocks are noisy)
-REGRESSION_FLOOR = 0.8
-
 
 def run_speed_matrix(args) -> int:
     """Time the 2x2 speed matrix; fail on a >20% per-point regression."""
     from repro import BASELINE, Telemetry, simulate
-
-    history = []
-    if os.path.exists(args.speed_out):
-        try:
-            with open(args.speed_out) as f:
-                history = json.load(f)
-        except (json.JSONDecodeError, OSError):
-            history = []
-    last = history[-1] if isinstance(history, list) and history else None
+    from repro.obs import bench
 
     points = {}
     for workload, policy in SPEED_MATRIX:
@@ -129,30 +108,17 @@ def run_speed_matrix(args) -> int:
         points[key] = round(tele.profiler.kips, 2)
         print(f"{key}: {points[key]} KIPS")
 
-    record = _base_record()
-    record.update({
+    record = {
         "instructions": args.instructions,
         "warmup": args.warmup,
         "points": points,
-    })
-    n = _append_record(args.speed_out, record)
+    }
+    n = bench.append_entry(args.speed_out, record)
     print(f"speed matrix -> {args.speed_out} ({n} records)")
-
-    regressions = []
-    if last is not None and isinstance(last.get("points"), dict):
-        for key, kips in points.items():
-            ref = last["points"].get(key)
-            if ref and kips < REGRESSION_FLOOR * ref:
-                regressions.append(
-                    f"{key}: {kips} KIPS < {REGRESSION_FLOOR:.0%} of the "
-                    f"previous committed {ref} KIPS")
-    if regressions:
-        print("KIPS regression vs previous committed entry:",
-              file=sys.stderr)
-        for line in regressions:
-            print(f"  {line}", file=sys.stderr)
-        return 1
-    return 0
+    fields = [f"points.{w}/{p}" for w, p in SPEED_MATRIX]
+    regressions = bench.check_regression(bench.load_history(args.speed_out),
+                                         fields=fields)
+    return _report_regressions(regressions)
 
 
 def run_sweep_smoke(args) -> int:
@@ -160,10 +126,17 @@ def run_sweep_smoke(args) -> int:
 
     The speedup combines two effects: warmup shared across policies
     (visible even on one CPU) and group-level multiprocessing (scales
-    with cores; the record carries ``cpus`` for context).
+    with cores; the record carries ``cpus`` for context). The parallel
+    leg records a run ledger; its aggregated per-point KIPS ride along
+    in the appended record so the sweep trajectory and the ledger agree
+    by construction.
     """
+    import tempfile
+
     from repro import BASELINE
     from repro.analysis.experiments import ExperimentRunner
+    from repro.obs import bench
+    from repro.obs.ledger import read_ledger
 
     workloads = ["mcf", "lbm", "x264", "namd"]
     policies = ["OOO", "RAR"]
@@ -176,9 +149,12 @@ def run_sweep_smoke(args) -> int:
         return time.perf_counter() - t0
 
     serial_s = timed()
-    parallel_s = timed(jobs=args.jobs, share_warmup=True)
-    record = _base_record()
-    record.update({
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger_path = os.path.join(tmp, "sweep-ledger.jsonl")
+        parallel_s = timed(jobs=args.jobs, share_warmup=True,
+                           ledger=ledger_path)
+        ledger_agg = bench.ledger_kips(read_ledger(ledger_path))
+    record = {
         "cpus": os.cpu_count(),
         "workloads": workloads,
         "policies": policies,
@@ -189,12 +165,22 @@ def run_sweep_smoke(args) -> int:
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
-    })
-    n = _append_record(args.sweep_out, record)
+        "mean_kips": ledger_agg["mean_kips"],
+        "points": ledger_agg["points"],
+    }
+    n = bench.append_entry(args.sweep_out, record)
     print(f"sweep {len(workloads)}x{len(policies)}: serial "
           f"{record['serial_s']}s, jobs={args.jobs}+shared-warmup "
-          f"{record['parallel_s']}s, speedup {record['speedup']}x "
+          f"{record['parallel_s']}s, speedup {record['speedup']}x, "
+          f"ledger mean {record['mean_kips']} KIPS "
           f"-> {args.sweep_out} ({n} records)")
+    return 0
+
+
+def run_diff(args) -> int:
+    from repro.obs import bench
+
+    print(bench.diff_entries(bench.load_history(args.out), n=args.diff))
     return 0
 
 
@@ -217,7 +203,11 @@ def main(argv=None) -> int:
     parser.add_argument("--sweep-out", default="BENCH_refactor.json")
     parser.add_argument("-j", "--jobs", type=int, default=2,
                         help="pool size for the parallel sweep leg")
+    parser.add_argument("--diff", type=int, metavar="N", default=0,
+                        help="render the last N entries of --out and exit")
     args = parser.parse_args(argv)
+    if args.diff:
+        return run_diff(args)
     if args.profile:
         return run_profile(args)
     if args.speed:

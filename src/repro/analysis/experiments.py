@@ -15,6 +15,7 @@ as the merge point.
 import json
 import math
 import os
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -22,9 +23,12 @@ from repro.common.io import atomic_write_json
 from repro.common.params import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP, \
     MachineParams
 from repro.core.runahead import RunaheadPolicy, get_policy
+from repro.obs import log as obs_log
 from repro.sim import SimResult, simulate
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.catalog import get_workload
+
+_log = obs_log.get_logger("sweep")
 
 
 @dataclass(frozen=True)
@@ -121,40 +125,92 @@ def _run_group(task: Tuple) -> List[Dict[str, Any]]:
     """Simulate one workload group (all its missing policies).
 
     Module-level so it pickles into pool workers. The task carries only
-    picklable inputs (spec, machine params, policy *names*, sizes) —
-    traces and checkpoints are rebuilt inside the worker because a
-    lazily-materialised :class:`~repro.isa.trace.Trace` buffers a
-    generator and cannot cross a process boundary. Results return as
+    picklable inputs (spec, machine params, policy *names*, sizes, the
+    ledger *path*) — traces and checkpoints are rebuilt inside the
+    worker because a lazily-materialised
+    :class:`~repro.isa.trace.Trace` buffers a generator and cannot
+    cross a process boundary. Results return as
     ``SimResult.to_dict()`` payloads for the same reason.
+
+    With a ledger path, the worker appends its own life-cycle events
+    (``worker_heartbeat`` / ``warmup_shared`` / ``point_start`` /
+    ``point_done`` / ``point_error``) — every terminal event carries the
+    per-point provenance manifest. A failing point is recorded with its
+    traceback *before* the exception propagates and tears the sweep
+    down, so the ledger explains a dead pool post mortem.
     """
     (spec, machine, policy_names, instructions, warmup, share_warmup,
-     warmup_policy, stats_dir, validate, oracle) = task
+     warmup_policy, stats_dir, validate, oracle, ledger_path) = task
+    ledger = None
+    if ledger_path:
+        from repro.obs.ledger import RunLedger
+        ledger = RunLedger(ledger_path)
+        ledger.worker_heartbeat(workload=spec.name,
+                                group_points=len(policy_names), done=0)
     checkpoint = None
     if share_warmup:
         from repro.checkpoint import warm_checkpoint
         checkpoint = warm_checkpoint(spec, machine, warmup_policy,
-                                     warmup=warmup, validate=validate)
+                                     warmup=warmup, validate=validate,
+                                     ledger=ledger)
     payloads: List[Dict[str, Any]] = []
-    for name in policy_names:
+    for done, name in enumerate(policy_names):
+        variant = _variant(share_warmup, name, warmup_policy)
+        manifest = None
+        if ledger is not None or stats_dir:
+            from repro.obs.manifest import point_manifest
+            manifest = point_manifest(spec.name, machine, name,
+                                      instructions, warmup, variant=variant)
+        if ledger is not None:
+            ledger.point_start(workload=spec.name, machine=machine.name,
+                               policy=name, variant=variant)
         telemetry = None
         if stats_dir:
             from repro.obs import Telemetry
             telemetry = Telemetry(interval=1000, profile=True)
-        if checkpoint is not None:
-            from repro.checkpoint import simulate_from
-            result = simulate_from(checkpoint, name,
-                                   instructions=instructions,
-                                   telemetry=telemetry, validate=validate,
-                                   oracle=oracle)
-        else:
-            result = simulate(spec, machine, name, instructions=instructions,
-                              warmup=warmup, telemetry=telemetry,
-                              validate=validate, oracle=oracle)
+        t0 = time.perf_counter()
+        try:
+            if checkpoint is not None:
+                from repro.checkpoint import simulate_from
+                result = simulate_from(checkpoint, name,
+                                       instructions=instructions,
+                                       telemetry=telemetry,
+                                       validate=validate, oracle=oracle)
+            else:
+                result = simulate(spec, machine, name,
+                                  instructions=instructions,
+                                  warmup=warmup, telemetry=telemetry,
+                                  validate=validate, oracle=oracle)
+        except Exception as e:
+            if ledger is not None:
+                import traceback
+                ledger.point_error(workload=spec.name,
+                                   machine=machine.name, policy=name,
+                                   variant=variant, error=repr(e),
+                                   traceback_text=traceback.format_exc(),
+                                   manifest=manifest)
+            _log.error("point failed", exc_info=True, extra={"data": {
+                "workload": spec.name, "policy": name}})
+            raise
+        wall_s = time.perf_counter() - t0
         if telemetry is not None:
             path = os.path.join(
                 stats_dir,
                 f"{result.workload}_{result.machine}_{result.policy}.json")
-            telemetry.write_stats(path, result)
+            telemetry.write_stats(path, result, manifest=manifest)
+        if ledger is not None:
+            kips = (result.instructions / wall_s / 1000.0) if wall_s else 0.0
+            ledger.point_done(workload=result.workload,
+                              machine=result.machine, policy=result.policy,
+                              variant=variant, wall_s=wall_s,
+                              kips=round(kips, 2),
+                              ipc=round(result.ipc, 4), manifest=manifest)
+            ledger.worker_heartbeat(workload=spec.name,
+                                    group_points=len(policy_names),
+                                    done=done + 1)
+        _log.debug("point done", extra={"data": {
+            "workload": spec.name, "policy": name,
+            "wall_s": round(wall_s, 3)}})
         payloads.append(result.to_dict())
     return payloads
 
@@ -230,6 +286,7 @@ class ExperimentRunner:
         stats_dir: Optional[str] = None,
         validate: bool = False,
         oracle: bool = False,
+        ledger: Optional[Any] = None,
     ) -> Dict[str, Dict[str, SimResult]]:
         """Sweep the full matrix; returns policy name -> workload -> result.
 
@@ -247,6 +304,15 @@ class ExperimentRunner:
         cache were not re-checked. ``oracle`` likewise lockstep-checks
         every point's retirement stream against the architectural oracle
         (:mod:`repro.validate.oracle`), also bit-identical.
+
+        ``ledger`` (a path or :class:`~repro.obs.ledger.RunLedger`)
+        records the sweep's life cycle as an append-only JSONL event
+        stream — sweep envelope, per-point terminal events with
+        provenance manifests, worker heartbeats — tailable live with
+        ``repro top``. Purely observational: results are bit-identical
+        with the ledger on or off. Worker log records are routed back
+        through the parent's handlers via a multiprocessing queue, so
+        ``--log-json``/``--quiet`` apply to workers too.
         """
         specs = [get_workload(w) if isinstance(w, str) else w
                  for w in workloads]
@@ -255,35 +321,72 @@ class ExperimentRunner:
               else warmup_policy)
         if stats_dir:
             os.makedirs(stats_dir, exist_ok=True)
+        if isinstance(ledger, str):
+            from repro.obs.ledger import RunLedger
+            ledger = RunLedger(ledger)
+        t_start = time.perf_counter()
+        if ledger is not None:
+            from repro.obs.manifest import host_manifest
+            ledger.sweep_start(
+                total_points=len(specs) * len(pols),
+                machine=machine.name,
+                workloads=[s.name for s in specs],
+                policies=[p.name for p in pols],
+                jobs=jobs, share_warmup=share_warmup,
+                warmup_policy=wp.name, instructions=self.instructions,
+                warmup=self.warmup, manifest=host_manifest())
+            _log.info("sweep start", extra={"data": {
+                "points": len(specs) * len(pols), "machine": machine.name,
+                "jobs": jobs, "ledger": ledger.path}})
 
         out: Dict[str, Dict[str, SimResult]] = {}
         digest = RunKey.digest(machine)
         tasks: List[Tuple] = []
+        n_cached = 0
         for spec in specs:
             missing: List[str] = []
             for pol in pols:
-                key = self._point_key(
-                    spec.name, machine, pol.name,
-                    variant=_variant(share_warmup, pol.name, wp.name),
-                    digest=digest)
+                variant = _variant(share_warmup, pol.name, wp.name)
+                key = self._point_key(spec.name, machine, pol.name,
+                                      variant=variant, digest=digest)
                 cached = self._cache.get(key)
                 if cached is not None and not stats_dir:
                     out.setdefault(pol.name, {})[spec.name] = cached
+                    n_cached += 1
+                    if ledger is not None:
+                        from repro.obs.manifest import point_manifest
+                        ledger.point_cached(
+                            workload=spec.name, machine=machine.name,
+                            policy=pol.name, variant=variant, key=key,
+                            manifest=point_manifest(
+                                spec.name, machine, pol.name,
+                                self.instructions, self.warmup,
+                                variant=variant))
                 else:
                     missing.append(pol.name)
             if missing:
                 tasks.append((spec, machine, tuple(missing),
                               self.instructions, self.warmup, share_warmup,
-                              wp.name, stats_dir, validate, oracle))
+                              wp.name, stats_dir, validate, oracle,
+                              ledger.path if ledger is not None else None))
         if not tasks:
+            if ledger is not None:
+                ledger.sweep_done(elapsed_s=time.perf_counter() - t_start,
+                                  points_run=0, points_cached=n_cached)
             return out
 
         if jobs > 1 and len(tasks) > 1:
-            with _pool_context().Pool(min(jobs, len(tasks))) as pool:
+            ctx = _pool_context()
+            queue = obs_log.worker_log_queue(ctx)
+            with obs_log.start_listener(queue), \
+                    ctx.Pool(min(jobs, len(tasks)),
+                             initializer=obs_log.install_worker_handler,
+                             initargs=(queue,)) as pool:
                 groups = pool.map(_run_group, tasks)
         else:
             groups = [_run_group(t) for t in tasks]
 
+        n_run = 0
         for group in groups:
             for payload in group:
                 result = SimResult.from_dict(payload)
@@ -293,9 +396,17 @@ class ExperimentRunner:
                     digest=digest)
                 self._cache[key] = result
                 out.setdefault(result.policy, {})[result.workload] = result
+                n_run += 1
         self._machines[machine.name] = machine
         if self.cache_path:
             self._save_disk_cache()
+        if ledger is not None:
+            elapsed = time.perf_counter() - t_start
+            ledger.sweep_done(elapsed_s=elapsed, points_run=n_run,
+                              points_cached=n_cached)
+            _log.info("sweep done", extra={"data": {
+                "run": n_run, "cached": n_cached,
+                "elapsed_s": round(elapsed, 3)}})
         return out
 
     # ------------------------------------------------------------- internal
@@ -323,8 +434,12 @@ class ExperimentRunner:
                 continue  # stale schema: ignore and recompute
 
     def _save_disk_cache(self) -> None:
+        from repro.obs.manifest import host_manifest
         payload = {
             "schema": _CACHE_SCHEMA,
+            # Provenance of the *last writer*: cached results are only
+            # auditable if the cache records what produced them.
+            "manifest": host_manifest(),
             "data": {k: v.to_dict() for k, v in self._cache.items()},
         }
         try:

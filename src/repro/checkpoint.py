@@ -187,6 +187,7 @@ def warm_checkpoint(
     seed: Optional[int] = None,
     record_ace_intervals: bool = False,
     validate: bool = False,
+    ledger=None,
 ) -> Checkpoint:
     """Run warmup once and capture the resulting state.
 
@@ -194,12 +195,20 @@ def warm_checkpoint(
     (workload resolution, trace build, region preload, warmup run) so a
     fork measured under ``policy`` reproduces a cold run bit for bit.
     ``validate`` sanitizes the warmup run itself; it does not mark the
-    checkpoint (forks opt in separately).
+    checkpoint (forks opt in separately). ``ledger`` (a
+    :class:`~repro.obs.ledger.RunLedger` or path) records a
+    ``warmup_shared`` event with the warmup wall time — purely
+    observational, the captured state is bit-identical either way.
     """
+    import time
+
     if isinstance(workload, str):
         workload = get_workload(workload)
     if isinstance(policy, str):
         policy = get_policy(policy)
+    if isinstance(ledger, str):
+        from repro.obs.ledger import RunLedger
+        ledger = RunLedger(ledger)
     trace = workload.build_trace(seed=seed)
     core_seed = 0 if seed is None else seed
     core = OutOfOrderCore(machine, trace, policy, seed=core_seed,
@@ -207,9 +216,15 @@ def warm_checkpoint(
                           validate=validate)
     for level, base, size in workload.resident_regions():
         core.mem.preload(base, size, level)
+    t0 = time.perf_counter()
     if warmup > 0:
         core.run(warmup)
-    return Checkpoint.capture(core, workload.name, warmup, seed)
+    checkpoint = Checkpoint.capture(core, workload.name, warmup, seed)
+    if ledger is not None:
+        ledger.warmup_shared(workload=workload.name, machine=machine.name,
+                             policy=policy.name, warmup=warmup,
+                             wall_s=time.perf_counter() - t0)
+    return checkpoint
 
 
 def simulate_from(
@@ -219,6 +234,7 @@ def simulate_from(
     telemetry=None,
     validate: bool = False,
     oracle: bool = False,
+    ledger=None,
 ) -> SimResult:
     """Measure ``instructions`` starting from a warmed checkpoint.
 
@@ -228,15 +244,32 @@ def simulate_from(
     checkpoint.warmup, checkpoint.seed)``. A different ``policy`` forks
     the same warmed state under new control logic — the shared-warmup
     approximation.
+
+    ``ledger`` records the fork's ``point_start``/``point_done`` (with
+    wall seconds, KIPS and the per-point provenance manifest) for
+    direct API users; ``ExperimentRunner.run_matrix`` emits its own
+    richer events instead, so it does not pass the ledger down here.
     """
+    import time
+
     if instructions <= 0:
         raise ValueError("instructions must be positive")
-    core = checkpoint.fork(policy, validate=validate, oracle=oracle)
+    if isinstance(ledger, str):
+        from repro.obs.ledger import RunLedger
+        ledger = RunLedger(ledger)
+    pol = checkpoint.policy if policy is None else (
+        get_policy(policy) if isinstance(policy, str) else policy)
+    if ledger is not None:
+        ledger.point_start(workload=checkpoint.workload,
+                           machine=checkpoint.machine.name, policy=pol.name)
+    core = checkpoint.fork(pol, validate=validate, oracle=oracle)
     if telemetry is not None:
         telemetry.attach(core)
         telemetry.begin_measurement(core)
     start = _snapshot(core)
+    t0 = time.perf_counter()
     core.run(instructions)
+    wall_s = time.perf_counter() - t0
     result = _delta_result(core, start, checkpoint.workload)
     if core.checker is not None:
         core.checker.final_check()
@@ -244,4 +277,15 @@ def simulate_from(
         core.oracle.final_check(expect_drained=core.engine.exhausted)
     if telemetry is not None:
         telemetry.end_measurement(core, result)
+    if ledger is not None:
+        from repro.obs.manifest import point_manifest
+        kips = (result.instructions / wall_s / 1000.0) if wall_s else 0.0
+        ledger.point_done(
+            workload=result.workload, machine=result.machine,
+            policy=result.policy, wall_s=wall_s, kips=round(kips, 2),
+            ipc=round(result.ipc, 4),
+            manifest=point_manifest(result.workload, checkpoint.machine,
+                                    result.policy, instructions,
+                                    checkpoint.warmup,
+                                    seed=checkpoint.seed))
     return result

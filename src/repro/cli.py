@@ -6,11 +6,21 @@ Subcommands:
     compare              sweep policies on one workload, print a table
     sweep                workload x policy matrix, optionally parallel
     scaling              Core-1..Core-4 sweep for one workload/policy pair
-    report               render a --stats-out JSON file as tables
+    report               render a --stats-out JSON file as tables, or
+                         summarize a sweep run-ledger (JSONL)
+    top                  live in-terminal view of a running sweep,
+                         tailing its --ledger file
     diff                 differential check: one point through every
                          execution path (facade/fork/mp), bit-diffed
     golden               golden conformance fingerprints for the
                          25-point baseline: --check or --regen
+
+Global flags (before the subcommand) configure the logging layer
+(docs/observability.md): ``--log-json`` emits diagnostics as JSON
+lines, ``--quiet`` silences everything below warnings, ``--verbose``
+enables debug records. Human results stay on stdout; diagnostics go to
+stderr. ``sweep --ledger FILE`` records the sweep's full life cycle as
+an append-only JSONL event stream with per-point provenance manifests.
 
 ``run`` and ``sweep`` accept ``--validate`` to enable the per-cycle
 invariant sanitizer and ``--oracle`` for the commit-stream architectural
@@ -118,7 +128,11 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"branch mispredicts {r.branch_mispredicts}")
     if telemetry is not None:
         if args.stats_out:
-            telemetry.write_stats(args.stats_out, r)
+            from repro.obs.manifest import point_manifest
+            telemetry.write_stats(
+                args.stats_out, r,
+                manifest=point_manifest(r.workload, machine, r.policy,
+                                        args.instructions, args.warmup))
             print(f"  stats          -> {args.stats_out}")
         if args.trace_out:
             telemetry.write_trace(args.trace_out)
@@ -138,10 +152,33 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _looks_like_ledger(path: str) -> bool:
+    """A run ledger is JSONL whose first record carries an ``ev`` tag;
+    a stats file is one indented JSON object."""
+    import json
+    try:
+        with open(path) as f:
+            first = json.loads(f.readline())
+        return isinstance(first, dict) and "ev" in first
+    except (ValueError, OSError):
+        return False
+
+
 def cmd_report(args: argparse.Namespace) -> int:
+    if _looks_like_ledger(args.path):
+        from repro.obs.ledger import read_ledger
+        from repro.obs.top import render_ledger_report
+        print(render_ledger_report(read_ledger(args.path), path=args.path))
+        return 0
     from repro.obs import load_stats, render_report
     print(render_report(load_stats(args.path)))
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+    return run_top(args.ledger, refresh_s=args.refresh, once=args.once,
+                   follow=args.follow, max_wait_s=args.max_wait)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -181,7 +218,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                warmup_policy=args.warmup_policy,
                                stats_dir=args.stats_dir,
                                validate=args.validate,
-                               oracle=args.oracle)
+                               oracle=args.oracle,
+                               ledger=args.ledger)
     elapsed = time.perf_counter() - t0
 
     rows: List[List] = []
@@ -200,6 +238,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(f"\n{len(rows)} points in {elapsed:.2f}s ({mode})")
     if args.stats_dir:
         print(f"per-point stats -> {args.stats_dir}/")
+    if args.ledger:
+        print(f"run ledger     -> {args.ledger} "
+              f"(`repro top {args.ledger}` / `repro report {args.ledger}`)")
     if args.out:
         from repro.common.io import atomic_write_json
         payload = {
@@ -277,12 +318,12 @@ def cmd_golden(args: argparse.Namespace) -> int:
     if args.regen:
         written = regen_golden(args.dir, jobs=args.jobs,
                                instructions=args.instructions,
-                               warmup=args.warmup)
+                               warmup=args.warmup, ledger=args.ledger)
         print(f"froze {len(golden_points())} golden points:")
         for path in written:
             print(f"  {path}")
         return 0
-    problems = check_golden(args.dir, jobs=args.jobs)
+    problems = check_golden(args.dir, jobs=args.jobs, ledger=args.ledger)
     if problems:
         print(f"golden check FAILED ({len(problems)} mismatch(es)):")
         for line in problems:
@@ -316,6 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reliability-Aware Runahead (HPCA 2022) simulator")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit diagnostics as JSON lines on stderr")
+    parser.add_argument("--quiet", action="store_true",
+                        help="silence diagnostics below warnings "
+                             "(heartbeats, sweep progress)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="enable debug diagnostics")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads/policies/machines")
@@ -349,8 +397,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "commit-stream architectural oracle")
     _add_size_args(p)
 
-    p = sub.add_parser("report", help="render a --stats-out file as tables")
-    p.add_argument("path", help="stats JSON written by run --stats-out")
+    p = sub.add_parser("report",
+                       help="render a --stats-out file as tables, or "
+                            "summarize a sweep run-ledger")
+    p.add_argument("path", help="stats JSON written by run --stats-out, "
+                                "or a JSONL ledger from sweep --ledger")
+
+    p = sub.add_parser("top", help="live view of a running sweep "
+                                   "(tails its --ledger file)")
+    p.add_argument("ledger", help="JSONL ledger path (sweep --ledger)")
+    p.add_argument("--refresh", type=float, default=1.0, metavar="SEC",
+                   help="redraw period in seconds (default 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (no ANSI control)")
+    p.add_argument("--follow", action="store_true",
+                   help="keep tailing after sweep_done")
+    p.add_argument("--max-wait", type=float, default=0.0, metavar="SEC",
+                   help="give up (exit 1) after SEC seconds (0 = never)")
 
     p = sub.add_parser("compare", help="sweep policies on one workload")
     p.add_argument("workload")
@@ -383,6 +446,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats-dir", metavar="DIR",
                    help="write per-point telemetry stats JSON into DIR "
                         "(forces cached points to re-run)")
+    p.add_argument("--ledger", metavar="FILE",
+                   help="append the sweep's JSONL event stream (with "
+                        "per-point provenance manifests) to FILE; watch "
+                        "live with `repro top FILE`")
     p.add_argument("--validate", action="store_true",
                    help="run every point under the invariant sanitizer")
     p.add_argument("--oracle", action="store_true",
@@ -429,6 +496,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-w", "--warmup", type=int, default=3000,
                    help="warmup instructions when regenerating "
                         "(default 3000; --check uses the frozen files')")
+    p.add_argument("--ledger", metavar="FILE",
+                   help="record per-point measurement events to a JSONL "
+                        "run ledger (observational; fingerprints are "
+                        "bit-identical with or without)")
 
     p = sub.add_parser("scaling", help="Core-1..4 sweep")
     p.add_argument("workload")
@@ -460,11 +531,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.obs import log as obs_log
+    obs_log.configure(json_lines=args.log_json, quiet=args.quiet,
+                      verbose=args.verbose)
     get_workload  # imported for side-effect-free validation below
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
         "report": cmd_report,
+        "top": cmd_top,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "diff": cmd_diff,

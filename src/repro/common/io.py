@@ -3,9 +3,9 @@
 import json
 import os
 import tempfile
-from typing import Any
+from typing import Any, Iterator, List
 
-__all__ = ["atomic_write_json"]
+__all__ = ["atomic_write_json", "append_jsonl", "iter_jsonl", "read_jsonl"]
 
 
 def atomic_write_json(path: str, payload: Any, indent=None) -> None:
@@ -33,3 +33,51 @@ def atomic_write_json(path: str, payload: Any, indent=None) -> None:
         except OSError:
             pass
         raise
+
+
+def append_jsonl(path: str, record: Any) -> None:
+    """Append one JSON record as a single line, multi-writer safe.
+
+    The serialised line is written with one ``os.write`` on an
+    ``O_APPEND`` descriptor, so concurrent appenders (sweep pool
+    workers) emit whole lines that never interleave — POSIX guarantees
+    append-mode writes are atomic for a single ``write`` call of this
+    size. Newlines inside the record are impossible (JSON escapes
+    them), so the file stays one record per line.
+    """
+    line = json.dumps(record, separators=(",", ":"),
+                      default=str) + "\n"
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+
+
+def iter_jsonl(path: str) -> Iterator[Any]:
+    """Yield records from a JSONL file, tolerating a torn tail.
+
+    A reader tailing a file that a crashed (or still-running) writer
+    appends to may observe a partial final line; it is skipped rather
+    than raised so live monitors and post-mortem summaries degrade
+    gracefully. A corrupt line *followed by* valid ones still raises —
+    that is real corruption, not an in-flight append.
+    """
+    with open(path, encoding="utf-8") as f:
+        pending_error = None
+        for line in f:
+            if pending_error is not None:
+                raise pending_error
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError as e:
+                pending_error = ValueError(
+                    f"{path}: corrupt JSONL line: {e}")
+
+
+def read_jsonl(path: str) -> List[Any]:
+    """All records of a JSONL file as a list (see :func:`iter_jsonl`)."""
+    return list(iter_jsonl(path))

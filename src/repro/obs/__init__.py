@@ -11,8 +11,23 @@ Three pillars (see ``docs/metrics.md`` for the naming scheme):
 
 Plus :class:`~repro.obs.profiler.HostProfiler` for host-side wall-clock
 profiling, all bundled by :class:`~repro.obs.telemetry.Telemetry`.
+
+The sweep/orchestration layer (see ``docs/observability.md``) adds:
+
+- :class:`~repro.obs.ledger.RunLedger` — append-only JSONL event
+  stream recording a sweep's full life cycle, one terminal event per
+  point, tailable live with ``repro top``.
+- :mod:`~repro.obs.manifest` — provenance manifests (git SHA, params
+  digest, versions, host) embedded in stats/cache/ledger artifacts.
+- :mod:`~repro.obs.log` — the central stdlib-logging layer behind
+  ``--log-json`` / ``--quiet`` / ``--verbose``, multiprocessing-safe.
+- :mod:`~repro.obs.bench` — bench-history records and the CI
+  regression gate over them.
 """
 
+from repro.obs import log
+from repro.obs.ledger import RunLedger, SweepStatus, read_ledger, summarize
+from repro.obs.manifest import host_manifest, point_manifest
 from repro.obs.profiler import HostProfiler
 from repro.obs.registry import (
     Distribution,
@@ -36,8 +51,15 @@ __all__ = [
     "EventTracer",
     "TraceEvent",
     "HostProfiler",
+    "RunLedger",
+    "SweepStatus",
     "flatten_tree",
+    "host_manifest",
     "load_stats",
+    "log",
+    "point_manifest",
+    "read_ledger",
     "render_report",
+    "summarize",
     "validate_chrome_trace",
 ]

@@ -1,0 +1,186 @@
+"""Bench history: append KIPS/speedup records, diff for regressions.
+
+The ``BENCH_*.json`` trajectory files at the repo root are JSON lists
+of records, one appended per CI run. This module centralises what
+``benchmarks/perf_smoke.py`` previously hand-rolled:
+
+- :func:`append_entry` — read-modify-write a history file atomically
+  (via :func:`~repro.common.io.atomic_write_json`), stamping the
+  standard timestamp/python/host header plus the current git SHA so a
+  bench record is attributable to a revision.
+- :func:`ledger_kips` — aggregate the KIPS trajectory out of a run
+  ledger's ``point_done`` events, so a sweep's bench entry is derived
+  from the same event stream that ``repro top`` monitors.
+- :func:`check_regression` — compare numeric fields of the newest entry
+  against the previous one and report any that dropped below ``floor``
+  (default 0.8, i.e. a >20% regression) — the CI gate.
+- :func:`diff_entries` — human-readable table of the last N entries for
+  a metric, for postmortems and PR descriptions.
+"""
+
+import json
+import os
+import platform
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.io import atomic_write_json
+
+__all__ = [
+    "REGRESSION_FLOOR",
+    "append_entry",
+    "check_regression",
+    "diff_entries",
+    "ledger_kips",
+    "load_history",
+]
+
+#: a metric may drop to this fraction of the previous committed entry
+#: before the gate fails (hosted-runner wall clocks are noisy)
+REGRESSION_FLOOR = 0.8
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    """The history list; an unreadable/absent file is an empty history."""
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path) as f:
+            history = json.load(f)
+    except (json.JSONDecodeError, OSError):
+        return []
+    return history if isinstance(history, list) else []
+
+
+def base_record() -> Dict[str, Any]:
+    """The standard header every bench record starts from."""
+    from repro.obs.manifest import git_state
+
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "host": platform.machine(),
+        "git_sha": git_state()["sha"],
+    }
+
+
+def append_entry(path: str, record: Dict[str, Any],
+                 stamp: bool = True) -> int:
+    """Append ``record`` to the history at ``path``; returns its length.
+
+    ``stamp`` merges :func:`base_record` under the caller's fields
+    (caller wins on conflicts). The write is atomic, so a crashed CI
+    step never leaves a torn history behind.
+    """
+    history = load_history(path)
+    if stamp:
+        merged = base_record()
+        merged.update(record)
+        record = merged
+    history.append(record)
+    atomic_write_json(path, history, indent=1)
+    return len(history)
+
+
+def ledger_kips(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """KIPS aggregates of a ledger's ``point_done`` events.
+
+    Returns ``points`` (label -> KIPS), the mean across points, total
+    simulated wall and the sweep elapsed/speedup when the ledger has
+    the sweep envelope events (speedup = serial cost, i.e. the sum of
+    per-point walls, over the actual sweep wall).
+    """
+    from repro.obs.ledger import point_label, summarize
+
+    st = summarize(list(events))
+    points: Dict[str, float] = {}
+    wall_sum = 0.0
+    for e in events:
+        if e.get("ev") != "point_done":
+            continue
+        if "kips" in e:
+            points[point_label(e)] = round(float(e["kips"]), 2)
+        wall_sum += float(e.get("wall_s", 0.0))
+    out: Dict[str, Any] = {
+        "points": points,
+        "mean_kips": round(st.mean_kips, 2),
+        "points_done": st.done,
+        "points_cached": st.cached,
+        "point_wall_s": round(wall_sum, 3),
+    }
+    if st.started is not None and st.elapsed_s:
+        out["elapsed_s"] = round(st.elapsed_s, 3)
+        if wall_sum:
+            out["speedup"] = round(wall_sum / st.elapsed_s, 3)
+    return out
+
+
+def _numeric_leaves(record: Dict[str, Any],
+                    prefix: str = "") -> Dict[str, float]:
+    """Flatten numeric fields (incl. one nested ``points`` dict level);
+    header fields never participate in regression checks."""
+    skip = {"timestamp", "python", "host", "git_sha", "instructions",
+            "warmup", "cycles", "jobs", "cpus", "elapsed_s", "serial_s",
+            "parallel_s", "wall_seconds", "point_wall_s", "points_done",
+            "points_cached"}
+    out: Dict[str, float] = {}
+    for k, v in record.items():
+        if k in skip:
+            continue
+        if isinstance(v, bool):
+            continue
+        if isinstance(v, (int, float)):
+            out[prefix + k] = float(v)
+        elif isinstance(v, dict) and not prefix:
+            out.update(_numeric_leaves(v, prefix=f"{k}."))
+    return out
+
+
+def check_regression(history: Sequence[Dict[str, Any]],
+                     floor: float = REGRESSION_FLOOR,
+                     fields: Optional[Sequence[str]] = None) -> List[str]:
+    """Compare the last entry against the previous; list regressions.
+
+    Higher-is-better semantics (KIPS, speedup, IPC). ``fields`` limits
+    the check to specific flattened keys (e.g. ``["kips"]`` or
+    ``["points.mcf/OOO"]``); by default every shared numeric field is
+    gated. Returns human-readable lines, empty when clean.
+    """
+    if len(history) < 2:
+        return []
+    prev = _numeric_leaves(history[-2])
+    last = _numeric_leaves(history[-1])
+    keys = fields if fields is not None else sorted(set(prev) & set(last))
+    problems: List[str] = []
+    for key in keys:
+        ref, got = prev.get(key), last.get(key)
+        if not ref or got is None:
+            continue
+        if got < floor * ref:
+            problems.append(
+                f"{key}: {got:g} < {floor:.0%} of the previous committed "
+                f"{ref:g}")
+    return problems
+
+
+def diff_entries(history: Sequence[Dict[str, Any]], n: int = 5,
+                 ) -> str:
+    """Render the last ``n`` entries' numeric fields side by side."""
+    from repro.analysis.tables import format_table
+
+    tail = list(history[-n:])
+    if not tail:
+        return "no bench entries"
+    keys: List[str] = []
+    flats = [_numeric_leaves(r) for r in tail]
+    for flat in flats:
+        for k in flat:
+            if k not in keys:
+                keys.append(k)
+    headers = ["entry"] + keys
+    rows = []
+    for r, flat in zip(tail, flats):
+        label = (r.get("timestamp", "?")[:16]
+                 + (f" @{r['git_sha'][:8]}" if r.get("git_sha") else ""))
+        rows.append([label] + [flat.get(k, "") for k in keys])
+    return format_table(headers, rows, precision=2)

@@ -1,0 +1,289 @@
+"""The run ledger: an append-only JSONL event stream for sweeps.
+
+Every sweep (``ExperimentRunner.run_matrix`` / ``repro sweep
+--ledger``) can record its full life cycle as typed events, one JSON
+object per line, written via the multi-writer-safe
+:func:`repro.common.io.append_jsonl` so the orchestrating process and
+every pool worker append to the *same* file without interleaving:
+
+========================  =================================================
+event                     emitted when
+========================  =================================================
+``sweep_start``           the matrix is resolved; carries the point count,
+                          sweep parameters and the full host manifest
+``point_cached``          a point was satisfied from the result cache
+``warmup_shared``         a worker finished the shared warmup checkpoint
+                          for one workload group
+``point_start``           a worker begins simulating one point
+``point_done``            the point finished; wall seconds, KIPS, IPC and
+                          the per-point provenance manifest
+``point_error``           the point raised; the traceback rides along
+``worker_heartbeat``      a worker reports liveness + per-group progress
+``sweep_done``            the sweep returned; aggregate counts and wall
+========================  =================================================
+
+Every event carries ``ts`` (epoch seconds), ``pid`` and the ledger
+``ev`` tag. Events are purely observational — simulation results are
+bit-identical with the ledger on or off — and the terminal guarantee is
+that every point of a completed sweep has exactly one terminal event
+(``point_done`` / ``point_cached`` / ``point_error``).
+
+:func:`summarize` folds an event list into a :class:`SweepStatus` used
+by ``repro top`` (live) and ``repro report`` (post-mortem).
+"""
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.io import append_jsonl, read_jsonl
+
+__all__ = [
+    "EVENT_TYPES",
+    "RunLedger",
+    "SweepStatus",
+    "WorkerState",
+    "point_label",
+    "read_ledger",
+    "summarize",
+]
+
+EVENT_TYPES = (
+    "sweep_start",
+    "point_start",
+    "point_done",
+    "point_cached",
+    "warmup_shared",
+    "worker_heartbeat",
+    "point_error",
+    "sweep_done",
+)
+
+#: terminal events — a completed sweep has exactly one per point
+TERMINAL_EVENTS = ("point_done", "point_cached", "point_error")
+
+
+def point_label(event: Dict[str, Any]) -> str:
+    """``workload/machine/policy`` display key of a point event."""
+    return (f"{event.get('workload', '?')}/{event.get('machine', '?')}/"
+            f"{event.get('policy', '?')}")
+
+
+class RunLedger:
+    """Appends typed events to a JSONL file (multi-writer safe).
+
+    Constructed from a path; pool workers re-create it from the same
+    path (the object itself is trivially picklable state: one string).
+    ``emit`` is the single write seam — every event method funnels
+    through it, stamping ``ts`` and ``pid``.
+    """
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+
+    def emit(self, ev: str, **fields: Any) -> None:
+        if ev not in EVENT_TYPES:
+            raise ValueError(f"unknown ledger event {ev!r}")
+        record = {"ev": ev, "ts": round(time.time(), 4),
+                  "pid": os.getpid()}
+        record.update(fields)
+        append_jsonl(self.path, record)
+
+    # ------------------------------------------------------ typed events
+
+    def sweep_start(self, *, total_points: int, manifest: Dict[str, Any],
+                    **fields: Any) -> None:
+        self.emit("sweep_start", total_points=total_points,
+                  manifest=manifest, **fields)
+
+    def point_start(self, **fields: Any) -> None:
+        self.emit("point_start", **fields)
+
+    def point_done(self, *, wall_s: float, manifest: Dict[str, Any],
+                   **fields: Any) -> None:
+        self.emit("point_done", wall_s=round(wall_s, 4),
+                  manifest=manifest, **fields)
+
+    def point_cached(self, *, manifest: Dict[str, Any],
+                     **fields: Any) -> None:
+        self.emit("point_cached", manifest=manifest, **fields)
+
+    def warmup_shared(self, *, wall_s: float, **fields: Any) -> None:
+        self.emit("warmup_shared", wall_s=round(wall_s, 4), **fields)
+
+    def worker_heartbeat(self, **fields: Any) -> None:
+        self.emit("worker_heartbeat", **fields)
+
+    def point_error(self, *, error: str, traceback_text: str,
+                    **fields: Any) -> None:
+        self.emit("point_error", error=error,
+                  traceback=traceback_text, **fields)
+
+    def sweep_done(self, *, elapsed_s: float, **fields: Any) -> None:
+        self.emit("sweep_done", elapsed_s=round(elapsed_s, 4), **fields)
+
+
+def read_ledger(path: str) -> List[Dict[str, Any]]:
+    """All events of a ledger file; tolerant of a torn final line."""
+    return [e for e in read_jsonl(path) if isinstance(e, dict)]
+
+
+# ------------------------------------------------------------- summaries
+
+@dataclass
+class WorkerState:
+    """Last-known activity of one worker pid."""
+
+    pid: int
+    last_event: str = ""
+    last_ts: float = 0.0
+    current: str = ""            # point label while between start/done
+    points_done: int = 0
+
+
+@dataclass
+class SweepStatus:
+    """Aggregated view of a ledger — the model behind ``repro top``."""
+
+    path: str = ""
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    last_ts: float = 0.0
+    total_points: int = 0
+    done: int = 0
+    cached: int = 0
+    errors: int = 0
+    warmups: int = 0
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+    workers: Dict[int, WorkerState] = field(default_factory=dict)
+    #: (ts, kips) per point_done, in ledger order — the KIPS trajectory
+    kips_trajectory: List[Tuple[float, float]] = field(default_factory=list)
+    point_walls: List[float] = field(default_factory=list)
+    error_points: List[str] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> int:
+        """Points with a terminal event so far."""
+        return self.done + self.cached + self.errors
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total_points - self.terminal)
+
+    @property
+    def complete(self) -> bool:
+        return self.finished is not None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cached / self.terminal if self.terminal else 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        if self.started is None:
+            return 0.0
+        end = self.finished if self.finished is not None else self.last_ts
+        return max(0.0, end - self.started)
+
+    @property
+    def mean_kips(self) -> float:
+        if not self.kips_trajectory:
+            return 0.0
+        vals = [k for _, k in self.kips_trajectory]
+        return sum(vals) / len(vals)
+
+    def eta_s(self) -> Optional[float]:
+        """Remaining wall estimate from the per-point wall trajectory.
+
+        Recent points dominate (simple mean over the last 8) so the
+        estimate tracks a drifting KIPS trajectory; divided by the
+        number of workers seen simulating, since points land in
+        parallel. ``None`` until the first point has finished.
+        """
+        if self.complete or not self.point_walls or not self.remaining:
+            return None
+        recent = self.point_walls[-8:]
+        per_point = sum(recent) / len(recent)
+        active = max(1, len([w for w in self.workers.values()
+                             if w.points_done or w.current]))
+        return per_point * self.remaining / active
+
+
+def summarize(events: List[Dict[str, Any]],
+              path: str = "") -> SweepStatus:
+    """Fold ledger events into a :class:`SweepStatus` (pure function)."""
+    st = SweepStatus(path=path)
+    for e in events:
+        ev = e.get("ev")
+        ts = float(e.get("ts", 0.0))
+        st.last_ts = max(st.last_ts, ts)
+        pid = int(e.get("pid", 0))
+        if ev == "sweep_start":
+            st.started = ts
+            st.total_points = int(e.get("total_points", 0))
+            st.manifest = e.get("manifest") or {}
+            st.params = {k: v for k, v in e.items()
+                         if k not in ("ev", "ts", "pid", "total_points",
+                                      "manifest")}
+            continue
+        if ev == "sweep_done":
+            st.finished = ts
+            continue
+        if ev not in EVENT_TYPES or ev is None:
+            continue
+        w = st.workers.setdefault(pid, WorkerState(pid=pid))
+        w.last_event, w.last_ts = ev, ts
+        if ev == "point_start":
+            w.current = point_label(e)
+        elif ev == "point_done":
+            st.done += 1
+            w.points_done += 1
+            w.current = ""
+            if "wall_s" in e:
+                st.point_walls.append(float(e["wall_s"]))
+            if "kips" in e:
+                st.kips_trajectory.append((ts, float(e["kips"])))
+        elif ev == "point_cached":
+            st.cached += 1
+        elif ev == "point_error":
+            st.errors += 1
+            w.current = ""
+            st.error_points.append(point_label(e))
+        elif ev == "warmup_shared":
+            st.warmups += 1
+            w.current = f"warmup {e.get('workload', '?')}"
+    if st.total_points == 0:
+        st.total_points = st.terminal
+    return st
+
+
+def load_status(path: str) -> SweepStatus:
+    """Read + summarize in one call (the ``repro top`` refresh path)."""
+    return summarize(read_ledger(path), path=path)
+
+
+def check_complete(events: List[Dict[str, Any]]) -> List[str]:
+    """Audit a finished ledger: every announced point must have exactly
+    one terminal event. Returns human-readable problem lines (empty
+    means the terminal guarantee held)."""
+    problems: List[str] = []
+    terminal: Dict[str, int] = {}
+    for e in events:
+        if e.get("ev") in TERMINAL_EVENTS:
+            label = point_label(e)
+            terminal[label] = terminal.get(label, 0) + 1
+    st = summarize(events)
+    for label, n in sorted(terminal.items()):
+        if n != 1:
+            problems.append(f"{label}: {n} terminal events (expected 1)")
+    if st.total_points and len(terminal) != st.total_points:
+        problems.append(f"{len(terminal)} distinct points have terminal "
+                        f"events, sweep announced {st.total_points}")
+    if not st.complete and not problems:
+        problems.append("no sweep_done event (sweep crashed or still "
+                        "running)")
+    return problems

@@ -1,0 +1,121 @@
+"""Provenance manifests: who/what/where produced an artifact.
+
+Simulator claims are only as trustworthy as the recorded provenance
+behind them — a cached sweep point or a stats file with no record of
+the code revision, parameters and host that produced it cannot be
+audited or reproduced. Every stats/cache/ledger artifact therefore
+carries a manifest:
+
+- ``git_sha`` / ``git_dirty``: the repository revision (and whether the
+  working tree had uncommitted changes — a dirty run is reproducible
+  only by accident).
+- ``params_digest``: :meth:`RunKey.digest` of the machine configuration,
+  so a manifest pins the *full* parameter set, not just its display
+  name.
+- ``seed``, run sizes, and the package/interpreter versions, hostname
+  and timestamp.
+
+:func:`host_manifest` (expensive parts cached per process) describes
+the environment once per sweep; :func:`point_manifest` derives the
+small per-point record embedded in ledger events and stats files.
+"""
+
+import os
+import platform
+import socket
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["MANIFEST_SCHEMA", "git_state", "host_manifest", "point_manifest"]
+
+MANIFEST_SCHEMA = "repro-manifest-v1"
+
+_git_state: Optional[Dict[str, Any]] = None
+
+
+def git_state(cwd: Optional[str] = None) -> Dict[str, Any]:
+    """``{"sha": ..., "dirty": ...}``; cached after the first probe.
+
+    The default probe anchors at this package's source directory — not
+    the process cwd — so provenance names the revision of the *code*
+    even when the CLI runs from an unrelated directory. Outside a git
+    checkout (installed package, exported tarball) both fields degrade
+    to ``None`` rather than failing — provenance is best-effort
+    context, never a run blocker.
+    """
+    global _git_state
+    if _git_state is not None and cwd is None:
+        return _git_state
+    probe_cwd = cwd if cwd is not None else os.path.dirname(
+        os.path.abspath(__file__))
+    state: Dict[str, Any] = {"sha": None, "dirty": None}
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=probe_cwd,
+            capture_output=True, text=True, timeout=5)
+        if sha.returncode == 0:
+            state["sha"] = sha.stdout.strip()
+            status = subprocess.run(
+                ["git", "status", "--porcelain"], cwd=probe_cwd,
+                capture_output=True, text=True, timeout=5)
+            if status.returncode == 0:
+                state["dirty"] = bool(status.stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        pass
+    if cwd is None:
+        _git_state = state
+    return state
+
+
+def host_manifest(extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The full environment record, stamped once per sweep/artifact."""
+    from repro import __version__
+
+    git = git_state()
+    out: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": git["sha"],
+        "git_dirty": git["dirty"],
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "hostname": socket.gethostname(),
+        "pid": os.getpid(),
+        "argv": list(sys.argv),
+    }
+    if extra:
+        out.update(extra)
+    return out
+
+
+def point_manifest(workload: str, machine, policy: str,
+                   instructions: int, warmup: int,
+                   seed: Optional[int] = None,
+                   variant: str = "") -> Dict[str, Any]:
+    """The per-point provenance record: run key coordinates + revision.
+
+    ``machine`` may be a :class:`MachineParams` (digested via
+    :meth:`RunKey.digest`) or an already-computed digest string.
+    """
+    from repro.analysis.experiments import RunKey
+
+    if isinstance(machine, str):
+        machine_name, digest = machine, ""
+    else:
+        machine_name, digest = machine.name, RunKey.digest(machine)
+    git = git_state()
+    return {
+        "workload": workload,
+        "machine": machine_name,
+        "policy": policy,
+        "instructions": instructions,
+        "warmup": warmup,
+        "seed": seed,
+        "variant": variant,
+        "params_digest": digest,
+        "git_sha": git["sha"],
+        "git_dirty": git["dirty"],
+    }

@@ -9,15 +9,23 @@ Three facilities for future performance work:
   pipeline-stage methods with ``perf_counter`` timers, reporting which
   stage the host CPU actually spends its time in. Adds ~2x overhead, so
   it is never on by default.
-- **Heartbeat**: a periodic one-line progress report on stderr for long
-  runs (cycle, committed, live KIPS), throttled by wall time.
+- **Heartbeat**: a periodic one-line progress report for long runs
+  (cycle, committed, live KIPS), throttled by wall time. Routed through
+  the central logging layer (:mod:`repro.obs.log`) so ``--quiet``
+  silences it and ``--log-json`` structures it; when logging was never
+  configured (bare library use) it falls back to a plain stderr line,
+  and an explicitly passed ``stream`` always wins (tests, embedding).
 """
 
 import sys
 import time
 from typing import Any, Dict, Optional
 
+from repro.obs import log as obs_log
+
 __all__ = ["HostProfiler"]
+
+_log = obs_log.get_logger("profiler")
 
 #: pipeline stage methods wrapped by ``profile_stages``, as
 #: (core attribute holding the owning component, method name, report key)
@@ -39,7 +47,9 @@ class HostProfiler:
                  stream=None):
         self.stages_enabled = stages
         self.heartbeat_s = heartbeat_s
-        self.stream = stream if stream is not None else sys.stderr
+        #: None routes heartbeats through the logging layer; a stream
+        #: pins them to that stream regardless of log configuration.
+        self.stream = stream
         self.stage_seconds: Dict[str, float] = {}
         self.wall_seconds = 0.0
         self.instructions = 0
@@ -139,8 +149,18 @@ class HostProfiler:
         done = core.stats.committed - self._start_committed
         kips = done / elapsed / 1000.0 if elapsed else 0.0
         self.heartbeats += 1
-        print(f"[repro] cycle {core.cycle} committed {core.stats.committed} "
-              f"({kips:.1f} KIPS)", file=self.stream)
+        message = (f"cycle {core.cycle} committed {core.stats.committed} "
+                   f"({kips:.1f} KIPS)")
+        if self.stream is not None:
+            print(f"[repro] {message}", file=self.stream)
+        elif obs_log.is_configured():
+            _log.info("heartbeat", extra={"data": {
+                "cycle": core.cycle, "committed": core.stats.committed,
+                "kips": round(kips, 1)}})
+        else:
+            # Library use with no logging configured: keep the legacy
+            # plain stderr line rather than swallowing the progress.
+            print(f"[repro] {message}", file=sys.stderr)
 
     # ------------------------------------------------------------ report
 

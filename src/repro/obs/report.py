@@ -49,11 +49,36 @@ def _render_timeline(timeline: Dict[str, Any], max_rows: int = 20) -> str:
     headers = list(samples[0].keys())
     step = max(1, len(samples) // max_rows)
     shown = samples[::step]
+    # The stride alone drops the tail of the run whenever the length is
+    # not a multiple of step — always show the final sample: the end
+    # state of a run is exactly what a reader scans the timeline for.
+    if shown[-1] is not samples[-1]:
+        shown = shown + [samples[-1]]
+    elided = len(samples) - len(shown)
     rows = [[s.get(h, "") for h in headers] for s in shown]
     head = (f"timeline: {len(samples)} samples every "
             f"{timeline.get('interval', '?')} cycles"
-            + (f" (showing every {step}th)" if step > 1 else ""))
+            + (f" (showing every {step}th + last, {elided} rows elided)"
+               if step > 1 else ""))
     return head + "\n" + format_table(headers, rows, precision=3)
+
+
+def _render_manifest(mani: Dict[str, Any]) -> str:
+    sha = (mani.get("git_sha") or "?")
+    line = (f"provenance: git {sha[:12]}"
+            f"{'+dirty' if mani.get('git_dirty') else ''} "
+            f"repro {mani.get('repro_version', '?')} "
+            f"py{mani.get('python', '?')} on {mani.get('hostname', '?')} "
+            f"at {mani.get('timestamp', '?')}")
+    point = mani.get("point")
+    if point:
+        line += (f"\n  point: {point.get('workload')}/"
+                 f"{point.get('machine')}/{point.get('policy')} "
+                 f"n={point.get('instructions')} w={point.get('warmup')} "
+                 f"params={point.get('params_digest', '')}"
+                 + (f" variant={point['variant']}"
+                    if point.get("variant") else ""))
+    return line
 
 
 def render_report(obj: Dict[str, Any]) -> str:
@@ -91,6 +116,9 @@ def render_report(obj: Dict[str, Any]) -> str:
                           sorted(trace.get("counts", {}).items()))
         sections.append(f"trace: {trace.get('emitted', 0)} events "
                         f"({trace.get('dropped', 0)} dropped) {counts}")
+    manifest = obj.get("manifest")
+    if manifest:
+        sections.append(_render_manifest(manifest))
     if not sections:
         return "empty stats file"
     return "\n\n".join(sections)

@@ -168,10 +168,20 @@ class Telemetry:
 
     # ---------------------------------------------------------- reports
 
-    def stats_dict(self, result=None) -> Dict[str, Any]:
-        """The full ``--stats-out`` payload: registry tree + extras."""
+    def stats_dict(self, result=None, manifest=None) -> Dict[str, Any]:
+        """The full ``--stats-out`` payload: registry tree + extras.
+
+        Every stats artifact carries a provenance ``manifest`` (git
+        SHA/dirty flag, versions, hostname, timestamp — see
+        :mod:`repro.obs.manifest`); ``manifest`` adds the caller's
+        per-point record (run-key coordinates, params digest, seed)
+        under its ``point`` key.
+        """
+        from repro.obs.manifest import host_manifest
         result = result if result is not None else self.result
         out: Dict[str, Any] = {"schema": "repro-stats-v1"}
+        out["manifest"] = host_manifest(
+            extra={"point": manifest} if manifest else None)
         if result is not None:
             out["result"] = _result_dict(result)
         if self.registry is not None:
@@ -191,9 +201,10 @@ class Telemetry:
             out["host_profile"] = self.profiler.to_dict()
         return out
 
-    def write_stats(self, path: str, result=None) -> None:
+    def write_stats(self, path: str, result=None, manifest=None) -> None:
         with open(path, "w") as f:
-            json.dump(self.stats_dict(result), f, indent=1)
+            json.dump(self.stats_dict(result, manifest=manifest), f,
+                      indent=1)
 
     def write_trace(self, path: str, label: Optional[str] = None) -> None:
         if self.tracer is None:

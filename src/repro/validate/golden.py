@@ -85,25 +85,48 @@ def canonical_fingerprint(payload: Any) -> str:
 
 def measure_point(machine_name: str, policy: str,
                   instructions: int = GOLDEN_INSTRUCTIONS,
-                  warmup: int = GOLDEN_WARMUP) -> Dict[str, Any]:
+                  warmup: int = GOLDEN_WARMUP,
+                  ledger=None) -> Dict[str, Any]:
     """Measure one golden point and return its frozen entry.
 
     Always runs via warm-checkpoint + oracle'd fork (see module
     docstring), so the entry is the same whichever process measures it.
+    ``ledger`` (a path or :class:`~repro.obs.ledger.RunLedger`) records
+    the measurement's point events; the fingerprint is bit-identical
+    with or without it.
     """
+    import time
+
     from repro.checkpoint import warm_checkpoint
     from repro.sim import _delta_result, _snapshot
 
+    if isinstance(ledger, str):
+        from repro.obs.ledger import RunLedger
+        ledger = RunLedger(ledger)
     machine = GOLDEN_MACHINES[machine_name]
+    if ledger is not None:
+        ledger.point_start(workload=GOLDEN_WORKLOAD, machine=machine_name,
+                           policy=policy)
+    t0 = time.perf_counter()
     cp = warm_checkpoint(GOLDEN_WORKLOAD, machine, policy, warmup=warmup)
     core = cp.fork(oracle=True)
     start = _snapshot(core)
     core.run(instructions)
+    wall_s = time.perf_counter() - t0
     result = _delta_result(core, start, cp.workload)
     core.oracle.final_check(expect_drained=core.engine.exhausted)
     digest = core.oracle.digest()
     fingerprint = canonical_fingerprint(
         {"result": result.to_dict(), "commit_digest": digest})
+    if ledger is not None:
+        from repro.obs.manifest import point_manifest
+        kips = (result.instructions / wall_s / 1000.0) if wall_s else 0.0
+        ledger.point_done(
+            workload=GOLDEN_WORKLOAD, machine=machine_name, policy=policy,
+            wall_s=wall_s, kips=round(kips, 2), ipc=round(result.ipc, 4),
+            fingerprint=fingerprint,
+            manifest=point_manifest(GOLDEN_WORKLOAD, machine, policy,
+                                    instructions, warmup))
     return {
         "fingerprint": fingerprint,
         "commit_digest": digest,
@@ -115,20 +138,42 @@ def measure_point(machine_name: str, policy: str,
     }
 
 
-def _measure_task(task: Tuple[str, str, int, int]) -> Tuple[str, str,
-                                                            Dict[str, Any]]:
+def _measure_task(task: Tuple[str, str, int, int, Optional[str]],
+                  ) -> Tuple[str, str, Dict[str, Any]]:
     """Pool worker: one point per task for even load balance."""
-    machine_name, policy, instructions, warmup = task
+    machine_name, policy, instructions, warmup, ledger_path = task
     return machine_name, policy, measure_point(machine_name, policy,
-                                               instructions, warmup)
+                                               instructions, warmup,
+                                               ledger=ledger_path)
 
 
-def _measure_all(jobs: int, instructions: int,
-                 warmup: int) -> Dict[str, Dict[str, Dict[str, Any]]]:
-    """Measure the full grid; returns machine -> policy -> entry."""
+def _measure_all(jobs: int, instructions: int, warmup: int,
+                 ledger: Optional[str] = None,
+                 ) -> Dict[str, Dict[str, Dict[str, Any]]]:
+    """Measure the full grid; returns machine -> policy -> entry.
+
+    With ``ledger`` set, the grid measurement is wrapped in a
+    ``sweep_start``/``sweep_done`` envelope and each point appends its
+    events — so a conformance run is monitorable with ``repro top``
+    and auditable post mortem like any sweep.
+    """
+    import time
+
     from repro.analysis.experiments import _pool_context
 
-    tasks = [(m, p, instructions, warmup) for m, p in golden_points()]
+    run_ledger = None
+    if ledger:
+        from repro.obs.ledger import RunLedger
+        from repro.obs.manifest import host_manifest
+        run_ledger = RunLedger(ledger)
+        run_ledger.sweep_start(
+            total_points=len(golden_points()), workload=GOLDEN_WORKLOAD,
+            machines=list(GOLDEN_MACHINES), policies=list(GOLDEN_POLICIES),
+            jobs=jobs, instructions=instructions, warmup=warmup,
+            manifest=host_manifest())
+    t0 = time.perf_counter()
+    tasks = [(m, p, instructions, warmup, ledger)
+             for m, p in golden_points()]
     if jobs > 1:
         with _pool_context().Pool(min(jobs, len(tasks))) as pool:
             measured = pool.map(_measure_task, tasks)
@@ -137,6 +182,9 @@ def _measure_all(jobs: int, instructions: int,
     out: Dict[str, Dict[str, Dict[str, Any]]] = {}
     for machine_name, policy, entry in measured:
         out.setdefault(machine_name, {})[policy] = entry
+    if run_ledger is not None:
+        run_ledger.sweep_done(elapsed_s=time.perf_counter() - t0,
+                              points_run=len(tasks), points_cached=0)
     return out
 
 
@@ -146,12 +194,13 @@ def _machine_path(directory: str, machine_name: str) -> str:
 
 def regen_golden(directory: str = GOLDEN_DIR, jobs: int = 1,
                  instructions: int = GOLDEN_INSTRUCTIONS,
-                 warmup: int = GOLDEN_WARMUP) -> List[str]:
+                 warmup: int = GOLDEN_WARMUP,
+                 ledger: Optional[str] = None) -> List[str]:
     """(Re)freeze the fingerprints; returns the files written."""
     from repro.common.io import atomic_write_json
 
     os.makedirs(directory, exist_ok=True)
-    grid = _measure_all(jobs, instructions, warmup)
+    grid = _measure_all(jobs, instructions, warmup, ledger=ledger)
     written: List[str] = []
     for machine_name in GOLDEN_MACHINES:
         payload = {
@@ -169,7 +218,7 @@ def regen_golden(directory: str = GOLDEN_DIR, jobs: int = 1,
 
 
 def check_golden(directory: str = GOLDEN_DIR,
-                 jobs: int = 1) -> List[str]:
+                 jobs: int = 1, ledger: Optional[str] = None) -> List[str]:
     """Re-measure the grid and diff against the frozen files.
 
     Returns a list of human-readable mismatch lines — empty means fully
@@ -223,7 +272,7 @@ def check_golden(directory: str = GOLDEN_DIR,
     if not frozen:
         return problems
 
-    grid = _measure_all(jobs, instructions, warmup)
+    grid = _measure_all(jobs, instructions, warmup, ledger=ledger)
     for machine_name, points in frozen.items():
         for policy in GOLDEN_POLICIES:
             want = points[policy]

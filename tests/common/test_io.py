@@ -1,11 +1,12 @@
-"""Atomic JSON writes."""
+"""Atomic JSON writes and the append-only JSONL helpers."""
 
 import json
 import os
 
 import pytest
 
-from repro.common.io import atomic_write_json
+from repro.common.io import append_jsonl, atomic_write_json, iter_jsonl, \
+    read_jsonl
 
 
 class TestAtomicWriteJson:
@@ -32,3 +33,47 @@ class TestAtomicWriteJson:
             atomic_write_json(path, {"bad": object()})
         assert json.load(open(path)) == {"v": 1}
         assert os.listdir(str(tmp_path)) == ["out.json"]
+
+
+class TestJsonl:
+    def test_append_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_jsonl(path, {"ev": "a", "n": 1})
+        append_jsonl(path, {"ev": "b", "nested": {"k": [1, 2]}})
+        assert read_jsonl(path) == [{"ev": "a", "n": 1},
+                                    {"ev": "b", "nested": {"k": [1, 2]}}]
+
+    def test_one_record_per_line(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_jsonl(path, {"s": "two\nlines"})  # newline must be escaped
+        append_jsonl(path, {"n": 2})
+        with open(path) as f:
+            lines = f.read().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"s": "two\nlines"}
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_jsonl(path, {"n": 1})
+        with open(path, "a") as f:
+            f.write('{"n": 2, "tor')  # in-flight append, no newline yet
+        assert read_jsonl(path) == [{"n": 1}]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "w") as f:
+            f.write('{"n": 1}\nnot json\n{"n": 3}\n')
+        with pytest.raises(ValueError, match="corrupt JSONL"):
+            read_jsonl(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "w") as f:
+            f.write('{"n": 1}\n\n{"n": 2}\n')
+        assert [r["n"] for r in iter_jsonl(path)] == [1, 2]
+
+    def test_non_serialisable_falls_back_to_str(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_jsonl(path, {"obj": complex(1, 2)})
+        (rec,) = read_jsonl(path)
+        assert isinstance(rec["obj"], str)

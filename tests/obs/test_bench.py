@@ -1,0 +1,126 @@
+"""Bench history: append/stamp, ledger aggregation, regression gate."""
+
+import json
+
+from repro.obs import bench
+
+
+class TestHistory:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "BENCH.json")
+        assert bench.load_history(path) == []
+        assert bench.append_entry(path, {"kips": 10.0}, stamp=False) == 1
+        assert bench.append_entry(path, {"kips": 11.0}, stamp=False) == 2
+        history = bench.load_history(path)
+        assert [r["kips"] for r in history] == [10.0, 11.0]
+
+    def test_stamp_adds_header_fields(self, tmp_path):
+        path = str(tmp_path / "BENCH.json")
+        bench.append_entry(path, {"kips": 10.0})
+        (rec,) = bench.load_history(path)
+        assert rec["kips"] == 10.0
+        assert "timestamp" in rec and "python" in rec and "host" in rec
+        assert "git_sha" in rec
+
+    def test_caller_wins_on_stamp_conflict(self, tmp_path):
+        path = str(tmp_path / "BENCH.json")
+        bench.append_entry(path, {"python": "override"})
+        assert bench.load_history(path)[0]["python"] == "override"
+
+    def test_unreadable_history_is_empty(self, tmp_path):
+        path = str(tmp_path / "BENCH.json")
+        with open(path, "w") as f:
+            f.write("{ torn")
+        assert bench.load_history(path) == []
+        with open(path, "w") as f:
+            json.dump({"not": "a list"}, f)
+        assert bench.load_history(path) == []
+
+
+class TestLedgerKips:
+    def _events(self):
+        return [
+            {"ev": "sweep_start", "ts": 100.0, "pid": 1, "total_points": 2,
+             "manifest": {}},
+            {"ev": "point_done", "ts": 102.0, "pid": 2, "workload": "mcf",
+             "machine": "baseline", "policy": "OOO", "wall_s": 2.0,
+             "kips": 8.0},
+            {"ev": "point_cached", "ts": 102.5, "pid": 1, "workload": "lbm",
+             "machine": "baseline", "policy": "OOO", "manifest": {}},
+            {"ev": "point_done", "ts": 104.0, "pid": 3, "workload": "mcf",
+             "machine": "baseline", "policy": "RAR", "wall_s": 2.0,
+             "kips": 12.0},
+            {"ev": "sweep_done", "ts": 104.0, "pid": 1, "elapsed_s": 4.0},
+        ]
+
+    def test_aggregates(self):
+        agg = bench.ledger_kips(self._events())
+        assert agg["points"] == {"mcf/baseline/OOO": 8.0,
+                                 "mcf/baseline/RAR": 12.0}
+        assert agg["mean_kips"] == 10.0
+        assert agg["points_done"] == 2
+        assert agg["points_cached"] == 1
+        assert agg["point_wall_s"] == 4.0
+        assert agg["elapsed_s"] == 4.0
+        # serial cost 4.0s over 4.0s sweep wall: no overlap in this toy
+        assert agg["speedup"] == 1.0
+
+    def test_empty_ledger(self):
+        agg = bench.ledger_kips([])
+        assert agg["points"] == {} and agg["mean_kips"] == 0.0
+        assert "speedup" not in agg
+
+
+class TestRegressionGate:
+    def test_short_history_is_clean(self):
+        assert bench.check_regression([]) == []
+        assert bench.check_regression([{"kips": 1.0}]) == []
+
+    def test_regression_detected(self):
+        history = [{"kips": 10.0}, {"kips": 7.9}]  # -21% < the 20% floor
+        (problem,) = bench.check_regression(history)
+        assert "kips" in problem and "80%" in problem
+
+    def test_within_floor_passes(self):
+        assert bench.check_regression([{"kips": 10.0}, {"kips": 8.1}]) == []
+
+    def test_improvement_passes(self):
+        assert bench.check_regression([{"kips": 10.0}, {"kips": 20.0}]) == []
+
+    def test_nested_points_flattened(self):
+        history = [{"points": {"mcf/OOO": 10.0, "mcf/RAR": 10.0}},
+                   {"points": {"mcf/OOO": 5.0, "mcf/RAR": 9.9}}]
+        problems = bench.check_regression(history)
+        assert len(problems) == 1
+        assert "points.mcf/OOO" in problems[0]
+
+    def test_fields_limits_the_gate(self):
+        history = [{"kips": 10.0, "ipc": 1.0}, {"kips": 1.0, "ipc": 1.0}]
+        assert bench.check_regression(history, fields=["ipc"]) == []
+        assert bench.check_regression(history, fields=["kips"])
+
+    def test_header_and_wall_fields_ignored(self):
+        history = [{"timestamp": "a", "elapsed_s": 1.0, "serial_s": 1.0,
+                    "kips": 10.0},
+                   {"timestamp": "b", "elapsed_s": 99.0, "serial_s": 99.0,
+                    "kips": 10.0}]
+        assert bench.check_regression(history) == []
+
+    def test_custom_floor(self):
+        history = [{"kips": 10.0}, {"kips": 9.0}]
+        assert bench.check_regression(history, floor=0.95)
+        assert bench.check_regression(history, floor=0.5) == []
+
+
+class TestDiffEntries:
+    def test_renders_table(self):
+        history = [{"timestamp": "2026-08-07T00:00:00Z", "git_sha": "a" * 40,
+                    "kips": 10.0},
+                   {"timestamp": "2026-08-08T00:00:00Z", "git_sha": "b" * 40,
+                    "kips": 11.0}]
+        out = bench.diff_entries(history)
+        assert "kips" in out
+        assert "@aaaaaaaa" in out and "@bbbbbbbb" in out
+
+    def test_empty_history(self):
+        assert bench.diff_entries([]) == "no bench entries"

@@ -1,0 +1,167 @@
+"""Run ledger: typed events, summaries, the terminal-event audit."""
+
+import os
+
+import pytest
+
+from repro.obs.ledger import (
+    EVENT_TYPES,
+    TERMINAL_EVENTS,
+    RunLedger,
+    check_complete,
+    load_status,
+    point_label,
+    read_ledger,
+    summarize,
+)
+
+
+def _mani(**kw):
+    base = {"workload": "mcf", "machine": "baseline", "policy": "RAR",
+            "instructions": 500, "warmup": 200, "seed": None,
+            "variant": "", "params_digest": "deadbeef00",
+            "git_sha": "abc", "git_dirty": False}
+    base.update(kw)
+    return base
+
+
+def _sample_events(path):
+    """A complete 3-point sweep: 2 run, 1 cached, on one worker."""
+    led = RunLedger(path)
+    led.sweep_start(total_points=3, manifest={"git_sha": "abc",
+                                              "git_dirty": False,
+                                              "python": "3.11",
+                                              "hostname": "h"},
+                    machine="baseline", jobs=1)
+    led.point_cached(workload="mcf", machine="baseline", policy="OOO",
+                     manifest=_mani(policy="OOO"))
+    led.worker_heartbeat(workload="mcf", done=0)
+    led.warmup_shared(workload="mcf", machine="baseline", policy="OOO",
+                      warmup=200, wall_s=0.5)
+    for pol, kips in (("RAR", 10.0), ("TR", 20.0)):
+        led.point_start(workload="mcf", machine="baseline", policy=pol)
+        led.point_done(workload="mcf", machine="baseline", policy=pol,
+                       wall_s=2.0, kips=kips, ipc=0.5,
+                       manifest=_mani(policy=pol))
+    led.sweep_done(elapsed_s=5.0, points_run=2, points_cached=1)
+    return read_ledger(path)
+
+
+class TestRunLedger:
+    def test_round_trip_stamps_ts_and_pid(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        events = _sample_events(path)
+        assert [e["ev"] for e in events] == [
+            "sweep_start", "point_cached", "worker_heartbeat",
+            "warmup_shared", "point_start", "point_done", "point_start",
+            "point_done", "sweep_done"]
+        for e in events:
+            assert e["ev"] in EVENT_TYPES
+            assert e["ts"] > 0 and e["pid"] == os.getpid()
+
+    def test_unknown_event_rejected(self, tmp_path):
+        led = RunLedger(str(tmp_path / "l.jsonl"))
+        with pytest.raises(ValueError, match="unknown ledger event"):
+            led.emit("point_exploded")
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = str(tmp_path / "deep" / "nest" / "l.jsonl")
+        RunLedger(path).sweep_done(elapsed_s=0.0)
+        assert read_ledger(path)[0]["ev"] == "sweep_done"
+
+    def test_point_error_carries_traceback(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        RunLedger(path).point_error(
+            workload="mcf", machine="baseline", policy="RAR",
+            error="ValueError('boom')", traceback_text="Traceback ...")
+        (e,) = read_ledger(path)
+        assert e["error"] == "ValueError('boom')"
+        assert e["traceback"].startswith("Traceback")
+
+    def test_point_label(self):
+        assert point_label({"workload": "mcf", "machine": "core-1",
+                            "policy": "RAR"}) == "mcf/core-1/RAR"
+        assert point_label({}) == "?/?/?"
+
+
+class TestSummarize:
+    def test_counts_and_rates(self, tmp_path):
+        st = summarize(_sample_events(str(tmp_path / "l.jsonl")))
+        assert st.total_points == 3
+        assert (st.done, st.cached, st.errors) == (2, 1, 0)
+        assert st.terminal == 3 and st.remaining == 0
+        assert st.complete
+        assert st.cache_hit_rate == pytest.approx(1 / 3)
+        assert st.mean_kips == pytest.approx(15.0)
+        assert st.point_walls == [2.0, 2.0]
+        assert st.warmups == 1
+
+    def test_worker_state_tracks_current_point(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        led = RunLedger(path)
+        led.sweep_start(total_points=2, manifest={})
+        led.point_start(workload="mcf", machine="baseline", policy="RAR")
+        st = load_status(path)
+        (w,) = st.workers.values()
+        assert w.current == "mcf/baseline/RAR"
+        assert not st.complete and st.remaining == 2
+        led.point_done(workload="mcf", machine="baseline", policy="RAR",
+                       wall_s=1.0, kips=5.0, manifest={})
+        (w,) = load_status(path).workers.values()
+        assert w.current == "" and w.points_done == 1
+
+    def test_eta_uses_recent_walls_and_workers(self):
+        events = [{"ev": "sweep_start", "ts": 0.0, "pid": 1,
+                   "total_points": 10, "manifest": {}}]
+        for i in range(4):
+            events.append({"ev": "point_done", "ts": float(i + 1),
+                           "pid": 1 + i % 2, "workload": "mcf",
+                           "machine": "baseline", "policy": "RAR",
+                           "wall_s": 2.0, "kips": 8.0})
+        st = summarize(events)
+        # 6 points remain, mean wall 2.0s, 2 active workers -> 6s
+        assert st.eta_s() == pytest.approx(6.0)
+        events.append({"ev": "sweep_done", "ts": 9.0, "pid": 1,
+                       "elapsed_s": 9.0})
+        assert summarize(events).eta_s() is None  # complete: no ETA
+
+    def test_errors_collected(self):
+        events = [{"ev": "point_error", "ts": 1.0, "pid": 7,
+                   "workload": "mcf", "machine": "core-2", "policy": "PRE",
+                   "error": "boom", "traceback": "tb"}]
+        st = summarize(events)
+        assert st.errors == 1
+        assert st.error_points == ["mcf/core-2/PRE"]
+
+    def test_total_defaults_to_terminal_without_sweep_start(self):
+        events = [{"ev": "point_done", "ts": 1.0, "pid": 1,
+                   "workload": "w", "machine": "m", "policy": "p",
+                   "wall_s": 1.0}]
+        assert summarize(events).total_points == 1
+
+
+class TestCheckComplete:
+    def test_clean_ledger_passes(self, tmp_path):
+        assert check_complete(_sample_events(str(tmp_path / "l.jsonl"))) == []
+
+    def test_duplicate_terminal_event_flagged(self, tmp_path):
+        events = _sample_events(str(tmp_path / "l.jsonl"))
+        events.append(dict(events[5]))  # second point_done for mcf/RAR
+        problems = check_complete(events)
+        assert any("2 terminal events" in p for p in problems)
+
+    def test_missing_point_flagged(self, tmp_path):
+        events = [e for e in _sample_events(str(tmp_path / "l.jsonl"))
+                  if not (e["ev"] == "point_done"
+                          and e.get("policy") == "TR")]
+        problems = check_complete(events)
+        assert any("2 distinct points" in p for p in problems)
+
+    def test_unfinished_sweep_flagged(self, tmp_path):
+        events = [e for e in _sample_events(str(tmp_path / "l.jsonl"))
+                  if e["ev"] != "sweep_done"]
+        assert check_complete(events) == ["no sweep_done event (sweep "
+                                          "crashed or still running)"]
+
+    def test_terminal_event_names(self):
+        assert set(TERMINAL_EVENTS) <= set(EVENT_TYPES)

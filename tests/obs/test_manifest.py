@@ -1,0 +1,81 @@
+"""Provenance manifests: git probe, host and per-point records."""
+
+from repro.common.params import BASELINE
+from repro.obs import manifest
+from repro.obs.manifest import MANIFEST_SCHEMA, git_state, host_manifest, \
+    point_manifest
+
+
+class TestGitState:
+    def test_repo_probe(self):
+        state = git_state()
+        # This test runs from a git checkout; outside one both fields
+        # degrade to None (covered below), never raise.
+        if state["sha"] is not None:
+            assert len(state["sha"]) == 40
+            assert isinstance(state["dirty"], bool)
+
+    def test_cached_after_first_probe(self):
+        first = git_state()
+        assert git_state() is first
+
+    def test_non_repo_degrades_to_none(self, tmp_path):
+        state = git_state(cwd=str(tmp_path))
+        assert state == {"sha": None, "dirty": None}
+
+    def test_explicit_cwd_not_cached(self, tmp_path):
+        cached = git_state()
+        assert git_state(cwd=str(tmp_path)) is not cached
+        assert git_state() is cached
+
+
+class TestHostManifest:
+    def test_fields(self):
+        mani = host_manifest()
+        assert mani["schema"] == MANIFEST_SCHEMA
+        from repro import __version__
+        assert mani["repro_version"] == __version__
+        for key in ("timestamp", "git_sha", "git_dirty", "python",
+                    "platform", "hostname", "pid", "argv"):
+            assert key in mani
+        assert isinstance(mani["argv"], list)
+
+    def test_extra_fields_merge(self):
+        mani = host_manifest(extra={"point": {"workload": "mcf"}})
+        assert mani["point"] == {"workload": "mcf"}
+
+    def test_json_serialisable(self):
+        import json
+        json.dumps(host_manifest())
+
+
+class TestPointManifest:
+    def test_machine_params_digested(self):
+        from repro.analysis.experiments import RunKey
+        mani = point_manifest("mcf", BASELINE, "RAR", 1000, 500, seed=3,
+                              variant="sw:OOO")
+        assert mani["workload"] == "mcf"
+        assert mani["machine"] == BASELINE.name
+        assert mani["policy"] == "RAR"
+        assert mani["instructions"] == 1000 and mani["warmup"] == 500
+        assert mani["seed"] == 3 and mani["variant"] == "sw:OOO"
+        assert mani["params_digest"] == RunKey.digest(BASELINE)
+        assert "git_sha" in mani and "git_dirty" in mani
+
+    def test_machine_name_string_accepted(self):
+        mani = point_manifest("mcf", "baseline", "OOO", 100, 50)
+        assert mani["machine"] == "baseline"
+        assert mani["params_digest"] == ""
+
+    def test_distinct_machines_distinct_digests(self):
+        from repro.common.params import CORE4
+        a = point_manifest("mcf", BASELINE, "OOO", 100, 50)
+        b = point_manifest("mcf", CORE4, "OOO", 100, 50)
+        assert a["params_digest"] != b["params_digest"]
+
+
+class TestCacheIsolation:
+    def test_module_cache_is_resettable(self, monkeypatch):
+        monkeypatch.setattr(manifest, "_git_state", None)
+        state = git_state()
+        assert state is manifest._git_state

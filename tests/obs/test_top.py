@@ -1,0 +1,160 @@
+"""`repro top` rendering and the ledger post-mortem report."""
+
+import io
+
+from repro.obs.ledger import RunLedger, SweepStatus, load_status, \
+    read_ledger, summarize
+from repro.obs.top import render_ledger_report, render_status, run_top
+
+
+def _events(errors=False, finished=True):
+    events = [
+        {"ev": "sweep_start", "ts": 100.0, "pid": 1, "total_points": 4,
+         "jobs": 2, "machine": "baseline", "workloads": ["mcf"],
+         "manifest": {"git_sha": "abcdef0123456789", "git_dirty": True,
+                      "python": "3.11.7", "hostname": "ci"}},
+        {"ev": "worker_heartbeat", "ts": 101.0, "pid": 11, "done": 0},
+        {"ev": "point_cached", "ts": 101.5, "pid": 1, "workload": "mcf",
+         "machine": "baseline", "policy": "OOO", "manifest": {}},
+        {"ev": "point_start", "ts": 102.0, "pid": 11, "workload": "mcf",
+         "machine": "baseline", "policy": "RAR"},
+        {"ev": "point_done", "ts": 104.0, "pid": 11, "workload": "mcf",
+         "machine": "baseline", "policy": "RAR", "wall_s": 2.0,
+         "kips": 9.0, "manifest": {}},
+        {"ev": "point_start", "ts": 104.5, "pid": 12, "workload": "mcf",
+         "machine": "baseline", "policy": "TR"},
+    ]
+    if errors:
+        events.append({"ev": "point_error", "ts": 105.0, "pid": 12,
+                       "workload": "mcf", "machine": "baseline",
+                       "policy": "TR", "error": "ValueError('boom')",
+                       "traceback": "Traceback (most recent call "
+                                    "last):\n  boom"})
+    else:
+        events.append({"ev": "point_done", "ts": 106.0, "pid": 12,
+                       "workload": "mcf", "machine": "baseline",
+                       "policy": "TR", "wall_s": 1.5, "kips": 11.0,
+                       "manifest": {}})
+        events.append({"ev": "point_done", "ts": 107.0, "pid": 11,
+                       "workload": "mcf", "machine": "baseline",
+                       "policy": "PRE", "wall_s": 1.0, "kips": 10.0,
+                       "manifest": {}})
+    if finished:
+        events.append({"ev": "sweep_done", "ts": 108.0, "pid": 1,
+                       "elapsed_s": 8.0, "points_run": 3,
+                       "points_cached": 1})
+    return events
+
+
+class TestRenderStatus:
+    def test_complete_sweep_screen(self):
+        out = render_status(summarize(_events(), path="l.jsonl"), now=108.0)
+        assert "repro top — l.jsonl [done]" in out
+        assert "sweep: jobs=2 machine=baseline" in out
+        assert "provenance: git abcdef012345+dirty py3.11.7 host ci" in out
+        assert "4/4  done=3 cached=1 errors=0" in out
+        assert "[##############################]" in out
+        assert "cache-hit 25%" in out
+        assert "KIPS mean 10.0" in out
+        assert "ETA" not in out  # complete sweeps have no ETA
+
+    def test_running_sweep_has_eta_and_workers(self):
+        # Truncate mid-sweep: 2 of 4 points terminal, TR in flight.
+        st = summarize(_events(finished=False)[:6])
+        out = render_status(st, now=105.0)
+        assert "[running]" in out
+        assert "ETA" in out
+        assert "workers:" in out
+        assert "idle after point_done" in out  # pid 11 between points
+
+    def test_in_flight_point_shown_per_worker(self):
+        events = _events(finished=False)[:6]  # TR still running on pid 12
+        out = render_status(summarize(events), now=105.0)
+        assert "mcf/baseline/TR" in out
+        assert "2/4" in out
+
+    def test_stale_worker_flagged(self):
+        out = render_status(summarize(_events(finished=False)), now=300.0)
+        assert "(stale?)" in out
+
+    def test_error_lines(self):
+        out = render_status(summarize(_events(errors=True)), now=108.0)
+        assert "errors=1" in out
+        assert "ERROR mcf/baseline/TR" in out
+
+    def test_empty_status_waits(self):
+        out = render_status(SweepStatus(path="missing.jsonl"), now=0.0)
+        assert "[waiting]" in out
+        assert "0/0" in out
+
+
+class TestLedgerReport:
+    def test_clean_report_passes_audit(self):
+        out = render_ledger_report(_events(), path="l.jsonl")
+        assert "ledger audit: every point has exactly one terminal " \
+               "event" in out
+        assert "traceback for" not in out
+
+    def test_error_report_includes_traceback(self):
+        out = render_ledger_report(_events(errors=True))
+        assert "traceback for mcf/baseline/TR:" in out
+        assert "boom" in out
+
+    def test_unfinished_sweep_audit(self):
+        out = render_ledger_report(_events(finished=False))
+        assert "no sweep_done event" in out
+
+
+class TestRunTop:
+    def test_once_snapshot(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        led = RunLedger(path)
+        for e in _events():
+            led.emit(e.pop("ev"), **{k: v for k, v in e.items()
+                                     if k not in ("ts", "pid")})
+        buf = io.StringIO()
+        assert run_top(path, once=True, stream=buf) == 0
+        out = buf.getvalue()
+        assert "[done]" in out and "done=3 cached=1" in out
+        assert "\x1b[" not in out  # no ANSI control codes in --once mode
+
+    def test_once_exit_code_on_errors(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        led = RunLedger(path)
+        for e in _events(errors=True):
+            led.emit(e.pop("ev"), **{k: v for k, v in e.items()
+                                     if k not in ("ts", "pid")})
+        assert run_top(path, once=True, stream=io.StringIO()) == 1
+
+    def test_once_missing_file(self, tmp_path):
+        buf = io.StringIO()
+        assert run_top(str(tmp_path / "nope.jsonl"), once=True,
+                       stream=buf) == 0
+        assert "[waiting]" in buf.getvalue()
+
+    def test_live_loop_exits_on_complete(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        led = RunLedger(path)
+        for e in _events():
+            led.emit(e.pop("ev"), **{k: v for k, v in e.items()
+                                     if k not in ("ts", "pid")})
+        buf = io.StringIO()
+        assert run_top(path, refresh_s=0.0, stream=buf) == 0
+        assert "\x1b[H\x1b[J" in buf.getvalue()  # redraw control code
+
+    def test_live_loop_times_out(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        RunLedger(path).point_start(workload="w", machine="m", policy="p")
+        assert run_top(path, refresh_s=0.01, stream=io.StringIO(),
+                       max_wait_s=0.02) == 1
+
+    def test_round_trip_via_ledger_file(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        led = RunLedger(path)
+        led.sweep_start(total_points=1, manifest={})
+        led.point_done(workload="w", machine="m", policy="p", wall_s=1.0,
+                       kips=5.0, manifest={})
+        led.sweep_done(elapsed_s=1.0)
+        st = load_status(path)
+        assert st.complete and st.done == 1
+        assert render_ledger_report(read_ledger(path), path=path)

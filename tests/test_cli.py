@@ -233,3 +233,101 @@ class TestOracleFlag:
         assert main(["run", "x264", "OOO", "-n", "300", "-w", "100",
                      "--oracle", "--validate"]) == 0
         assert "IPC" in capsys.readouterr().out
+
+
+class TestLedgerFlag:
+    def test_parser_accepts_ledger_and_global_log_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["--log-json", "--quiet", "sweep", "mcf",
+                                  "--ledger", "l.jsonl"])
+        assert args.log_json and args.quiet and args.ledger == "l.jsonl"
+        args = parser.parse_args(["-v", "top", "l.jsonl", "--once"])
+        assert args.verbose and args.command == "top" and args.once
+
+    def test_sweep_writes_auditable_ledger(self, tmp_path, capsys):
+        from repro.obs.ledger import check_complete, read_ledger
+        path = str(tmp_path / "l.jsonl")
+        assert main(["sweep", "x264", "-p", "OOO", "RAR", "-n", "500",
+                     "-w", "200", "--ledger", path]) == 0
+        assert "run ledger" in capsys.readouterr().out
+        events = read_ledger(path)
+        assert check_complete(events) == []
+        assert events[0]["ev"] == "sweep_start"
+        assert events[0]["manifest"]["schema"] == "repro-manifest-v1"
+        assert events[-1]["ev"] == "sweep_done"
+        done = [e for e in events if e["ev"] == "point_done"]
+        assert len(done) == 2
+        for e in done:
+            assert e["manifest"]["params_digest"]
+            assert e["kips"] > 0 and e["wall_s"] > 0
+
+    def test_sweep_cache_hits_ledgered(self, tmp_path, capsys):
+        from repro.obs.ledger import read_ledger
+        cache = str(tmp_path / "cache.json")
+        path = str(tmp_path / "second.jsonl")
+        args = ["sweep", "x264", "-p", "OOO", "-n", "500", "-w", "200",
+                "--cache", cache]
+        assert main(args) == 0
+        assert main(args + ["--ledger", path]) == 0
+        capsys.readouterr()
+        events = read_ledger(path)
+        assert [e["ev"] for e in events if e["ev"].startswith("point")] \
+               == ["point_cached"]
+
+    def test_top_once_renders_finished_sweep(self, tmp_path, capsys):
+        path = str(tmp_path / "l.jsonl")
+        assert main(["sweep", "x264", "-p", "OOO", "-n", "500", "-w", "200",
+                     "--ledger", path]) == 0
+        capsys.readouterr()
+        assert main(["top", path, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "[done]" in out
+        assert "1/1" in out and "workers:" in out
+
+    def test_report_dispatches_ledger_files(self, tmp_path, capsys):
+        path = str(tmp_path / "l.jsonl")
+        assert main(["sweep", "x264", "-p", "OOO", "-n", "500", "-w", "200",
+                     "--ledger", path]) == 0
+        capsys.readouterr()
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "ledger audit: every point has exactly one terminal " \
+               "event" in out
+
+    def test_stats_artifacts_carry_manifest(self, tmp_path):
+        import json
+        stats_dir = str(tmp_path / "stats")
+        assert main(["sweep", "x264", "-p", "OOO", "-n", "500", "-w", "200",
+                     "--stats-dir", stats_dir]) == 0
+        stats = json.load(open(f"{stats_dir}/x264_baseline_OOO.json"))
+        mani = stats["manifest"]
+        assert mani["schema"] == "repro-manifest-v1"
+        assert mani["point"]["policy"] == "OOO"
+        assert mani["point"]["params_digest"]
+
+
+class TestLogFlags:
+    def test_log_json_structures_diagnostics(self, tmp_path, capsys):
+        import json
+        from repro.obs import log as obs_log
+        path = str(tmp_path / "l.jsonl")
+        try:
+            assert main(["--log-json", "sweep", "x264", "-p", "OOO",
+                         "-n", "500", "-w", "200", "--ledger", path]) == 0
+        finally:
+            obs_log.reset()
+        err = capsys.readouterr().err
+        lines = [json.loads(ln) for ln in err.splitlines() if ln]
+        assert any(rec["msg"] == "sweep start" for rec in lines)
+        assert any(rec["msg"] == "sweep done" for rec in lines)
+
+    def test_quiet_silences_diagnostics(self, capsys):
+        from repro.obs import log as obs_log
+        try:
+            assert main(["--quiet", "sweep", "x264", "-p", "OOO",
+                         "-n", "500", "-w", "200"]) == 0
+        finally:
+            obs_log.reset()
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "points in" in captured.out  # human output stays on stdout
