@@ -14,6 +14,8 @@ Subcommands:
                          execution path (facade/fork/mp), bit-diffed
     golden               golden conformance fingerprints for the
                          25-point baseline: --check or --regen
+    memval               validate every DRAM protocol preset's measured
+                         latency/bandwidth against its analytic spec
 
 Global flags (before the subcommand) configure the logging layer
 (docs/observability.md): ``--log-json`` emits diagnostics as JSON
@@ -44,6 +46,7 @@ from repro.common.params import (
     BASELINE, CORE1, CORE2, CORE3, CORE4, MachineParams, PrefetcherParams,
 )
 from repro.core.runahead import ALL_POLICIES, EXTENSION_POLICIES, get_policy
+from repro.memory.dram import PRESET_NAMES, SCHEDULERS, dram_preset
 from repro.sim import simulate
 from repro.workloads.catalog import ALL_WORKLOADS, get_workload
 
@@ -57,7 +60,25 @@ MACHINES: Dict[str, MachineParams] = {
         PrefetcherParams(levels=("l3",)), name="baseline+l3pf"),
     "baseline+allpf": BASELINE.with_prefetcher(
         PrefetcherParams(levels=("l1", "l2", "l3")), name="baseline+allpf"),
+    # Protocol catalog: the baseline core in front of each DRAM preset
+    # (docs/memory.md), plus FR-FCFS scheduling on the default protocol.
+    "baseline-ddr4": BASELINE.with_dram(
+        dram_preset("ddr4-3200"), name="baseline-ddr4"),
+    "baseline-lpddr4": BASELINE.with_dram(
+        dram_preset("lpddr4-3200"), name="baseline-lpddr4"),
+    "baseline-hbm2": BASELINE.with_dram(
+        dram_preset("hbm2"), name="baseline-hbm2"),
+    "baseline-frfcfs": BASELINE.with_dram(
+        dram_preset("ddr3-1600", scheduler="frfcfs"),
+        name="baseline-frfcfs"),
 }
+# Prefetcher x protocol points for the runahead-vs-bandwidth study
+# (benchmarks/test_fig11_memsys.py).
+for _proto in ("ddr4", "hbm2"):
+    MACHINES[f"baseline-{_proto}+l3pf"] = \
+        MACHINES[f"baseline-{_proto}"].with_prefetcher(
+            PrefetcherParams(levels=("l3",)),
+            name=f"baseline-{_proto}+l3pf")
 
 
 def _add_size_args(p: argparse.ArgumentParser) -> None:
@@ -80,7 +101,8 @@ def cmd_list(_args: argparse.Namespace) -> int:
         print(f"  {p.name:<10} kind={p.kind} (extension)")
     print("\nmachines:")
     for name, m in MACHINES.items():
-        print(f"  {name:<16} ROB={m.core.rob_size} IQ={m.core.iq_size} "
+        print(f"  {name:<20} ROB={m.core.rob_size} IQ={m.core.iq_size} "
+              f"dram={m.dram.protocol}/{m.dram.scheduler} "
               f"prefetcher={'yes' if m.prefetcher else 'no'}")
     return 0
 
@@ -335,6 +357,27 @@ def cmd_golden(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_memval(args: argparse.Namespace) -> int:
+    from repro.workloads.microbench import memval_table, validate_all
+
+    unknown = [n for n in args.presets if n not in PRESET_NAMES]
+    if unknown:
+        print(f"unknown preset(s) {unknown}; expected one of {PRESET_NAMES}")
+        return 2
+    results = validate_all(scheduler=args.scheduler,
+                           presets=args.presets or None)
+    print(memval_table(results))
+    problems = [(r.preset, p) for r in results for p in r.problems]
+    if problems:
+        print(f"\nmemval FAILED ({len(problems)} problem(s)):")
+        for preset, p in problems:
+            print(f"  {preset}: {p}")
+        return 1
+    print(f"\nmemval OK: {len(results)} preset(s) match their analytic "
+          f"latency and bandwidth curves")
+    return 0
+
+
 def cmd_scaling(args: argparse.Namespace) -> int:
     rows: List[List] = []
     for machine in (CORE1, CORE2, CORE3, CORE4):
@@ -501,6 +544,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "run ledger (observational; fingerprints are "
                         "bit-identical with or without)")
 
+    p = sub.add_parser(
+        "memval",
+        help="validate DRAM presets against their analytic curves "
+             "(pointer-chase latency, streaming bandwidth)")
+    p.add_argument("presets", nargs="*", metavar="PRESET",
+                   help=f"preset names (default: all of {PRESET_NAMES})")
+    p.add_argument("-s", "--scheduler", default="fcfs",
+                   choices=SCHEDULERS,
+                   help="request scheduler to validate under "
+                        "(default fcfs)")
+
     p = sub.add_parser("scaling", help="Core-1..4 sweep")
     p.add_argument("workload")
     p.add_argument("policy", nargs="?", default="RAR")
@@ -544,6 +598,7 @@ def main(argv=None) -> int:
         "sweep": cmd_sweep,
         "diff": cmd_diff,
         "golden": cmd_golden,
+        "memval": cmd_memval,
         "scaling": cmd_scaling,
         "trace": cmd_trace,
         "characterize": cmd_characterize,

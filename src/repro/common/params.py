@@ -120,11 +120,18 @@ class CacheParams:
 
 @dataclass(frozen=True)
 class DramParams:
-    """DDR3-style memory timing, expressed in *core* cycles.
+    """Protocol-parameterised memory timing, expressed in *core* cycles.
 
     Defaults approximate DDR3-1600 behind a 2.66 GHz core: the paper's
     tRP-tCL-tRCD of 11-11-11 memory cycles at 800 MHz maps to ~36 core
-    cycles each (2.66 GHz / 800 MHz ≈ 3.3×).
+    cycles each (2.66 GHz / 800 MHz ≈ 3.3×). Other protocols (DDR4,
+    LPDDR4, HBM2) are generated from :class:`repro.memory.dram.DramProtocol`
+    presets, which convert device timings at the device clock into these
+    core-cycle fields.
+
+    The defaults — one channel, refresh disabled, ``fcfs`` scheduling,
+    row-interleaved mapping — reproduce the original single-protocol model
+    bit for bit; the 25-point golden gate pins that contract.
     """
 
     ranks: int = 4
@@ -134,14 +141,39 @@ class DramParams:
     t_rcd: int = 36
     t_rp: int = 36
     t_cl: int = 36
-    #: Minimum gap between data bursts on the shared bus (bandwidth model).
+    #: Minimum gap between data bursts on the shared bus (bandwidth model);
+    #: doubles as tCCD, the back-to-back column-read spacing.
     bus_cycles_per_access: int = 4
     #: Fixed controller/interconnect overhead per access.
     controller_latency: int = 20
+    #: Protocol preset label (informational; the timing fields above are
+    #: already resolved to core cycles when a preset is instantiated).
+    protocol: str = "ddr3-1600"
+    #: Independent channels, each with its own banks and data bus.
+    channels: int = 1
+    #: Refresh: every ``t_refi`` core cycles each bank is blocked for
+    #: ``t_rfc`` cycles and its row buffer closes. ``t_refi=0`` disables
+    #: refresh entirely (the seed-compatible default).
+    t_rfc: int = 0
+    t_refi: int = 0
+    #: Request scheduling policy: "fcfs" (arrival order, the default) or
+    #: "frfcfs" (row-hit-first with an age-based starvation cap).
+    scheduler: str = "fcfs"
+    #: Address mapping policy: "row" (row-interleaved, the default) or
+    #: "xor" (bank/channel bits XOR-permuted with low row bits).
+    mapping: str = "row"
+    #: FR-FCFS only: a row hit may not bypass any queued request older
+    #: than this many cycles.
+    frfcfs_cap: int = 512
 
     @property
     def num_banks(self) -> int:
+        """Banks per channel (ranks × banks-per-rank)."""
         return self.ranks * self.banks_per_rank
+
+    @property
+    def total_banks(self) -> int:
+        return self.num_banks * self.channels
 
     @property
     def row_hit_latency(self) -> int:
@@ -150,6 +182,11 @@ class DramParams:
     @property
     def row_miss_latency(self) -> int:
         return self.controller_latency + self.t_rp + self.t_rcd + self.t_cl
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Aggregate data-bus ceiling in bytes per core cycle (64 B lines)."""
+        return self.channels * 64.0 / self.bus_cycles_per_access
 
 
 @dataclass(frozen=True)
@@ -167,6 +204,8 @@ class PrefetcherParams:
     #: Cache levels the prefetcher trains at and fills into:
     #: ("l3",) for the +L3 configuration, ("l1", "l2", "l3") for +ALL.
     levels: Tuple[str, ...] = ("l3",)
+    #: Maximum in-flight hardware prefetches (separate from demand MSHRs).
+    queue: int = 16
 
 
 @dataclass(frozen=True)
@@ -197,6 +236,11 @@ class MachineParams:
         self, prefetcher: PrefetcherParams, name: Optional[str] = None
     ) -> "MachineParams":
         return replace(self, prefetcher=prefetcher, name=name or self.name)
+
+    def with_dram(
+        self, dram: DramParams, name: Optional[str] = None
+    ) -> "MachineParams":
+        return replace(self, dram=dram, name=name or self.name)
 
 
 def _scaled_core(rob: int, iq: int, lq: int, sq: int, regs: int) -> CoreParams:

@@ -259,11 +259,27 @@ class OutOfOrderCore:
         for attr, name in (
             ("demand_accesses", "mem.l1d.demand_accesses"),
             ("demand_llc_misses", "mem.llc.demand_misses"),
+            ("writebacks_to_l2", "mem.l2.writebacks"),
+            ("writebacks_to_l3", "mem.l3.writebacks"),
             ("writebacks_to_dram", "mem.dram.writebacks"),
             ("rejected_mshr_full", "mem.mshr.rejected_full"),
             ("prefetches_issued", "mem.prefetcher.issued"),
         ):
             reg.scalar(name, getter=partial(getattr, mem, attr))
+        # DRAM controller counters route through ``mem`` at read time:
+        # checkpoint restore replaces ``mem.dram`` wholesale, and a getter
+        # bound to the old controller would silently read dead state.
+        for attr, name in (
+            ("accesses", "mem.dram.accesses"),
+            ("row_hits", "mem.dram.row_hits"),
+            ("row_conflicts", "mem.dram.row_conflicts"),
+            ("refresh_stall_cycles", "mem.dram.refresh_stall_cycles"),
+            ("demand_requests", "mem.dram.demand_requests"),
+            ("writeback_requests", "mem.dram.writeback_requests"),
+            ("prefetch_requests", "mem.dram.prefetch_requests"),
+        ):
+            reg.scalar(name,
+                       getter=lambda m=mem, a=attr: getattr(m.dram, a))
         ace = self.ace
         for s in ace.bits:
             reg.scalar(f"ace.{s}.bits",
@@ -294,6 +310,9 @@ class OutOfOrderCore:
         reg.formula("core.mlp.avg",
                     _ratio("core.mlp.sum", "core.mlp.busy_cycles"),
                     desc="mean outstanding misses over busy cycles")
+        reg.formula("mem.dram.row_hit_rate",
+                    _ratio("mem.dram.row_hits", "mem.dram.accesses"),
+                    desc="row-buffer hits per DRAM access")
 
         def _avf(v):
             denom = v["machine.total_bits"] * v["core.clock.cycles"]
@@ -307,6 +326,8 @@ class OutOfOrderCore:
                      "core.lq.occupancy", "core.sq.occupancy"):
             reg.distribution(name, bucket_size=8)
         reg.distribution("mem.llc.miss_latency", bucket_size=50)
+        reg.distribution("mem.dram.queue_occupancy", bucket_size=2)
+        reg.distribution("mem.dram.bank_occupancy", bucket_size=2)
 
     # ================================================================ run
 

@@ -1,0 +1,47 @@
+"""Protocol-parameterised DRAM controller subsystem.
+
+Split Ramulator-style into orthogonal pieces:
+
+- :mod:`~repro.memory.dram.protocol` — device timing specs at the device
+  clock and the named presets (``ddr3-1600`` … ``hbm2``);
+- :mod:`~repro.memory.dram.mapping` — address → (channel, bank, row)
+  decoding policies (row-interleaved, XOR-permuted);
+- :mod:`~repro.memory.dram.scheduler` — FCFS and FR-FCFS request
+  scheduling plus per-bank refresh windows;
+- :mod:`~repro.memory.dram.controller` — the front door tying them
+  together and exporting the ``mem.dram.*`` counters.
+
+``Dram`` remains the public name for the controller, so existing imports
+(``from repro.memory.dram import Dram``) and the golden-gated default
+behaviour are unchanged.
+"""
+
+from repro.memory.dram.controller import Dram, DramController
+from repro.memory.dram.mapping import MAPPING_POLICIES, AddressMapping
+from repro.memory.dram.protocol import (
+    DRAM_PRESETS,
+    PRESET_NAMES,
+    DramProtocol,
+    dram_preset,
+)
+from repro.memory.dram.scheduler import (
+    SCHEDULERS,
+    FcfsScheduler,
+    FrfcfsScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "AddressMapping",
+    "DRAM_PRESETS",
+    "Dram",
+    "DramController",
+    "DramProtocol",
+    "FcfsScheduler",
+    "FrfcfsScheduler",
+    "MAPPING_POLICIES",
+    "PRESET_NAMES",
+    "SCHEDULERS",
+    "dram_preset",
+    "make_scheduler",
+]

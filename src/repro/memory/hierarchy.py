@@ -18,15 +18,12 @@ timing is folded into the front-end depth.
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.params import MachineParams
+from repro.common.params import MachineParams, PrefetcherParams
 from repro.memory.cache import Cache
-from repro.memory.dram import Dram
+from repro.memory.dram import DramController
 from repro.memory.prefetcher import StridePrefetcher
 
 LINE_MASK = ~63
-
-#: Maximum in-flight hardware prefetches (separate from demand MSHRs).
-PREFETCH_QUEUE = 16
 
 
 class AccessResult:
@@ -56,7 +53,7 @@ class MemoryHierarchy:
         self.l1d = Cache(machine.l1d, "l1")
         self.l2 = Cache(machine.l2, "l2")
         self.l3 = Cache(machine.l3, "l3")
-        self.dram = Dram(machine.dram)
+        self.dram = DramController(machine.dram)
         self.mshr_limit = machine.l1d.mshrs or 1 << 30
         # Accumulated lookup latencies, precomputed off the hot path.
         self._lat_l1 = machine.l1d.latency
@@ -72,11 +69,15 @@ class MemoryHierarchy:
         self._prefetch_done: List[int] = []
         self.prefetcher: Optional[StridePrefetcher] = None
         self._pf_levels: Tuple[str, ...] = ()
+        self._pf_queue = PrefetcherParams.queue
         if machine.prefetcher is not None:
             self.prefetcher = StridePrefetcher(machine.prefetcher)
             self._pf_levels = machine.prefetcher.levels
+            self._pf_queue = machine.prefetcher.queue
         self.demand_accesses = 0
         self.demand_llc_misses = 0
+        self.writebacks_to_l2 = 0
+        self.writebacks_to_l3 = 0
         self.writebacks_to_dram = 0
         #: virtual page -> physical frame (lazy, deterministic in the seed)
         self._page_map: Dict[int, int] = {}
@@ -156,7 +157,8 @@ class MemoryHierarchy:
             if self.l3.lookup(line):
                 result = AccessResult(cycle + lat, "l3")
             else:
-                done = self.dram.access(self.translate(line), cycle + lat)
+                done = self.dram.access(self.translate(line), cycle + lat,
+                                        kind="demand")
                 result = AccessResult(done, "dram")
                 self.demand_llc_misses += 1
                 if self.observer is not None:
@@ -167,6 +169,7 @@ class MemoryHierarchy:
         victim = self.l1d.insert(line, dirty=is_write)
         if victim is not None and victim[1]:
             # Dirty L1 victim: write back into L2.
+            self.writebacks_to_l2 += 1
             self._fill(self.l2, victim[0], cycle, dirty=True)
         self._outstanding[line] = (result.done_cycle, result.level)
         self._mshr_done.append(result.done_cycle)
@@ -223,11 +226,13 @@ class MemoryHierarchy:
             return
         vline, _ = victim
         if cache is self.l2:
+            self.writebacks_to_l3 += 1
             self._fill(self.l3, vline, cycle, dirty=True)
         elif cache is self.l3:
-            # LLC victim writeback: occupies a DRAM bank/bus slot but is
-            # off the load critical path (fire-and-forget).
-            self.dram.access(self.translate(vline), cycle)
+            # LLC victim writeback: a queued DRAM request that occupies a
+            # bank/bus slot but is off the load critical path
+            # (fire-and-forget).
+            self.dram.access(self.translate(vline), cycle, kind="writeback")
             self.writebacks_to_dram += 1
 
     # ------------------------------------------------------------- preload
@@ -269,7 +274,7 @@ class MemoryHierarchy:
             if len(alive) != len(pend):
                 self._prefetch_done = alive
                 pend = alive
-        if len(pend) >= PREFETCH_QUEUE:
+        if len(pend) >= self._pf_queue:
             return
         entry = self._outstanding.get(line)
         if entry is not None and entry[0] > cycle:
@@ -285,13 +290,17 @@ class MemoryHierarchy:
             + self.machine.l3.latency
         )
         if self.l3.contains(line):
-            done = cycle + lat  # promote from L3 into the upper levels
+            # Promotion from L3 into the upper levels: a demand access
+            # merging with it is an L3 hit, not an LLC miss.
+            done, level = cycle + lat, "l3"
         else:
-            done = self.dram.access(self.translate(line), cycle + lat)
+            done = self.dram.access(self.translate(line), cycle + lat,
+                                    kind="prefetch")
+            level = "dram"
             self._fill(self.l3, line, cycle)
         if fill_l1:
             self._fill(self.l2, line, cycle)
             self.l1d.insert(line)
-        self._outstanding[line] = (done, "dram")
+        self._outstanding[line] = (done, level)
         self._prefetch_done.append(done)
         self.prefetches_issued += 1

@@ -21,7 +21,8 @@ __all__ = ["IntervalSampler", "TIMELINE_FIELDS"]
 
 TIMELINE_FIELDS = (
     "cycle", "committed", "ipc", "rob_occ", "iq_occ", "lq_occ", "sq_occ",
-    "outstanding_misses", "mode", "runahead_frac", "abc_rate",
+    "outstanding_misses", "dram_q", "dram_banks", "mode", "runahead_frac",
+    "abc_rate",
 )
 
 
@@ -67,12 +68,15 @@ class IntervalSampler:
         ipc = d_committed / span if span else 0.0
         abc_rate = d_abc / span if span else 0.0
         ra_frac = min(1.0, d_ra / span) if span else 0.0
+        dram = core.mem.dram
         occ = {
             "rob_occ": len(core.rob),
             "iq_occ": len(core.iq),
             "lq_occ": core.lsq.lq_used,
             "sq_occ": core.lsq.sq_used,
             "outstanding_misses": core._out_misses,
+            "dram_q": dram.queue_depth(cycle),
+            "dram_banks": dram.busy_banks(cycle),
             "mode": core.mode.name,
         }
         rows = self.rows

@@ -78,6 +78,8 @@ class Telemetry:
             (reg.get("core.iq.occupancy"), "iq_occ"),
             (reg.get("core.lq.occupancy"), "lq_occ"),
             (reg.get("core.sq.occupancy"), "sq_occ"),
+            (reg.get("mem.dram.queue_occupancy"), "dram_q"),
+            (reg.get("mem.dram.bank_occupancy"), "dram_banks"),
         )
         if self.sampler is not None:
             self.sampler.reset(core)

@@ -268,6 +268,25 @@ def _extra_set() -> List[WorkloadSpec]:
         hard_branch_frac=0.08, chain=0.3,
     ))
     w.append(_spec(
+        "pchase", True,
+        "microbenchmark: serialised pointer-chase latency ladder "
+        "(repro memval measures the raw controller; this exercises the "
+        "full hierarchy)",
+        patterns={"main": _chase()},
+        pattern_weights={"main": 1.0},
+        load_frac=0.35, store_frac=0.0, branch_frac=0.02,
+        chain=0.9, load_consume=1.0,
+    ))
+    w.append(_spec(
+        "streambw", True,
+        "microbenchmark: independent streams pushing the DRAM "
+        "bandwidth ceiling",
+        patterns={"main": _stream(streams=16)},
+        pattern_weights={"main": 1.0},
+        load_frac=0.45, store_frac=0.0, branch_frac=0.02,
+        chain=0.0, load_consume=0.0,
+    ))
+    w.append(_spec(
         "gromacs", False, "molecular dynamics: FP compute, high ILP",
         patterns={"main": PatternSpec(
             kind="mix",

@@ -1,0 +1,203 @@
+"""DRAM microbenchmarks: validate presets against their analytic curves.
+
+Parameterising a DRAM model is not the same as getting it right — DRAM
+re-evaluation work (Bostancı et al., "Cleaning up the Mess") validates
+simulator timing by *measuring* latency and bandwidth with dedicated
+microbenchmarks and comparing against the values the timing spec implies.
+This module does that for every protocol preset, driving the raw
+:class:`~repro.memory.dram.DramController` (no core, no caches):
+
+- **pointer-chase latency ladder**: dependent accesses, each issued when
+  the previous returns — row hits spaced on an open row measure
+  ``row_hit_latency``; a serialised chase over distinct rows of one bank
+  measures ``row_miss_latency``. Unloaded, both must land within ±1 core
+  cycle of the spec value.
+- **streaming bandwidth ceiling**: interleaved sequential streams with
+  staggered row-crossing points (so activates hide behind other streams'
+  bursts, as a real access pattern achieves) must sustain ≥ 95% of the
+  per-channel data-bus ceiling ``peak_bandwidth``.
+
+Refresh is masked (``t_refi=0``) during the two analytic comparisons —
+a refresh window colliding with a probe would push it off the closed-form
+value — and checked separately: with refresh on, a saturating stream must
+accumulate refresh stall cycles and must not exceed the refresh-off
+bandwidth.
+
+The catalog workloads ``pchase`` and ``streambw`` are the full-hierarchy
+versions of the same patterns. ``repro memval`` runs this validation from
+the command line; CI runs it for every preset.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.params import DramParams
+from repro.memory.dram import DramController
+from repro.memory.dram.protocol import DRAM_PRESETS, DramProtocol
+
+__all__ = [
+    "MemvalResult",
+    "measure_stream_bandwidth",
+    "measure_unloaded_latency",
+    "memval_table",
+    "validate_all",
+    "validate_preset",
+]
+
+#: Spacing between unloaded probes: far larger than any timing parameter,
+#: so each probe sees an idle controller.
+_PROBE_GAP = 1 << 20
+
+
+def measure_unloaded_latency(params: DramParams,
+                             probes: int = 32) -> Tuple[float, float]:
+    """(mean row-hit latency, mean row-miss latency), unloaded.
+
+    Hits: repeated dependent reads of one open row, spaced out. Misses:
+    a serialised pointer chase over distinct rows of one bank — each
+    access issues only when the previous one's data returns.
+    """
+    ctrl = DramController(params)
+    unmap = ctrl.mapping.unmap
+    addr = unmap(0, 0, 0)
+    ctrl.access(addr, 0)  # open the row
+    t = _PROBE_GAP
+    hit_total = 0
+    for _ in range(probes):
+        hit_total += ctrl.access(addr, t) - t
+        t += _PROBE_GAP
+    miss_total = 0
+    for i in range(probes):
+        done = ctrl.access(unmap(0, 0, i + 1), t)
+        miss_total += done - t
+        t = done
+    return hit_total / probes, miss_total / probes
+
+
+def measure_stream_bandwidth(params: DramParams, lines: int = 8192,
+                             streams: int = 8, stagger: int = 8,
+                             ) -> Tuple[float, DramController]:
+    """Sustained bandwidth (bytes/core-cycle) of interleaved streams.
+
+    Streams walk consecutive rows (striped across channels and banks by
+    the mapping); ``stagger`` offsets each stream's row-crossing points
+    so activates overlap other streams' bursts instead of lining up —
+    without it every stream would cross rows on the same beat and the
+    shared bus would drain once per row, capping FCFS ~6% below ceiling.
+    Returns the measured bandwidth and the controller (for counters).
+    """
+    ctrl = DramController(params)
+    row_size = params.row_size
+    makespan = 1
+    for k in range(lines):
+        s = k % streams
+        j = k // streams
+        addr = s * row_size + (j + stagger * s) * 64
+        done = ctrl.access(addr, 0)
+        if done > makespan:
+            makespan = done
+    return lines * 64.0 / (makespan + params.bus_cycles_per_access), ctrl
+
+
+@dataclass
+class MemvalResult:
+    """One preset's measured-vs-analytic comparison."""
+
+    preset: str
+    scheduler: str
+    spec_hit: int
+    spec_miss: int
+    peak_bw: float
+    measured_hit: float
+    measured_miss: float
+    measured_bw: float
+    #: Refresh-on numbers (None when the preset has no refresh).
+    refresh_bw: Optional[float] = None
+    refresh_stalls: int = 0
+    problems: List[str] = None  # set in validate_preset
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def validate_preset(proto: DramProtocol, scheduler: str = "fcfs",
+                    latency_tol: int = 1,
+                    bw_frac: float = 0.95) -> MemvalResult:
+    """Measure one preset and diff against its analytic spec values."""
+    masked = proto.params(scheduler=scheduler, refresh=False)
+    hit, miss = measure_unloaded_latency(masked)
+    bw, _ = measure_stream_bandwidth(masked)
+    problems: List[str] = []
+    if abs(hit - masked.row_hit_latency) > latency_tol:
+        problems.append(
+            f"unloaded row-hit latency {hit:.1f} deviates from spec "
+            f"{masked.row_hit_latency} by more than {latency_tol} cycle(s)")
+    if abs(miss - masked.row_miss_latency) > latency_tol:
+        problems.append(
+            f"unloaded row-miss latency {miss:.1f} deviates from spec "
+            f"{masked.row_miss_latency} by more than {latency_tol} cycle(s)")
+    if bw < bw_frac * masked.peak_bandwidth:
+        problems.append(
+            f"streaming bandwidth {bw:.2f} B/cyc below "
+            f"{bw_frac:.0%} of the {masked.peak_bandwidth:.1f} B/cyc ceiling")
+    result = MemvalResult(
+        preset=proto.name, scheduler=scheduler,
+        spec_hit=masked.row_hit_latency, spec_miss=masked.row_miss_latency,
+        peak_bw=masked.peak_bandwidth,
+        measured_hit=hit, measured_miss=miss, measured_bw=bw,
+        problems=problems)
+    if proto.t_refi:
+        live = proto.params(scheduler=scheduler)
+        bw_ref, ctrl = measure_stream_bandwidth(live)
+        result.refresh_bw = bw_ref
+        result.refresh_stalls = ctrl.refresh_stall_cycles
+        if ctrl.refresh_stall_cycles <= 0:
+            problems.append("refresh enabled but a saturating stream "
+                            "accumulated no refresh stall cycles")
+        if bw_ref > bw + 1e-9:
+            problems.append(
+                f"refresh-on bandwidth {bw_ref:.2f} exceeds refresh-off "
+                f"{bw:.2f}")
+    return result
+
+
+def validate_all(scheduler: str = "fcfs",
+                 presets: Optional[List[str]] = None) -> List[MemvalResult]:
+    """Validate presets (default: all) and the cross-preset bandwidth
+    ordering hbm2 > ddr4-3200 > ddr3-1600."""
+    names = list(presets) if presets else list(DRAM_PRESETS)
+    results = [validate_preset(DRAM_PRESETS[n], scheduler=scheduler)
+               for n in names]
+    by_name = {r.preset: r for r in results}
+    ordering = ("hbm2", "ddr4-3200", "ddr3-1600")
+    if all(n in by_name for n in ordering):
+        faster, slower = ordering[:-1], ordering[1:]
+        for hi, lo in zip(faster, slower):
+            if by_name[hi].measured_bw <= by_name[lo].measured_bw:
+                by_name[hi].problems.append(
+                    f"measured bandwidth ordering violated: {hi} "
+                    f"({by_name[hi].measured_bw:.2f}) <= {lo} "
+                    f"({by_name[lo].measured_bw:.2f})")
+    return results
+
+
+def memval_table(results: List[MemvalResult]) -> str:
+    """Human-readable comparison table (used by ``repro memval``)."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for r in results:
+        rows.append([
+            r.preset, r.scheduler,
+            f"{r.measured_hit:.1f}/{r.spec_hit}",
+            f"{r.measured_miss:.1f}/{r.spec_miss}",
+            f"{r.measured_bw:.2f}/{r.peak_bw:.1f}",
+            "-" if r.refresh_bw is None else f"{r.refresh_bw:.2f}",
+            r.refresh_stalls,
+            "ok" if r.ok else "FAIL",
+        ])
+    return format_table(
+        ["preset", "sched", "hit meas/spec", "miss meas/spec",
+         "bw meas/peak", "bw+refresh", "ref stalls", "status"],
+        rows)

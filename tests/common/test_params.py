@@ -147,5 +147,34 @@ class TestDramParams:
         d = DramParams(ranks=4, banks_per_rank=8)
         assert d.num_banks == 32
 
+    def test_protocol_defaults_preserve_seed_model(self):
+        """The new protocol knobs must default to the legacy behaviour:
+        one channel, no refresh, fcfs, row-interleaved mapping."""
+        d = DramParams()
+        assert d.protocol == "ddr3-1600"
+        assert d.channels == 1
+        assert d.t_refi == 0 and d.t_rfc == 0
+        assert d.scheduler == "fcfs"
+        assert d.mapping == "row"
+
+    def test_total_banks_spans_channels(self):
+        d = DramParams(channels=4, ranks=1, banks_per_rank=8)
+        assert d.num_banks == 8       # per channel
+        assert d.total_banks == 32    # across channels
+
+    def test_peak_bandwidth_scales_with_channels(self):
+        one = DramParams(channels=1, bus_cycles_per_access=4)
+        four = DramParams(channels=4, bus_cycles_per_access=4)
+        assert one.peak_bandwidth == 16.0
+        assert four.peak_bandwidth == 64.0
+
+    def test_with_dram_replaces_only_dram(self):
+        from repro.memory.dram import dram_preset
+        m = BASELINE.with_dram(dram_preset("hbm2"), name="hbm")
+        assert m.name == "hbm"
+        assert m.dram.protocol == "hbm2"
+        assert m.core == BASELINE.core
+        assert BASELINE.dram.protocol == "ddr3-1600"  # original untouched
+
     def test_machines_hashable(self):
         {BASELINE: 1, CORE1: 2}  # usable as cache keys

@@ -122,3 +122,40 @@ class TestPrefetcher:
 
     def test_no_prefetcher_attribute_without_config(self):
         assert hierarchy().prefetcher is None
+
+    def test_l3_promotion_recorded_as_l3_not_dram(self):
+        """A prefetch that promotes an L3-resident line must record the
+        fill as level "l3": a demand access merging with it is an L3
+        hit, not an LLC miss — and no DRAM request is made."""
+        m = hierarchy(self._machine(("l1", "l2", "l3")))
+        m.preload(0x5000_0000, 64 * 1024, "l3")
+        t = 0
+        seen = set()
+        for i in range(8):
+            r = m.access(0x5000_0000 + i * 64, t, pc=0x400)
+            seen.update(lvl for _, lvl in m._outstanding.values())
+            t = r.done_cycle + 1
+        assert m.prefetches_issued > 0
+        assert m.dram.prefetch_requests == 0
+        assert seen and "dram" not in seen
+
+    def test_prefetch_queue_size_comes_from_params(self):
+        deep = hierarchy(BASELINE.with_prefetcher(
+            PrefetcherParams(levels=("l3",)), name="pf"))
+        shallow = hierarchy(BASELINE.with_prefetcher(
+            PrefetcherParams(levels=("l3",), queue=1), name="pf1"))
+        assert deep._pf_queue == PrefetcherParams.queue == 16
+        assert shallow._pf_queue == 1
+
+    def test_shallow_queue_throttles_prefetches(self):
+        def issued(queue):
+            m = hierarchy(BASELINE.with_prefetcher(
+                PrefetcherParams(levels=("l3",), queue=queue), name="pf"))
+            # Many streams training at once: every stream wants a slot.
+            for i in range(6):
+                for s in range(8):
+                    m.access(0x5000_0000 + s * 0x10_0000 + i * 64,
+                             i, pc=0x400 + s * 4)
+            return m.prefetches_issued
+
+        assert issued(1) < issued(16)

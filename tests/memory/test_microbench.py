@@ -1,0 +1,67 @@
+"""Microbenchmark validation: every preset matches its analytic curves."""
+
+import pytest
+
+from repro.memory.dram import PRESET_NAMES, dram_preset
+from repro.workloads.microbench import (
+    measure_stream_bandwidth,
+    measure_unloaded_latency,
+    memval_table,
+    validate_all,
+    validate_preset,
+)
+from repro.memory.dram.protocol import DRAM_PRESETS
+
+
+class TestUnloadedLatency:
+    @pytest.mark.parametrize("name", PRESET_NAMES)
+    def test_within_one_cycle_of_spec(self, name):
+        p = dram_preset(name, refresh=False)
+        hit, miss = measure_unloaded_latency(p)
+        assert abs(hit - p.row_hit_latency) <= 1
+        assert abs(miss - p.row_miss_latency) <= 1
+
+
+class TestStreamBandwidth:
+    @pytest.mark.parametrize("name", PRESET_NAMES)
+    def test_reaches_95_percent_of_ceiling(self, name):
+        p = dram_preset(name, refresh=False)
+        bw, _ = measure_stream_bandwidth(p)
+        assert bw >= 0.95 * p.peak_bandwidth
+        assert bw <= p.peak_bandwidth + 1e-9  # never above the data bus
+
+    def test_measured_ordering(self):
+        bw = {}
+        for name in ("ddr3-1600", "ddr4-3200", "hbm2"):
+            bw[name], _ = measure_stream_bandwidth(
+                dram_preset(name, refresh=False))
+        assert bw["hbm2"] > bw["ddr4-3200"] > bw["ddr3-1600"]
+
+
+class TestValidate:
+    @pytest.mark.parametrize("scheduler", ["fcfs", "frfcfs"])
+    def test_all_presets_pass(self, scheduler):
+        results = validate_all(scheduler=scheduler)
+        assert len(results) == len(PRESET_NAMES)
+        for r in results:
+            assert r.ok, f"{r.preset}/{scheduler}: {r.problems}"
+
+    def test_refresh_numbers_populated(self):
+        r = validate_preset(DRAM_PRESETS["ddr4-3200"])
+        assert r.refresh_bw is not None
+        assert r.refresh_stalls > 0
+        assert r.refresh_bw <= r.measured_bw
+
+    def test_no_refresh_preset_skips_refresh_check(self):
+        r = validate_preset(DRAM_PRESETS["ddr3-1600"])
+        assert r.refresh_bw is None and r.refresh_stalls == 0
+
+    def test_subset_validation(self):
+        results = validate_all(presets=["hbm2"])
+        assert [r.preset for r in results] == ["hbm2"]
+
+    def test_table_renders_all_rows(self):
+        text = memval_table(validate_all())
+        for name in PRESET_NAMES:
+            assert name in text
+        assert "FAIL" not in text

@@ -47,3 +47,27 @@ class TestWritebackPropagation:
             r = m.access(0x5000_0000 + i * 64, t)  # reads only
             t = r.done_cycle + 1
         assert m.writebacks_to_dram == 0
+
+    def test_per_level_writeback_counters(self):
+        m = tiny_hierarchy()
+        t = 0
+        for i in range(600):
+            r = m.access(0x5000_0000 + i * 64, t, is_write=True)
+            t = r.done_cycle + 1
+        assert m.writebacks_to_l2 > 0
+        assert m.writebacks_to_l3 > 0
+        assert m.writebacks_to_dram > 0
+
+    def test_dram_traffic_split_by_kind(self):
+        """The controller attributes every request to demand, writeback
+        or prefetch — the sum must equal total accesses."""
+        m = tiny_hierarchy()
+        t = 0
+        for i in range(600):
+            r = m.access(0x5000_0000 + i * 64, t, is_write=True)
+            t = r.done_cycle + 1
+        d = m.dram
+        assert d.demand_requests > 0
+        assert d.writeback_requests == m.writebacks_to_dram
+        assert (d.demand_requests + d.writeback_requests
+                + d.prefetch_requests) == d.accesses

@@ -24,6 +24,16 @@ class TestParser:
         assert MACHINES["core-4"].core.rob_size == 352
         assert MACHINES["baseline+l3pf"].prefetcher is not None
 
+    def test_protocol_machines_registry(self):
+        assert MACHINES["baseline-ddr4"].dram.protocol == "ddr4-3200"
+        assert MACHINES["baseline-lpddr4"].dram.protocol == "lpddr4-3200"
+        assert MACHINES["baseline-hbm2"].dram.channels == 8
+        assert MACHINES["baseline-frfcfs"].dram.scheduler == "frfcfs"
+        m = MACHINES["baseline-hbm2+l3pf"]
+        assert m.dram.protocol == "hbm2" and m.prefetcher is not None
+        # Protocol variants must not perturb the core configuration.
+        assert MACHINES["baseline-ddr4"].core == MACHINES["baseline"].core
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -47,6 +57,30 @@ class TestCommands:
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["run", "wolfenstein", "-n", "100", "-w", "0"])
+
+
+class TestMemvalCommand:
+    def test_single_preset_passes(self, capsys):
+        assert main(["memval", "ddr3-1600"]) == 0
+        out = capsys.readouterr().out
+        assert "ddr3-1600" in out and "memval OK" in out
+
+    def test_scheduler_flag(self, capsys):
+        assert main(["memval", "ddr3-1600", "-s", "frfcfs"]) == 0
+        assert "frfcfs" in capsys.readouterr().out
+
+    def test_unknown_preset_rejected(self, capsys):
+        assert main(["memval", "ddr9-0"]) == 2
+        assert "unknown preset" in capsys.readouterr().out
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["memval", "-s", "lifo"])
+
+    def test_list_shows_protocol_column(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline-hbm2" in out and "dram=hbm2" in out
 
 
 class TestSweepCommand:

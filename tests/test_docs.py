@@ -17,7 +17,8 @@ class TestDocFilesExist:
                      "CONTRIBUTING.md", "docs/mechanisms.md",
                      "docs/workloads.md", "docs/metrics.md",
                      "docs/api.md", "docs/tutorial.md",
-                     "docs/architecture.md", "docs/observability.md"):
+                     "docs/architecture.md", "docs/observability.md",
+                     "docs/memory.md"):
             assert os.path.exists(os.path.join(ROOT, name)), name
 
     def test_design_confirms_paper_identity(self):
