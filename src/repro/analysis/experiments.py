@@ -8,8 +8,12 @@ Figures 7 and 8 plot reliability and performance of the *same* five runs.
 :meth:`ExperimentRunner.run_matrix` additionally knows how to *sweep*:
 points are grouped by workload, each group can share one warmed
 checkpoint across its policies (``share_warmup=True``), and groups fan
-out across a ``multiprocessing`` pool (``jobs=N``) with the disk cache
-as the merge point.
+out across the crash-tolerant farm scheduler
+(:mod:`repro.analysis.farm`, ``jobs=N``) with the disk cache as the
+merge point — flushed incrementally and idempotently as points land,
+so a crash mid-sweep preserves every completed point. Failing points
+are isolated and reported on the returned :class:`MatrixResult`
+instead of tearing the sweep down.
 """
 
 import json
@@ -17,7 +21,8 @@ import math
 import os
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, \
+    Union
 
 from repro.common.io import atomic_write_json
 from repro.common.params import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP, \
@@ -121,23 +126,55 @@ def _pool_context():
         return mp.get_context()
 
 
-def _run_group(task: Tuple) -> List[Dict[str, Any]]:
-    """Simulate one workload group (all its missing policies).
+#: Fault-injection hook: when this env var names a ``workload:policy``
+#: pair, that point raises instead of simulating. It fires *inside* the
+#: per-point isolation below, so tests and the CI farm smoke can force a
+#: deterministic ``point_error`` through either execution path.
+CHAOS_RAISE_ENV = "REPRO_FARM_RAISE"
 
-    Module-level so it pickles into pool workers. The task carries only
-    picklable inputs (spec, machine params, policy *names*, sizes, the
-    ledger *path*) — traces and checkpoints are rebuilt inside the
+
+def _chaos_maybe_raise(workload: str, policy: str) -> None:
+    if os.environ.get(CHAOS_RAISE_ENV) == f"{workload}:{policy}":
+        raise RuntimeError(
+            f"chaos: injected failure for {workload}:{policy} "
+            f"({CHAOS_RAISE_ENV})")
+
+
+def _point_error(spec, machine, name: str, variant: str,
+                 exc: BaseException, tb: str) -> Dict[str, Any]:
+    return {"workload": spec.name, "machine": machine.name, "policy": name,
+            "variant": variant, "error": repr(exc), "traceback": tb}
+
+
+def _iter_group_points(task: Tuple) -> Iterator[Dict[str, Any]]:
+    """Simulate one workload group, yielding one outcome per policy.
+
+    Module-level so it pickles into pool/farm workers. The task carries
+    only picklable inputs (spec, machine params, policy *names*, sizes,
+    the ledger *path*) — traces and checkpoints are rebuilt inside the
     worker because a lazily-materialised
     :class:`~repro.isa.trace.Trace` buffers a generator and cannot
-    cross a process boundary. Results return as
-    ``SimResult.to_dict()`` payloads for the same reason.
+    cross a process boundary.
+
+    Each yielded outcome is a plain dict: successful points carry the
+    ``SimResult.to_dict()`` payload under ``"payload"``; a raising point
+    is **isolated** — its outcome carries ``"error"``/``"traceback"``
+    instead and the remaining policies of the group still run, so one
+    bad point can no longer discard its siblings' completed work. The
+    one group-level failure mode left is the shared warmup itself
+    raising, which fails every point of the group (there is nothing to
+    measure from) — still isolated from *other* groups.
+
+    Shared warmups go through the process-local
+    :class:`~repro.checkpoint.CheckpointCache`, so a long-lived farm
+    worker warms each (workload, machine, policy, warmup) once across
+    every request it serves.
 
     With a ledger path, the worker appends its own life-cycle events
     (``worker_heartbeat`` / ``warmup_shared`` / ``point_start`` /
     ``point_done`` / ``point_error``) — every terminal event carries the
-    per-point provenance manifest. A failing point is recorded with its
-    traceback *before* the exception propagates and tears the sweep
-    down, so the ledger explains a dead pool post mortem.
+    per-point provenance manifest, so the ledger explains failures post
+    mortem.
     """
     (spec, machine, policy_names, instructions, warmup, share_warmup,
      warmup_policy, stats_dir, validate, oracle, ledger_path) = task
@@ -149,11 +186,25 @@ def _run_group(task: Tuple) -> List[Dict[str, Any]]:
                                 group_points=len(policy_names), done=0)
     checkpoint = None
     if share_warmup:
-        from repro.checkpoint import warm_checkpoint
-        checkpoint = warm_checkpoint(spec, machine, warmup_policy,
-                                     warmup=warmup, validate=validate,
-                                     ledger=ledger)
-    payloads: List[Dict[str, Any]] = []
+        from repro.checkpoint import process_checkpoint_cache
+        try:
+            checkpoint = process_checkpoint_cache().get_or_warm(
+                spec, machine, warmup_policy, warmup=warmup,
+                validate=validate, ledger=ledger)
+        except Exception as e:
+            import traceback
+            tb = traceback.format_exc()
+            _log.error("shared warmup failed", exc_info=True, extra={
+                "data": {"workload": spec.name}})
+            for name in policy_names:
+                variant = _variant(share_warmup, name, warmup_policy)
+                if ledger is not None:
+                    ledger.point_error(workload=spec.name,
+                                       machine=machine.name, policy=name,
+                                       variant=variant, error=repr(e),
+                                       traceback_text=tb)
+                yield _point_error(spec, machine, name, variant, e, tb)
+            return
     for done, name in enumerate(policy_names):
         variant = _variant(share_warmup, name, warmup_policy)
         manifest = None
@@ -170,6 +221,7 @@ def _run_group(task: Tuple) -> List[Dict[str, Any]]:
             telemetry = Telemetry(interval=1000, profile=True)
         t0 = time.perf_counter()
         try:
+            _chaos_maybe_raise(spec.name, name)
             if checkpoint is not None:
                 from repro.checkpoint import simulate_from
                 result = simulate_from(checkpoint, name,
@@ -182,16 +234,17 @@ def _run_group(task: Tuple) -> List[Dict[str, Any]]:
                                   warmup=warmup, telemetry=telemetry,
                                   validate=validate, oracle=oracle)
         except Exception as e:
+            import traceback
+            tb = traceback.format_exc()
             if ledger is not None:
-                import traceback
                 ledger.point_error(workload=spec.name,
                                    machine=machine.name, policy=name,
                                    variant=variant, error=repr(e),
-                                   traceback_text=traceback.format_exc(),
-                                   manifest=manifest)
+                                   traceback_text=tb, manifest=manifest)
             _log.error("point failed", exc_info=True, extra={"data": {
                 "workload": spec.name, "policy": name}})
-            raise
+            yield _point_error(spec, machine, name, variant, e, tb)
+            continue
         wall_s = time.perf_counter() - t0
         if telemetry is not None:
             path = os.path.join(
@@ -211,8 +264,45 @@ def _run_group(task: Tuple) -> List[Dict[str, Any]]:
         _log.debug("point done", extra={"data": {
             "workload": spec.name, "policy": name,
             "wall_s": round(wall_s, 3)}})
-        payloads.append(result.to_dict())
-    return payloads
+        yield {"workload": result.workload, "machine": result.machine,
+               "policy": result.policy, "variant": variant,
+               "payload": result.to_dict()}
+
+
+def _run_group(task: Tuple) -> List[Dict[str, Any]]:
+    """One workload group, fully materialised (the serial path)."""
+    return list(_iter_group_points(task))
+
+
+class MatrixResult(Dict[str, Dict[str, "SimResult"]]):
+    """``run_matrix``'s return value: policy name -> workload -> result.
+
+    A plain dict — existing callers index it unchanged — plus the
+    sweep's failure records. Failed points no longer raise through the
+    pool and discard their siblings' completed work; each is reported
+    here as a dict with the point coordinates
+    (``workload``/``machine``/``policy``/``variant``), the ``error``
+    and ``traceback``, and a ``quarantined`` flag for points the farm
+    scheduler gave up on after repeated worker deaths. Callers that
+    want the old fail-loudly behaviour chain
+    :meth:`raise_if_failed`.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.failures: List[Dict[str, Any]] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_if_failed(self) -> "MatrixResult":
+        if self.failures:
+            first = self.failures[0]
+            raise RuntimeError(
+                f"{len(self.failures)} sweep point(s) failed; first: "
+                f"{first['workload']}/{first['policy']}: {first['error']}")
+        return self
 
 
 class ExperimentRunner:
@@ -287,31 +377,50 @@ class ExperimentRunner:
         validate: bool = False,
         oracle: bool = False,
         ledger: Optional[Any] = None,
-    ) -> Dict[str, Dict[str, SimResult]]:
+        scheduler: Optional[Any] = None,
+    ) -> "MatrixResult":
         """Sweep the full matrix; returns policy name -> workload -> result.
 
         Points are grouped by workload. With ``share_warmup`` each group
         warms **once** under ``warmup_policy`` and forks the checkpoint
         for every measured policy — an explicit approximation (warmup
         behaviour is policy-dependent), cached under a ``sw:`` variant
-        key so it never collides with exact per-policy runs. With
-        ``jobs > 1`` whole groups fan out across a process pool; the
-        in-memory/disk cache is the merge point, written once,
-        atomically, after all groups land. ``validate`` runs every point
-        under the invariant sanitizer (:mod:`repro.validate`); sanitized
-        results are bit-identical to unsanitized ones, so they share the
-        same cache slots — but note cached points satisfied from the
-        cache were not re-checked. ``oracle`` likewise lockstep-checks
-        every point's retirement stream against the architectural oracle
+        key so it never collides with exact per-policy runs. ``validate``
+        runs every point under the invariant sanitizer
+        (:mod:`repro.validate`); sanitized results are bit-identical to
+        unsanitized ones, so they share the same cache slots — but note
+        cached points satisfied from the cache were not re-checked.
+        ``oracle`` likewise lockstep-checks every point's retirement
+        stream against the architectural oracle
         (:mod:`repro.validate.oracle`), also bit-identical.
+
+        With ``jobs > 1`` groups fan out across the crash-tolerant farm
+        scheduler (:class:`~repro.analysis.farm.FarmScheduler`): results
+        stream back per point (no barrier at group boundaries), work
+        held by a SIGKILLed worker is requeued with bounded retries, and
+        points that repeatedly kill their worker are quarantined. A
+        raising point is isolated by the group runner either way and
+        reported in the returned :class:`MatrixResult`'s ``failures``
+        instead of tearing the sweep down. ``scheduler`` accepts an
+        already-running :class:`~repro.analysis.farm.FarmScheduler`
+        (``repro serve`` passes its long-lived one so warm checkpoints
+        survive across requests); otherwise an ephemeral scheduler is
+        spun up for the call.
+
+        The in-memory/disk cache is the merge point. Disk flushes are
+        incremental — after every point in farm mode, after every group
+        serially — and idempotent (keyed, read-merge-write), so a crash
+        mid-sweep preserves every completed point and a requeued retry
+        merges over its own partial flush harmlessly.
 
         ``ledger`` (a path or :class:`~repro.obs.ledger.RunLedger`)
         records the sweep's life cycle as an append-only JSONL event
         stream — sweep envelope, per-point terminal events with
-        provenance manifests, worker heartbeats — tailable live with
-        ``repro top``. Purely observational: results are bit-identical
-        with the ledger on or off. Worker log records are routed back
-        through the parent's handlers via a multiprocessing queue, so
+        provenance manifests, worker heartbeats, requeue/quarantine
+        records — tailable live with ``repro top``. Purely
+        observational: results are bit-identical with the ledger on or
+        off. Worker log records are routed back through the parent's
+        handlers via a multiprocessing queue, so
         ``--log-json``/``--quiet`` apply to workers too.
         """
         specs = [get_workload(w) if isinstance(w, str) else w
@@ -339,7 +448,7 @@ class ExperimentRunner:
                 "points": len(specs) * len(pols), "machine": machine.name,
                 "jobs": jobs, "ledger": ledger.path}})
 
-        out: Dict[str, Dict[str, SimResult]] = {}
+        out = MatrixResult()
         digest = RunKey.digest(machine)
         tasks: List[Tuple] = []
         n_cached = 0
@@ -350,9 +459,14 @@ class ExperimentRunner:
                 key = self._point_key(spec.name, machine, pol.name,
                                       variant=variant, digest=digest)
                 cached = self._cache.get(key)
-                if cached is not None and not stats_dir:
+                if cached is not None:
                     out.setdefault(pol.name, {})[spec.name] = cached
                     n_cached += 1
+                    if stats_dir:
+                        # Render the artifact from the cached result
+                        # instead of silently re-simulating the point.
+                        self._write_cached_stats(stats_dir, cached,
+                                                 machine, variant)
                     if ledger is not None:
                         from repro.obs.manifest import point_manifest
                         ledger.point_cached(
@@ -375,37 +489,66 @@ class ExperimentRunner:
                                   points_run=0, points_cached=n_cached)
             return out
 
-        if jobs > 1 and len(tasks) > 1:
-            ctx = _pool_context()
-            queue = obs_log.worker_log_queue(ctx)
-            with obs_log.start_listener(queue), \
-                    ctx.Pool(min(jobs, len(tasks)),
-                             initializer=obs_log.install_worker_handler,
-                             initargs=(queue,)) as pool:
-                groups = pool.map(_run_group, tasks)
-        else:
-            groups = [_run_group(t) for t in tasks]
-
+        self._machines[machine.name] = machine
+        seen_keys: set = set()
         n_run = 0
-        for group in groups:
-            for payload in group:
-                result = SimResult.from_dict(payload)
-                key = self._point_key(
-                    result.workload, machine, result.policy,
-                    variant=_variant(share_warmup, result.policy, wp.name),
-                    digest=digest)
+
+        def _absorb(outcome: Dict[str, Any]) -> None:
+            """Merge one streamed point outcome (idempotent per key)."""
+            nonlocal n_run
+            if "payload" in outcome:
+                result = SimResult.from_dict(outcome["payload"])
+                key = self._point_key(result.workload, machine,
+                                      result.policy,
+                                      variant=outcome.get("variant", ""),
+                                      digest=digest)
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    n_run += 1
                 self._cache[key] = result
                 out.setdefault(result.policy, {})[result.workload] = result
-                n_run += 1
-        self._machines[machine.name] = machine
+            else:
+                out.failures.append({
+                    "workload": outcome["workload"],
+                    "machine": outcome["machine"],
+                    "policy": outcome["policy"],
+                    "variant": outcome.get("variant", ""),
+                    "error": outcome.get("error", ""),
+                    "traceback": outcome.get("traceback", ""),
+                    "quarantined": bool(outcome.get("quarantined")),
+                })
+
+        if scheduler is not None or (jobs > 1 and len(tasks) > 1):
+            from repro.analysis.farm import FarmScheduler
+
+            def _on_point(outcome: Dict[str, Any]) -> None:
+                _absorb(outcome)
+                if self.cache_path and "payload" in outcome:
+                    self._save_disk_cache()
+
+            if scheduler is not None:
+                scheduler.run(tasks, on_point=_on_point)
+            else:
+                with FarmScheduler(min(jobs, len(tasks)),
+                                   ledger=ledger) as farm:
+                    farm.run(tasks, on_point=_on_point)
+        else:
+            for task in tasks:
+                for outcome in _iter_group_points(task):
+                    _absorb(outcome)
+                if self.cache_path:
+                    self._save_disk_cache()
+
         if self.cache_path:
             self._save_disk_cache()
         if ledger is not None:
             elapsed = time.perf_counter() - t_start
             ledger.sweep_done(elapsed_s=elapsed, points_run=n_run,
-                              points_cached=n_cached)
+                              points_cached=n_cached,
+                              points_failed=len(out.failures))
             _log.info("sweep done", extra={"data": {
                 "run": n_run, "cached": n_cached,
+                "failed": len(out.failures),
                 "elapsed_s": round(elapsed, 3)}})
         return out
 
@@ -417,30 +560,69 @@ class ExperimentRunner:
                       self.warmup, digest or RunKey.digest(machine),
                       variant).as_str()
 
+    def _write_cached_stats(self, stats_dir: str, result: SimResult,
+                            machine: MachineParams, variant: str) -> None:
+        """Render a stats artifact for a cache-satisfied point.
+
+        A cached point was historically re-simulated whenever
+        ``stats_dir`` was set; now the artifact is rendered from the
+        cached :class:`SimResult`. It carries the result and provenance
+        manifests but no registry/timeline sections — those exist only
+        on a live core — and its point manifest is tagged
+        ``from_cache`` so a reader can tell the two apart.
+        """
+        from repro.obs import Telemetry
+        from repro.obs.manifest import point_manifest
+        manifest = point_manifest(result.workload, machine, result.policy,
+                                  self.instructions, self.warmup,
+                                  variant=variant)
+        manifest["from_cache"] = True
+        path = os.path.join(
+            stats_dir,
+            f"{result.workload}_{result.machine}_{result.policy}.json")
+        Telemetry().write_stats(path, result, manifest=manifest)
+
     # ---------------------------------------------------------- disk cache
 
-    def _load_disk_cache(self) -> None:
+    def _read_disk_payloads(self) -> Dict[str, Any]:
+        """The on-disk cache's raw ``key -> payload`` map (or empty)."""
         try:
             with open(self.cache_path) as f:
                 raw = json.load(f)
         except (OSError, ValueError):
-            return
+            return {}
         if not isinstance(raw, dict) or raw.get("schema") != _CACHE_SCHEMA:
-            return  # stale/legacy cache: recompute everything
-        for key, payload in raw.get("data", {}).items():
+            return {}  # stale/legacy cache: recompute everything
+        data = raw.get("data", {})
+        return data if isinstance(data, dict) else {}
+
+    def _load_disk_cache(self) -> None:
+        for key, payload in self._read_disk_payloads().items():
             try:
                 self._cache[key] = SimResult.from_dict(payload)
             except TypeError:
                 continue  # stale schema: ignore and recompute
 
     def _save_disk_cache(self) -> None:
+        """Merge this runner's results into the disk cache, atomically.
+
+        Read-merge-write: the current file's entries are re-read and
+        this runner's overlaid per key, so incremental flushes mid-sweep
+        and several runners sharing one cache path union their points
+        instead of clobbering whole files. Re-flushing after a retried
+        point rewrites the same key with the same payload — idempotent
+        by construction, which is what lets the farm requeue work
+        without double-merge hazards.
+        """
         from repro.obs.manifest import host_manifest
+        merged = self._read_disk_payloads()
+        merged.update({k: v.to_dict() for k, v in self._cache.items()})
         payload = {
             "schema": _CACHE_SCHEMA,
             # Provenance of the *last writer*: cached results are only
             # auditable if the cache records what produced them.
             "manifest": host_manifest(),
-            "data": {k: v.to_dict() for k, v in self._cache.items()},
+            "data": merged,
         }
         try:
             atomic_write_json(self.cache_path, payload)
@@ -452,12 +634,36 @@ class ExperimentRunner:
 _SHARED: Optional[ExperimentRunner] = None
 
 
-def shared_runner(instructions: int = DEFAULT_INSTRUCTIONS,
-                  warmup: int = DEFAULT_WARMUP,
+def shared_runner(instructions: Optional[int] = None,
+                  warmup: Optional[int] = None,
                   cache_path: Optional[str] = None) -> ExperimentRunner:
-    """Process-wide runner; the first caller fixes the run sizes."""
+    """Process-wide runner; the first caller fixes the run sizes.
+
+    Later callers may omit the sizes (``None`` adopts whatever the
+    shared runner already uses), but an explicit size that disagrees
+    with the shared runner's raises ``ValueError`` — historically the
+    mismatch was silently ignored, so a benchmark asking for 50k
+    instructions could quietly measure 30k-instruction points. Callers
+    that genuinely need different sizes construct their own
+    :class:`ExperimentRunner`.
+    """
     global _SHARED
     if _SHARED is None:
-        _SHARED = ExperimentRunner(instructions=instructions, warmup=warmup,
-                                   cache_path=cache_path)
+        _SHARED = ExperimentRunner(
+            instructions=(DEFAULT_INSTRUCTIONS if instructions is None
+                          else instructions),
+            warmup=DEFAULT_WARMUP if warmup is None else warmup,
+            cache_path=cache_path)
+        return _SHARED
+    mismatches = []
+    if instructions is not None and instructions != _SHARED.instructions:
+        mismatches.append(f"instructions={instructions} != "
+                          f"{_SHARED.instructions}")
+    if warmup is not None and warmup != _SHARED.warmup:
+        mismatches.append(f"warmup={warmup} != {_SHARED.warmup}")
+    if mismatches:
+        raise ValueError(
+            "shared_runner run sizes are fixed by the first caller; "
+            + ", ".join(mismatches)
+            + " — use a private ExperimentRunner for different sizes")
     return _SHARED

@@ -1,0 +1,746 @@
+"""The simulation farm: a crash-tolerant scheduler and sweep service.
+
+ROADMAP's "sim-as-a-service" platform needs an execution layer that a
+million-point matrix can trust: one failing point must not tear down a
+sweep, a SIGKILLed/OOMed worker must not lose completed work, and every
+completed point must survive an orchestrator crash. This module builds
+that layer in two pieces:
+
+:class:`FarmScheduler`
+    A worker pool built on ``multiprocessing.Process`` + duplex pipes
+    instead of ``Pool.map``. Workload groups are dispatched to workers
+    which stream results back **per point** (no barrier at group
+    boundaries — the ``imap_unordered`` streaming shape, plus liveness).
+    Worker death is detected as EOF on the worker's pipe; the dead
+    worker's *undelivered* points are requeued with a bounded retry
+    budget, and a point that repeatedly kills its worker is quarantined
+    (recorded in the run ledger as ``point_quarantined``, reported as a
+    failure) instead of wedging the sweep. Workers are persistent
+    across :meth:`FarmScheduler.run` calls, so each worker's
+    process-local :class:`~repro.checkpoint.CheckpointCache` shares
+    warm checkpoints across every request it serves.
+
+:class:`FarmServer`
+    A long-running front end (``repro serve``) over a spool directory:
+    ``repro submit`` drops request JSONs into ``<spool>/queue/``, the
+    server claims them into ``active/`` (crash-tolerant: orphaned
+    active requests are requeued on startup), executes them through one
+    persistent scheduler + the :class:`ExperimentRunner` RunKey cache
+    (cross-request dedupe), and writes responses into ``done/``.
+
+Delivery semantics are *at least once*: a worker killed in the instant
+between finishing a point and the scheduler draining its pipe re-runs
+that point, and the idempotent keyed cache merge absorbs the duplicate.
+Results are bit-identical to the serial path — each point runs the very
+same :func:`~repro.analysis.experiments._iter_group_points` code
+whichever process executes it, which is what keeps the golden
+fingerprints scheduling-independent.
+
+Fault injection for tests and the CI farm-smoke job (all opt-in via
+environment variables, inert otherwise):
+
+- ``REPRO_FARM_CRASH_TOKEN=<file>``: the first worker about to run a
+  point while ``<file>`` exists unlinks it and SIGKILLs itself — one
+  injected crash per token file.
+- ``REPRO_FARM_POISON=<workload>:<policy>``: every worker about to run
+  that point SIGKILLs itself — a poison point that must end in
+  quarantine.
+- ``REPRO_FARM_RAISE=<workload>:<policy>`` (honoured inside the group
+  runner, so it also works serially): the point raises and is isolated
+  as a ``point_error``.
+"""
+
+import json
+import os
+import signal
+import time
+import traceback
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis import experiments as _exp
+from repro.common.io import atomic_write_json
+from repro.common.params import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
+from repro.obs import log as obs_log
+
+__all__ = [
+    "CRASH_TOKEN_ENV",
+    "POISON_ENV",
+    "DEFAULT_MAX_RETRIES",
+    "FarmReport",
+    "FarmScheduler",
+    "FarmServer",
+    "SweepRequest",
+    "new_request_id",
+    "response_path",
+    "submit_request",
+    "wait_for_response",
+]
+
+_log = obs_log.get_logger("farm")
+
+CRASH_TOKEN_ENV = "REPRO_FARM_CRASH_TOKEN"
+POISON_ENV = "REPRO_FARM_POISON"
+
+#: extra attempts a task gets after its worker died before the first
+#: undelivered point is declared poison and quarantined
+DEFAULT_MAX_RETRIES = 2
+
+
+# --------------------------------------------------------------- worker
+
+def _chaos_maybe_kill(workload: str, policy: str) -> None:
+    """Opt-in crash injection, checked before each point (see module
+    docstring). SIGKILL gives the scheduler a real dead worker — no
+    atexit handlers, no cleanup — exactly like the OOM killer would."""
+    token = os.environ.get(CRASH_TOKEN_ENV)
+    if token:
+        try:
+            os.unlink(token)
+        except OSError:
+            pass  # already consumed by a sibling worker
+        else:
+            os.kill(os.getpid(), signal.SIGKILL)
+    if os.environ.get(POISON_ENV) == f"{workload}:{policy}":
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclass
+class GroupTask:
+    """One dispatchable unit: a workload group (or requeued residue).
+
+    ``base`` is the picklable task tuple
+    :func:`~repro.analysis.experiments._iter_group_points` consumes;
+    ``policies`` is this task's (possibly residual) slice of the
+    group's policy list. ``attempts`` counts worker deaths while this
+    task was in flight — the retry budget.
+    """
+
+    task_id: int
+    base: Tuple
+    policies: Tuple[str, ...]
+    attempts: int = 0
+
+    @property
+    def workload(self) -> str:
+        return self.base[0].name
+
+    @property
+    def machine_name(self) -> str:
+        return self.base[1].name
+
+    def group_tuple(self) -> Tuple:
+        return self.base[:2] + (self.policies,) + self.base[3:]
+
+
+def _worker_main(conn, log_queue) -> None:
+    """Farm worker loop: recv a :class:`GroupTask`, stream outcomes.
+
+    Runs until the ``None`` sentinel (clean shutdown) or EOF (the
+    orchestrator vanished). Every message is sent over the duplex pipe
+    synchronously — no feeder thread — so anything ``send`` returned
+    for is readable by the parent even if this process is SIGKILLed a
+    microsecond later.
+    """
+    if log_queue is not None:
+        obs_log.install_worker_handler(log_queue)
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                break
+            try:
+                points = _exp._iter_group_points(task.group_tuple())
+                for policy in task.policies:
+                    _chaos_maybe_kill(task.workload, policy)
+                    conn.send(("point", task.task_id, next(points)))
+                conn.send(("group_done", task.task_id))
+            except Exception as e:  # scheduler-level fault, not a point's
+                conn.send(("group_error", task.task_id, repr(e),
+                           traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+# ------------------------------------------------------------ scheduler
+
+@dataclass
+class FarmReport:
+    """What one :meth:`FarmScheduler.run` call did."""
+
+    points: int = 0              # outcomes delivered (incl. errors)
+    errors: int = 0              # isolated point_error outcomes
+    worker_deaths: int = 0
+    requeued: int = 0            # point attempts put back on the queue
+    quarantined: List[str] = field(default_factory=list)
+    group_errors: int = 0
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "task")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.task: Optional[GroupTask] = None
+
+
+class FarmScheduler:
+    """Crash-tolerant worker pool for sweep group tasks.
+
+    Use as a context manager (or call :meth:`shutdown` explicitly).
+    Workers persist across :meth:`run` calls — ``repro serve`` keeps
+    one scheduler for its whole lifetime so worker-local checkpoint
+    caches accumulate across requests.
+
+    Args:
+        jobs: worker process count.
+        ledger: :class:`~repro.obs.ledger.RunLedger` (or path) for the
+            scheduler's own events (``worker_dead`` /
+            ``point_requeued`` / ``point_quarantined``); workers append
+            their per-point events through the ledger path embedded in
+            each task.
+        max_retries: worker deaths a task survives before its first
+            undelivered point is quarantined.
+        poll_s: liveness/result poll period.
+    """
+
+    def __init__(self, jobs: int, ledger: Optional[Any] = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 poll_s: float = 0.05):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.max_retries = max_retries
+        self.poll_s = poll_s
+        if isinstance(ledger, str):
+            from repro.obs.ledger import RunLedger
+            ledger = RunLedger(ledger)
+        self.ledger = ledger
+        self._ctx = _exp._pool_context()
+        self._workers: List[_Worker] = []
+        self._log_queue = None
+        self._listener = None
+        self._next_task_id = 0
+        self._started = False
+
+    # ------------------------------------------------------- lifecycle
+
+    def __enter__(self) -> "FarmScheduler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._log_queue = obs_log.worker_log_queue(self._ctx)
+        self._listener = obs_log.start_listener(self._log_queue)
+        self._started = True
+
+    def shutdown(self) -> None:
+        for w in self._workers:
+            try:
+                w.conn.send(None)
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+        for w in self._workers:
+            w.proc.join(timeout=2.0)
+            if w.proc.is_alive():
+                w.proc.terminate()
+                w.proc.join(timeout=1.0)
+            w.conn.close()
+        self._workers.clear()
+        if self._listener is not None:
+            self._listener.stop()
+            self._listener = None
+        self._started = False
+
+    def _spawn_worker(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(target=_worker_main,
+                                 args=(child_conn, self._log_queue),
+                                 daemon=True)
+        proc.start()
+        # Drop the parent's copy of the child end: EOF on parent_conn
+        # then means exactly "the worker process is gone".
+        child_conn.close()
+        w = _Worker(proc, parent_conn)
+        self._workers.append(w)
+        return w
+
+    def _cull_idle_dead(self) -> None:
+        """Idle workers killed from outside never signal EOF through the
+        busy-connection wait set; sweep them here."""
+        keep: List[_Worker] = []
+        for w in self._workers:
+            if w.task is None and not w.proc.is_alive():
+                w.proc.join(timeout=0.1)
+                w.conn.close()
+            else:
+                keep.append(w)
+        self._workers = keep
+
+    # ------------------------------------------------------------- run
+
+    def run(self, tasks: List[Tuple],
+            on_point: Optional[Callable[[Dict[str, Any]], None]] = None,
+            ) -> FarmReport:
+        """Execute group-task tuples, streaming outcomes to ``on_point``.
+
+        ``tasks`` are the picklable tuples ``run_matrix`` builds (the
+        :func:`~repro.analysis.experiments._iter_group_points` input).
+        ``on_point`` receives every outcome dict as it lands — payloads,
+        isolated errors, and synthesized quarantine records — in
+        completion order.
+        """
+        self.start()
+        report = FarmReport()
+        pending = deque(self._wrap(t) for t in tasks)
+        delivered: Dict[int, set] = {}
+
+        while pending or any(w.task is not None for w in self._workers):
+            self._cull_idle_dead()
+            needed = min(self.jobs, len(pending) + sum(
+                1 for w in self._workers if w.task is not None))
+            while len(self._workers) < needed:
+                self._spawn_worker()
+            for w in list(self._workers):
+                if w.task is None and pending:
+                    task = pending.popleft()
+                    w.task = task
+                    delivered.setdefault(task.task_id, set())
+                    try:
+                        w.conn.send(task)
+                    except (OSError, BrokenPipeError, ValueError):
+                        self._on_worker_death(w, pending, delivered,
+                                              report, on_point)
+            busy = {w.conn: w for w in self._workers
+                    if w.task is not None}
+            if not busy:
+                continue
+            for conn in mp_connection.wait(list(busy), timeout=self.poll_s):
+                w = busy[conn]
+                try:
+                    while True:
+                        self._on_message(w, w.conn.recv(), delivered,
+                                         report, on_point)
+                        if w.task is None or not w.conn.poll():
+                            break
+                except (EOFError, OSError):
+                    self._on_worker_death(w, pending, delivered,
+                                          report, on_point)
+        return report
+
+    def _wrap(self, base: Tuple) -> GroupTask:
+        self._next_task_id += 1
+        return GroupTask(task_id=self._next_task_id, base=base,
+                         policies=tuple(base[2]))
+
+    def _residual_task(self, task: GroupTask, policies: Tuple[str, ...],
+                       attempts: int) -> GroupTask:
+        self._next_task_id += 1
+        return GroupTask(task_id=self._next_task_id, base=task.base,
+                         policies=policies, attempts=attempts)
+
+    def _on_message(self, w: _Worker, msg: Tuple, delivered, report,
+                    on_point) -> None:
+        kind, task_id = msg[0], msg[1]
+        if kind == "point":
+            outcome = msg[2]
+            delivered.setdefault(task_id, set()).add(outcome["policy"])
+            report.points += 1
+            if "payload" not in outcome:
+                report.errors += 1
+            if on_point is not None:
+                on_point(outcome)
+        elif kind == "group_done":
+            w.task = None
+        elif kind == "group_error":
+            # The group runner itself raised (it isolates per-point
+            # failures, so this is a scheduler-layer fault). Determinist
+            # -ic — fail the undelivered points rather than retry.
+            report.group_errors += 1
+            task, error, tb = w.task, msg[2], msg[3]
+            w.task = None
+            if task is None:
+                return
+            for policy in task.policies:
+                if policy in delivered.get(task_id, set()):
+                    continue
+                report.points += 1
+                report.errors += 1
+                if on_point is not None:
+                    on_point(self._failure_outcome(task, policy, error, tb))
+
+    def _on_worker_death(self, w: _Worker, pending, delivered, report,
+                         on_point) -> None:
+        task = w.task
+        w.task = None
+        pid = w.proc.pid
+        w.proc.join(timeout=0.5)
+        w.conn.close()
+        self._workers.remove(w)
+        report.worker_deaths += 1
+        label = (f"{task.workload}/{task.machine_name}"
+                 if task is not None else "idle")
+        _log.warning("worker died", extra={"data": {
+            "pid": pid, "task": label}})
+        if self.ledger is not None:
+            self.ledger.worker_dead(
+                dead_pid=pid,
+                workload=task.workload if task is not None else None,
+                attempt=task.attempts if task is not None else None)
+        if task is None:
+            return
+        residual = tuple(p for p in task.policies
+                         if p not in delivered.get(task.task_id, set()))
+        if not residual:
+            return  # every point delivered; only the group_done was lost
+        attempts = task.attempts + 1
+        if attempts > self.max_retries:
+            poison, rest = residual[0], residual[1:]
+            self._quarantine(task, poison, attempts, report, on_point)
+            residual, attempts = rest, 0  # poison removed: fresh budget
+        if residual:
+            requeued = self._residual_task(task, residual, attempts)
+            pending.appendleft(requeued)
+            report.requeued += len(residual)
+            if self.ledger is not None:
+                for policy in residual:
+                    self.ledger.point_requeued(
+                        workload=task.workload,
+                        machine=task.machine_name, policy=policy,
+                        attempt=attempts)
+
+    def _quarantine(self, task: GroupTask, policy: str, attempts: int,
+                    report, on_point) -> None:
+        error = (f"quarantined: point killed its worker "
+                 f"{attempts} time(s) (max_retries={self.max_retries})")
+        label = f"{task.workload}/{task.machine_name}/{policy}"
+        report.quarantined.append(label)
+        _log.error("point quarantined", extra={"data": {
+            "point": label, "attempts": attempts}})
+        if self.ledger is not None:
+            self.ledger.point_quarantined(
+                workload=task.workload, machine=task.machine_name,
+                policy=policy, variant=self._task_variant(task, policy),
+                error=error, attempts=attempts)
+        report.points += 1
+        report.errors += 1
+        if on_point is not None:
+            outcome = self._failure_outcome(task, policy, error, "")
+            outcome["quarantined"] = True
+            on_point(outcome)
+
+    @staticmethod
+    def _task_variant(task: GroupTask, policy: str) -> str:
+        share_warmup, warmup_policy = task.base[5], task.base[6]
+        return _exp._variant(share_warmup, policy, warmup_policy)
+
+    def _failure_outcome(self, task: GroupTask, policy: str, error: str,
+                         tb: str) -> Dict[str, Any]:
+        return {"workload": task.workload, "machine": task.machine_name,
+                "policy": policy,
+                "variant": self._task_variant(task, policy),
+                "error": error, "traceback": tb}
+
+
+# -------------------------------------------------------- spool service
+
+REQUEST_SCHEMA = 1
+RESPONSE_SCHEMA = 1
+
+
+@dataclass
+class SweepRequest:
+    """One spooled sweep request (the ``repro submit`` payload)."""
+
+    request_id: str
+    workloads: List[str]
+    policies: List[str]
+    machine: str = "baseline"
+    instructions: int = DEFAULT_INSTRUCTIONS
+    warmup: int = DEFAULT_WARMUP
+    share_warmup: bool = False
+    warmup_policy: str = "OOO"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REQUEST_SCHEMA,
+            "request_id": self.request_id,
+            "workloads": list(self.workloads),
+            "policies": list(self.policies),
+            "machine": self.machine,
+            "instructions": self.instructions,
+            "warmup": self.warmup,
+            "share_warmup": self.share_warmup,
+            "warmup_policy": self.warmup_policy,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SweepRequest":
+        if payload.get("schema") != REQUEST_SCHEMA:
+            raise ValueError(
+                f"request schema {payload.get('schema')!r} != "
+                f"{REQUEST_SCHEMA}")
+        workloads = payload.get("workloads")
+        policies = payload.get("policies")
+        if not workloads or not policies:
+            raise ValueError("request needs non-empty workloads+policies")
+        return cls(
+            request_id=str(payload["request_id"]),
+            workloads=[str(w) for w in workloads],
+            policies=[str(p) for p in policies],
+            machine=str(payload.get("machine", "baseline")),
+            instructions=int(payload.get("instructions",
+                                         DEFAULT_INSTRUCTIONS)),
+            warmup=int(payload.get("warmup", DEFAULT_WARMUP)),
+            share_warmup=bool(payload.get("share_warmup", False)),
+            warmup_policy=str(payload.get("warmup_policy", "OOO")),
+        )
+
+
+def new_request_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+def _spool_dirs(spool: str) -> Tuple[str, str, str]:
+    dirs = tuple(os.path.join(spool, d) for d in ("queue", "active",
+                                                  "done"))
+    for d in dirs:
+        os.makedirs(d, exist_ok=True)
+    return dirs
+
+
+def submit_request(spool: str, request: SweepRequest) -> str:
+    """Atomically drop a request into ``<spool>/queue/``; returns path."""
+    queue_dir, _, _ = _spool_dirs(spool)
+    path = os.path.join(queue_dir, f"{request.request_id}.json")
+    atomic_write_json(path, request.to_dict(), indent=1)
+    return path
+
+
+def response_path(spool: str, request_id: str) -> str:
+    return os.path.join(spool, "done", f"{request_id}.json")
+
+
+def wait_for_response(spool: str, request_id: str, timeout_s: float,
+                      poll_s: float = 0.2) -> Optional[Dict[str, Any]]:
+    """Poll for a request's response file; ``None`` on timeout."""
+    deadline = time.monotonic() + timeout_s
+    path = response_path(spool, request_id)
+    while True:
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except (OSError, ValueError):
+            pass  # missing, or mid-rename — atomic writes make this rare
+        if time.monotonic() >= deadline:
+            return None
+        time.sleep(poll_s)
+
+
+class FarmServer:
+    """``repro serve``: executes spooled sweep requests until told not to.
+
+    One persistent :class:`FarmScheduler` serves every request (warm
+    checkpoints survive in the workers across requests); one
+    :class:`~repro.analysis.experiments.ExperimentRunner` per
+    (instructions, warmup) pair dedupes repeated points against the
+    RunKey cache, all sharing ``cache_path`` through the idempotent
+    read-merge-write flush. A malformed or unresolvable request is
+    answered with a ``rejected`` response instead of killing the
+    server; an unexpected execution error answers ``error`` with the
+    traceback. Requests found in ``active/`` at startup were claimed by
+    a server that died mid-flight — they are requeued first.
+    """
+
+    def __init__(self, spool: str, machines: Dict[str, Any], *,
+                 jobs: int = 2, cache_path: Optional[str] = None,
+                 ledger: Optional[Any] = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES):
+        self.spool = spool
+        self.machines = machines
+        self.jobs = jobs
+        self.cache_path = cache_path
+        self.max_retries = max_retries
+        if isinstance(ledger, str):
+            from repro.obs.ledger import RunLedger
+            ledger = RunLedger(ledger)
+        self.ledger = ledger
+        self.queue_dir, self.active_dir, self.done_dir = _spool_dirs(spool)
+        self._runners: Dict[Tuple[int, int], Any] = {}
+
+    # ------------------------------------------------------------ spool
+
+    def recover_orphans(self) -> List[str]:
+        """Requeue requests a dead server left claimed in ``active/``."""
+        recovered = []
+        for name in sorted(os.listdir(self.active_dir)):
+            if not name.endswith(".json"):
+                continue
+            src = os.path.join(self.active_dir, name)
+            dst = os.path.join(self.queue_dir, name)
+            try:
+                os.replace(src, dst)
+            except OSError:
+                continue
+            recovered.append(dst)
+        if recovered:
+            _log.warning("recovered orphaned requests", extra={"data": {
+                "count": len(recovered)}})
+        return recovered
+
+    def pending(self) -> List[str]:
+        """Queued request paths, oldest first."""
+        entries = []
+        for name in os.listdir(self.queue_dir):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.queue_dir, name)
+            try:
+                entries.append((os.path.getmtime(path), name, path))
+            except OSError:
+                continue  # claimed by a sibling server mid-listing
+        return [path for _, _, path in sorted(entries)]
+
+    def _claim(self, queue_path: str) -> Optional[str]:
+        active_path = os.path.join(self.active_dir,
+                                   os.path.basename(queue_path))
+        try:
+            os.replace(queue_path, active_path)
+        except OSError:
+            return None  # another server won the claim
+        return active_path
+
+    # ------------------------------------------------------------ serve
+
+    def serve_forever(self, max_requests: int = 0,
+                      idle_exit_s: float = 0.0,
+                      poll_s: float = 0.2) -> int:
+        """Claim-and-execute loop; returns the number of requests served.
+
+        ``max_requests`` bounds the run (0 = unbounded);
+        ``idle_exit_s`` exits after that long with an empty queue
+        (0 = wait forever) — both exist so tests and CI can run the
+        server to completion.
+        """
+        self.recover_orphans()
+        served = 0
+        with FarmScheduler(self.jobs, ledger=self.ledger,
+                           max_retries=self.max_retries) as scheduler:
+            idle_since = time.monotonic()
+            while True:
+                queued = self.pending()
+                if not queued:
+                    if idle_exit_s and (time.monotonic() - idle_since
+                                        >= idle_exit_s):
+                        break
+                    time.sleep(poll_s)
+                    continue
+                active_path = self._claim(queued[0])
+                if active_path is None:
+                    continue
+                response = self.process_request(active_path, scheduler)
+                atomic_write_json(
+                    response_path(self.spool, response["request_id"]),
+                    response, indent=1)
+                try:
+                    os.unlink(active_path)
+                except OSError:
+                    pass
+                served += 1
+                idle_since = time.monotonic()
+                if max_requests and served >= max_requests:
+                    break
+        return served
+
+    def process_request(self, path: str,
+                        scheduler: FarmScheduler) -> Dict[str, Any]:
+        """Execute one claimed request file; always returns a response."""
+        request_id = os.path.splitext(os.path.basename(path))[0]
+        t0 = time.perf_counter()
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+            request = SweepRequest.from_dict(payload)
+            request_id = request.request_id
+            machine = self.machines[request.machine]
+            from repro.core.runahead import get_policy
+            from repro.workloads.catalog import get_workload
+            for w in request.workloads:
+                get_workload(w)
+            for p in request.policies:
+                get_policy(p)
+            get_policy(request.warmup_policy)
+        except Exception as e:
+            _log.error("request rejected", exc_info=True, extra={"data": {
+                "request_id": request_id}})
+            return {"schema": RESPONSE_SCHEMA, "request_id": request_id,
+                    "status": "rejected", "error": repr(e),
+                    "results": [], "failures": []}
+        if self.ledger is not None:
+            self.ledger.request_received(
+                request_id=request_id, machine=request.machine,
+                points=len(request.workloads) * len(request.policies))
+        try:
+            runner = self._runner_for(request)
+            matrix = runner.run_matrix(
+                request.workloads, machine, request.policies,
+                jobs=self.jobs, share_warmup=request.share_warmup,
+                warmup_policy=request.warmup_policy, ledger=self.ledger,
+                scheduler=scheduler)
+            results = []
+            for p in request.policies:
+                for w in request.workloads:
+                    result = matrix.get(p, {}).get(w)
+                    if result is None:
+                        from repro.core.runahead import get_policy
+                        from repro.workloads.catalog import get_workload
+                        result = matrix.get(get_policy(p).name, {}).get(
+                            get_workload(w).name)
+                    if result is not None:
+                        results.append(result.to_dict())
+            response = {
+                "schema": RESPONSE_SCHEMA,
+                "request_id": request_id,
+                "status": "ok" if matrix.ok else "partial",
+                "machine": request.machine,
+                "instructions": request.instructions,
+                "warmup": request.warmup,
+                "elapsed_s": round(time.perf_counter() - t0, 4),
+                "results": results,
+                "failures": matrix.failures,
+            }
+        except Exception as e:
+            _log.error("request failed", exc_info=True, extra={"data": {
+                "request_id": request_id}})
+            response = {"schema": RESPONSE_SCHEMA,
+                        "request_id": request_id, "status": "error",
+                        "error": repr(e),
+                        "traceback": traceback.format_exc(),
+                        "results": [], "failures": []}
+        if self.ledger is not None:
+            self.ledger.request_done(
+                request_id=request_id, status=response["status"],
+                results=len(response["results"]),
+                failures=len(response["failures"]))
+        return response
+
+    def _runner_for(self, request: SweepRequest):
+        key = (request.instructions, request.warmup)
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = _exp.ExperimentRunner(
+                instructions=request.instructions, warmup=request.warmup,
+                cache_path=self.cache_path)
+            self._runners[key] = runner
+        return runner

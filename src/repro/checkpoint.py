@@ -38,8 +38,9 @@ Implementation notes (see docs/architecture.md for the full story):
 """
 
 import copy
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.common.params import (
     DEFAULT_INSTRUCTIONS,
@@ -53,7 +54,8 @@ from repro.sim import SimResult, _delta_result, _snapshot
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.catalog import get_workload
 
-__all__ = ["Checkpoint", "warm_checkpoint", "simulate_from"]
+__all__ = ["Checkpoint", "CheckpointCache", "process_checkpoint_cache",
+           "warm_checkpoint", "simulate_from"]
 
 #: Core attributes holding the shared hardware structures whose full
 #: ``__dict__`` is captured and restored in place.
@@ -289,3 +291,94 @@ def simulate_from(
                                     checkpoint.warmup,
                                     seed=checkpoint.seed))
     return result
+
+
+class CheckpointCache:
+    """Process-local bounded LRU of warmed checkpoints.
+
+    The simulation farm (:mod:`repro.analysis.farm`) keeps its worker
+    processes alive across sweep requests; each worker holds one of
+    these so two requests touching the same workload share a single
+    warmup instead of paying it twice. Sharing is safe because
+    :meth:`Checkpoint.fork` deep-copies the state blob per run — a
+    cached checkpoint seeds any number of measurements bit-identically
+    to a freshly warmed one (the checkpoint contract).
+
+    The key pins everything the warmed state depends on: workload name,
+    the *full* machine configuration (via the params digest, so two
+    machines sharing a display name never collide), the policy warmup
+    ran under, the warmup length and the trace seed. ``validate`` rides
+    along too — a sanitized warmup is bit-identical, but keeping the
+    slots separate means a cache hit never silently changes whether the
+    warmup itself was checked.
+    """
+
+    def __init__(self, capacity: int = 4):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple, Checkpoint]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(workload_name: str, machine: MachineParams, policy_name: str,
+             warmup: int, seed: Optional[int], validate: bool) -> Tuple:
+        from repro.analysis.experiments import RunKey
+        return (workload_name, RunKey.digest(machine), policy_name,
+                warmup, seed, validate)
+
+    def get_or_warm(
+        self,
+        workload: Union[WorkloadSpec, str],
+        machine: MachineParams,
+        policy: Union[RunaheadPolicy, str] = OOO,
+        warmup: int = DEFAULT_WARMUP,
+        seed: Optional[int] = None,
+        validate: bool = False,
+        ledger=None,
+    ) -> Checkpoint:
+        """A warmed checkpoint for the point, warming at most once.
+
+        On a miss this is exactly :func:`warm_checkpoint` (the ledger's
+        ``warmup_shared`` event fires); a hit returns the cached object
+        and emits nothing — the ledger records warmups actually run.
+        """
+        spec = get_workload(workload) if isinstance(workload, str) \
+            else workload
+        pol = get_policy(policy) if isinstance(policy, str) else policy
+        key = self._key(spec.name, machine, pol.name, warmup, seed,
+                        validate)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        checkpoint = warm_checkpoint(spec, machine, pol, warmup=warmup,
+                                     seed=seed, validate=validate,
+                                     ledger=ledger)
+        self.misses += 1
+        self._entries[key] = checkpoint
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return checkpoint
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: One cache per process: pool/farm workers and the serial sweep path
+#: all funnel through it, so a long-lived worker shares warmups across
+#: every request it serves.
+_PROCESS_CACHE: Optional[CheckpointCache] = None
+
+
+def process_checkpoint_cache() -> CheckpointCache:
+    """The process-wide :class:`CheckpointCache` (created on first use)."""
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = CheckpointCache()
+    return _PROCESS_CACHE

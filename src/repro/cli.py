@@ -5,6 +5,10 @@ Subcommands:
     run                  simulate one (workload, machine, policy) point
     compare              sweep policies on one workload, print a table
     sweep                workload x policy matrix, optionally parallel
+    serve                crash-tolerant simulation farm server over a
+                         spool directory (docs/farm.md)
+    submit               drop a sweep request into a server's spool,
+                         optionally --wait for the response
     scaling              Core-1..Core-4 sweep for one workload/policy pair
     report               render a --stats-out JSON file as tables, or
                          summarize a sweep run-ledger (JSONL)
@@ -247,7 +251,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     rows: List[List] = []
     for pol in policies:
         for wl in workloads:
-            r = matrix[get_policy(pol).name][get_workload(wl).name]
+            r = matrix.get(get_policy(pol).name, {}).get(
+                get_workload(wl).name)
+            if r is None:
+                continue  # failed point: reported below, not a crash here
             rows.append([r.workload, r.policy, r.ipc, r.mlp, r.mpki,
                          r.abc_total, r.avf])
     print(f"{machine.name}: {len(workloads)} workloads x "
@@ -258,6 +265,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.share_warmup:
         mode += f", shared warmup under {args.warmup_policy}"
     print(f"\n{len(rows)} points in {elapsed:.2f}s ({mode})")
+    for f in matrix.failures:
+        tag = "QUARANTINED" if f.get("quarantined") else "FAILED"
+        print(f"{tag} {f['workload']}/{f['machine']}/{f['policy']}: "
+              f"{f['error']}")
     if args.stats_dir:
         print(f"per-point stats -> {args.stats_dir}/")
     if args.ledger:
@@ -273,12 +284,72 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "share_warmup": args.share_warmup,
             "warmup_policy": args.warmup_policy,
             "elapsed_s": elapsed,
-            "results": [matrix[get_policy(p).name][get_workload(w).name]
-                        .to_dict()
-                        for p in policies for w in workloads],
+            "results": [r.to_dict() for p in policies for w in workloads
+                        for r in [matrix.get(get_policy(p).name, {}).get(
+                            get_workload(w).name)] if r is not None],
+            "failures": matrix.failures,
         }
         atomic_write_json(args.out, payload, indent=2)
         print(f"results JSON   -> {args.out}")
+    if matrix.failures:
+        print(f"\n{len(matrix.failures)} point(s) failed "
+              f"({len(rows)} completed)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.analysis.farm import FarmServer
+
+    server = FarmServer(args.spool, MACHINES, jobs=args.jobs,
+                        cache_path=args.cache, ledger=args.ledger,
+                        max_retries=args.max_retries)
+    print(f"repro serve: spool {args.spool} (jobs={args.jobs})")
+    served = server.serve_forever(max_requests=args.max_requests,
+                                  idle_exit_s=args.idle_exit)
+    print(f"served {served} request(s)")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.analysis.farm import (
+        SweepRequest, new_request_id, response_path, submit_request,
+        wait_for_response,
+    )
+
+    workloads = args.workloads or [w.name for w in ALL_WORKLOADS]
+    policies = args.policies or [p.name for p in ALL_POLICIES]
+    request = SweepRequest(
+        request_id=new_request_id(), workloads=workloads,
+        policies=policies, machine=args.machine,
+        instructions=args.instructions, warmup=args.warmup,
+        share_warmup=args.share_warmup, warmup_policy=args.warmup_policy)
+    path = submit_request(args.spool, request)
+    print(f"submitted {request.request_id} "
+          f"({len(workloads)}x{len(policies)} points) -> {path}")
+    if not args.wait:
+        print(f"response will land at "
+              f"{response_path(args.spool, request.request_id)}")
+        return 0
+    response = wait_for_response(args.spool, request.request_id,
+                                 timeout_s=args.timeout)
+    if response is None:
+        print(f"timed out after {args.timeout:.0f}s waiting for response",
+              file=sys.stderr)
+        return 1
+    status = response.get("status")
+    print(f"request {request.request_id}: {status} "
+          f"({len(response.get('results', []))} results, "
+          f"{len(response.get('failures', []))} failures)")
+    for f in response.get("failures", []):
+        tag = "QUARANTINED" if f.get("quarantined") else "FAILED"
+        print(f"  {tag} {f['workload']}/{f['machine']}/{f['policy']}: "
+              f"{f['error']}")
+    if status != "ok":
+        err = response.get("error")
+        if err:
+            print(f"  {err}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -488,7 +559,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write all point results as one JSON file")
     p.add_argument("--stats-dir", metavar="DIR",
                    help="write per-point telemetry stats JSON into DIR "
-                        "(forces cached points to re-run)")
+                        "(cache-satisfied points render their artifact "
+                        "from the cached result, tagged from_cache)")
     p.add_argument("--ledger", metavar="FILE",
                    help="append the sweep's JSONL event stream (with "
                         "per-point provenance manifests) to FILE; watch "
@@ -498,6 +570,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--oracle", action="store_true",
                    help="lockstep-check every point's retirement against "
                         "the commit-stream architectural oracle")
+    _add_size_args(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation farm server over a spool directory")
+    p.add_argument("spool", help="spool directory (queue/ active/ done/ "
+                                 "are created inside it)")
+    p.add_argument("-j", "--jobs", type=int, default=2, metavar="N",
+                   help="farm worker processes (default 2)")
+    p.add_argument("--cache", metavar="FILE",
+                   help="shared JSON result cache: repeated points across "
+                        "requests are served from it")
+    p.add_argument("--ledger", metavar="FILE",
+                   help="append scheduler + request events to this JSONL "
+                        "run ledger")
+    p.add_argument("--max-requests", type=int, default=0, metavar="N",
+                   help="exit after serving N requests (default 0 = "
+                        "serve forever)")
+    p.add_argument("--idle-exit", type=float, default=0.0, metavar="SEC",
+                   help="exit after SEC seconds with an empty queue "
+                        "(default 0 = wait forever)")
+    p.add_argument("--max-retries", type=int, default=2, metavar="N",
+                   help="worker deaths a group survives before its first "
+                        "undelivered point is quarantined (default 2)")
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a sweep request to a `repro serve` spool")
+    p.add_argument("spool", help="the server's spool directory")
+    p.add_argument("workloads", nargs="*",
+                   help="workload names (default: full catalog)")
+    p.add_argument("-p", "--policies", nargs="+", metavar="NAME",
+                   help="policy names (default: the paper's eight)")
+    p.add_argument("-m", "--machine", default="baseline",
+                   choices=sorted(MACHINES))
+    p.add_argument("--share-warmup", action="store_true",
+                   help="warm each workload once per group (approximation)")
+    p.add_argument("--warmup-policy", default="OOO", metavar="NAME",
+                   help="policy the shared warmup runs under (default OOO)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the response lands in done/ and "
+                        "print it (exit 1 on partial/failed)")
+    p.add_argument("--timeout", type=float, default=600.0, metavar="SEC",
+                   help="--wait timeout (default 600)")
     _add_size_args(p)
 
     p = sub.add_parser(
@@ -596,6 +712,8 @@ def main(argv=None) -> int:
         "top": cmd_top,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
         "diff": cmd_diff,
         "golden": cmd_golden,
         "memval": cmd_memval,

@@ -19,6 +19,14 @@ event                     emitted when
                           the per-point provenance manifest
 ``point_error``           the point raised; the traceback rides along
 ``worker_heartbeat``      a worker reports liveness + per-group progress
+``worker_dead``           the farm scheduler found a worker process dead
+                          (SIGKILL/OOM/segfault); names the dead pid
+``point_requeued``        an undelivered point of a dead worker went back
+                          on the queue for another attempt
+``point_quarantined``     a point exhausted its retry budget killing
+                          workers and was quarantined (terminal)
+``request_received``      ``repro serve`` claimed a spooled sweep request
+``request_done``          the request's response file was written
 ``sweep_done``            the sweep returned; aggregate counts and wall
 ========================  =================================================
 
@@ -26,7 +34,10 @@ Every event carries ``ts`` (epoch seconds), ``pid`` and the ledger
 ``ev`` tag. Events are purely observational — simulation results are
 bit-identical with the ledger on or off — and the terminal guarantee is
 that every point of a completed sweep has exactly one terminal event
-(``point_done`` / ``point_cached`` / ``point_error``).
+(``point_done`` / ``point_cached`` / ``point_error`` /
+``point_quarantined``). A worker killed mid-point leaves a dangling
+``point_start`` behind; the requeued attempt supplies the single
+terminal event, so a crash-tolerant sweep still audits clean.
 
 :func:`summarize` folds an event list into a :class:`SweepStatus` used
 by ``repro top`` (live) and ``repro report`` (post-mortem).
@@ -56,12 +67,23 @@ EVENT_TYPES = (
     "point_cached",
     "warmup_shared",
     "worker_heartbeat",
+    "worker_dead",
+    "point_requeued",
+    "point_quarantined",
+    "request_received",
+    "request_done",
     "point_error",
     "sweep_done",
 )
 
 #: terminal events — a completed sweep has exactly one per point
-TERMINAL_EVENTS = ("point_done", "point_cached", "point_error")
+TERMINAL_EVENTS = ("point_done", "point_cached", "point_error",
+                   "point_quarantined")
+
+#: scheduler-side events: emitted by the orchestrating process *about*
+#: a worker or request, so they never mark the emitting pid as a worker
+SCHEDULER_EVENTS = ("worker_dead", "point_requeued", "point_quarantined",
+                    "request_received", "request_done")
 
 
 def point_label(event: Dict[str, Any]) -> str:
@@ -117,6 +139,21 @@ class RunLedger:
     def worker_heartbeat(self, **fields: Any) -> None:
         self.emit("worker_heartbeat", **fields)
 
+    def worker_dead(self, *, dead_pid: int, **fields: Any) -> None:
+        self.emit("worker_dead", dead_pid=dead_pid, **fields)
+
+    def point_requeued(self, *, attempt: int, **fields: Any) -> None:
+        self.emit("point_requeued", attempt=attempt, **fields)
+
+    def point_quarantined(self, *, error: str, **fields: Any) -> None:
+        self.emit("point_quarantined", error=error, **fields)
+
+    def request_received(self, *, request_id: str, **fields: Any) -> None:
+        self.emit("request_received", request_id=request_id, **fields)
+
+    def request_done(self, *, request_id: str, **fields: Any) -> None:
+        self.emit("request_done", request_id=request_id, **fields)
+
     def point_error(self, *, error: str, traceback_text: str,
                     **fields: Any) -> None:
         self.emit("point_error", error=error,
@@ -142,6 +179,7 @@ class WorkerState:
     last_ts: float = 0.0
     current: str = ""            # point label while between start/done
     points_done: int = 0
+    dead: bool = False           # scheduler recorded a worker_dead for it
 
 
 @dataclass
@@ -156,6 +194,10 @@ class SweepStatus:
     done: int = 0
     cached: int = 0
     errors: int = 0
+    quarantined: int = 0
+    requeued: int = 0
+    worker_deaths: int = 0
+    requests: int = 0
     warmups: int = 0
     manifest: Dict[str, Any] = field(default_factory=dict)
     params: Dict[str, Any] = field(default_factory=dict)
@@ -168,7 +210,7 @@ class SweepStatus:
     @property
     def terminal(self) -> int:
         """Points with a terminal event so far."""
-        return self.done + self.cached + self.errors
+        return self.done + self.cached + self.errors + self.quarantined
 
     @property
     def remaining(self) -> int:
@@ -209,7 +251,7 @@ class SweepStatus:
         recent = self.point_walls[-8:]
         per_point = sum(recent) / len(recent)
         active = max(1, len([w for w in self.workers.values()
-                             if w.points_done or w.current]))
+                             if not w.dead and (w.points_done or w.current)]))
         return per_point * self.remaining / active
 
 
@@ -234,6 +276,22 @@ def summarize(events: List[Dict[str, Any]],
             st.finished = ts
             continue
         if ev not in EVENT_TYPES or ev is None:
+            continue
+        if ev in SCHEDULER_EVENTS:
+            if ev == "worker_dead":
+                st.worker_deaths += 1
+                dead = st.workers.get(int(e.get("dead_pid", 0)))
+                if dead is not None:
+                    dead.dead = True
+                    dead.current = ""
+            elif ev == "point_requeued":
+                st.requeued += 1
+            elif ev == "point_quarantined":
+                st.quarantined += 1
+                st.error_points.append(
+                    f"{point_label(e)} (quarantined)")
+            elif ev == "request_received":
+                st.requests += 1
             continue
         w = st.workers.setdefault(pid, WorkerState(pid=pid))
         w.last_event, w.last_ts = ev, ts

@@ -69,8 +69,14 @@ def render_status(st: SweepStatus, now: float = None) -> str:
 
     total = st.total_points or max(st.terminal, 1)
     frac = st.terminal / total if total else 0.0
+    counts = (f"done={st.done} cached={st.cached} errors={st.errors}")
+    if st.quarantined:
+        counts += f" quarantined={st.quarantined}"
     lines.append(f"  points: [{_bar(frac)}] {st.terminal}/{st.total_points}"
-                 f"  done={st.done} cached={st.cached} errors={st.errors}")
+                 f"  {counts}")
+    if st.worker_deaths or st.requeued:
+        lines.append(f"  crash tolerance: {st.worker_deaths} worker "
+                     f"death(s), {st.requeued} point(s) requeued")
     line = (f"  elapsed {_dur(st.elapsed_s)}"
             f"  cache-hit {st.cache_hit_rate:.0%}")
     if st.mean_kips:
@@ -87,6 +93,10 @@ def render_status(st: SweepStatus, now: float = None) -> str:
         for pid in sorted(st.workers):
             w = st.workers[pid]
             age = max(0.0, now - w.last_ts)
+            if w.dead:
+                lines.append(f"    {pid:>8}  {w.points_done:>3} done  "
+                             f"DEAD (work requeued)  [{_dur(age)} ago]")
+                continue
             doing = w.current or f"idle after {w.last_event}"
             stale = "  (stale?)" if not st.complete and age > 60 else ""
             lines.append(f"    {pid:>8}  {w.points_done:>3} done  {doing}"

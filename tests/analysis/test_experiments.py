@@ -126,3 +126,136 @@ class TestParallelMatrix:
         for p in self.POLS:
             for w in self.WLS:
                 assert a[p][w] == b[p][w]
+
+
+class TestFaultIsolation:
+    """One failing point no longer discards its siblings' work."""
+
+    def test_raising_point_is_isolated_serially(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FARM_RAISE", "mcf:RAR")
+        r = ExperimentRunner(instructions=800, warmup=300)
+        out = r.run_matrix(["mcf", "x264"], BASELINE, ["OOO", "RAR"])
+        assert not out.ok
+        assert len(out.failures) == 1
+        f = out.failures[0]
+        assert (f["workload"], f["policy"]) == ("mcf", "RAR")
+        assert "chaos" in f["error"]
+        assert "RuntimeError" in f["traceback"]
+        assert f["quarantined"] is False
+        # the raising point's group-siblings and sibling groups survived
+        assert sorted(out["OOO"]) == ["mcf", "x264"]
+        assert sorted(out["RAR"]) == ["x264"]
+
+    def test_raise_if_failed_restores_loud_behaviour(self, monkeypatch):
+        import pytest
+        monkeypatch.setenv("REPRO_FARM_RAISE", "mcf:RAR")
+        r = ExperimentRunner(instructions=800, warmup=300)
+        out = r.run_matrix(["mcf"], BASELINE, ["OOO", "RAR"])
+        with pytest.raises(RuntimeError, match="mcf/RAR"):
+            out.raise_if_failed()
+        # a clean matrix chains through
+        clean = ExperimentRunner(instructions=800, warmup=300)
+        got = clean.run_matrix(["mcf"], BASELINE, ["OOO"])
+        assert got.raise_if_failed() is got
+
+    def test_failed_points_recorded_in_ledger(self, tmp_path, monkeypatch):
+        from repro.obs.ledger import check_complete, read_ledger
+        monkeypatch.setenv("REPRO_FARM_RAISE", "mcf:RAR")
+        led = os.path.join(str(tmp_path), "led.jsonl")
+        r = ExperimentRunner(instructions=800, warmup=300)
+        r.run_matrix(["mcf"], BASELINE, ["OOO", "RAR"], ledger=led)
+        events = read_ledger(led)
+        assert check_complete(events) == []
+        errs = [e for e in events if e["ev"] == "point_error"]
+        assert len(errs) == 1 and errs[0]["policy"] == "RAR"
+        done = [e for e in events if e["ev"] == "sweep_done"]
+        assert done[0]["points_failed"] == 1
+
+    def test_completed_groups_flushed_before_later_failure(
+            self, tmp_path, monkeypatch):
+        """A sweep dying on a later group keeps earlier groups' points
+        on disk (incremental flush), serially and under the farm."""
+        import json
+        import pytest
+        # monkeypatched stand-in dies on the second group outright
+        import repro.analysis.experiments as exp
+
+        calls = []
+        real = exp._iter_group_points
+
+        def flaky(task):
+            calls.append(task[0].name)
+            if len(calls) > 1:
+                raise KeyboardInterrupt  # not caught by point isolation
+            return real(task)
+
+        monkeypatch.setattr(exp, "_iter_group_points", flaky)
+        path = os.path.join(str(tmp_path), "cache.json")
+        r = ExperimentRunner(instructions=800, warmup=300, cache_path=path)
+        with pytest.raises(KeyboardInterrupt):
+            r.run_matrix(["mcf", "x264"], BASELINE, ["OOO"])
+        raw = json.load(open(path))
+        assert len(raw["data"]) == 1  # first group survived the crash
+
+
+class TestCachedStatsDir:
+    def test_cached_point_renders_stats_without_resimulating(
+            self, tmp_path, monkeypatch):
+        import json
+        from repro import sim as sim_mod
+        r = ExperimentRunner(instructions=800, warmup=300)
+        r.run_matrix(["mcf"], BASELINE, ["OOO"])
+        stats = os.path.join(str(tmp_path), "stats")
+
+        def boom(*a, **k):
+            raise AssertionError("cached point was re-simulated")
+
+        # historically `stats_dir` forced cached points back through the
+        # simulator; the artifact must now come from the cached result
+        monkeypatch.setattr(sim_mod, "simulate", boom)
+        import repro.analysis.experiments as exp
+        monkeypatch.setattr(exp, "simulate", boom)
+        out = r.run_matrix(["mcf"], BASELINE, ["OOO"], stats_dir=stats)
+        artifact = os.path.join(stats, "mcf_baseline_OOO.json")
+        payload = json.load(open(artifact))
+        assert payload["manifest"]["point"]["from_cache"] is True
+        cached = out["OOO"]["mcf"]
+        assert payload["result"]["ipc"] == cached.ipc
+        assert payload["result"]["cycles"] == cached.cycles
+        assert payload["result"]["avf"] == cached.avf
+
+    def test_fresh_points_still_write_live_stats(self, tmp_path):
+        import json
+        stats = os.path.join(str(tmp_path), "stats")
+        r = ExperimentRunner(instructions=800, warmup=300)
+        r.run_matrix(["mcf"], BASELINE, ["OOO"], stats_dir=stats)
+        payload = json.load(
+            open(os.path.join(stats, "mcf_baseline_OOO.json")))
+        assert "from_cache" not in payload["manifest"]["point"]
+        assert "stats" in payload  # live run: registry tree present
+
+
+class TestIdempotentDiskCache:
+    def test_save_merges_with_concurrent_writers(self, tmp_path):
+        """Two runners sharing one cache file union their points instead
+        of last-writer-wins clobbering (the requeue/retry safety net)."""
+        path = os.path.join(str(tmp_path), "cache.json")
+        a = ExperimentRunner(instructions=800, warmup=300, cache_path=path)
+        a.run_matrix(["mcf"], BASELINE, ["OOO"])
+        # b loaded (empty) before a's flush ever existed
+        b = ExperimentRunner(instructions=800, warmup=300)
+        b.cache_path = path
+        b.run_matrix(["x264"], BASELINE, ["OOO"])
+        import json
+        raw = json.load(open(path))
+        assert len(raw["data"]) == 2  # both runners' points survived
+
+    def test_repeated_save_is_idempotent(self, tmp_path):
+        import json
+        path = os.path.join(str(tmp_path), "cache.json")
+        r = ExperimentRunner(instructions=800, warmup=300, cache_path=path)
+        r.run_matrix(["mcf"], BASELINE, ["OOO"])
+        first = json.load(open(path))
+        r._save_disk_cache()
+        r._save_disk_cache()
+        assert json.load(open(path)) == first

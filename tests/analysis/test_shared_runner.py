@@ -1,5 +1,7 @@
 """Module-level shared runner semantics."""
 
+import pytest
+
 import repro.analysis.experiments as exp
 
 
@@ -12,10 +14,26 @@ class TestSharedRunner:
 
     def test_first_caller_fixes_sizes(self):
         a = exp.shared_runner(instructions=500, warmup=100)
-        b = exp.shared_runner(instructions=9999, warmup=9999)
+        b = exp.shared_runner(instructions=500, warmup=100)
         assert a is b
         assert b.instructions == 500
         assert b.warmup == 100
+
+    def test_matching_and_omitted_sizes_share(self):
+        a = exp.shared_runner(instructions=500, warmup=100)
+        # omitted sizes adopt the shared runner's, they don't conflict
+        assert exp.shared_runner() is a
+        assert exp.shared_runner(warmup=100) is a
+
+    def test_mismatched_sizes_raise(self):
+        exp.shared_runner(instructions=500, warmup=100)
+        # historically the second caller's sizes were *silently ignored*
+        # and it measured 500-instruction points believing it asked for
+        # 9999 — now the mismatch is loud
+        with pytest.raises(ValueError, match="fixed by the first caller"):
+            exp.shared_runner(instructions=9999)
+        with pytest.raises(ValueError, match="warmup=9999"):
+            exp.shared_runner(instructions=500, warmup=9999)
 
     def test_default_sizes(self):
         from repro.common.params import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP

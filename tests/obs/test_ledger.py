@@ -165,3 +165,85 @@ class TestCheckComplete:
 
     def test_terminal_event_names(self):
         assert set(TERMINAL_EVENTS) <= set(EVENT_TYPES)
+
+
+class TestSchedulerEvents:
+    """Farm scheduler events: worker_dead / requeue / quarantine /
+    request envelopes (docs/farm.md)."""
+
+    def _crash_events(self, path):
+        """A 2-point sweep whose worker dies once mid-sweep."""
+        led = RunLedger(path)
+        led.sweep_start(total_points=2, manifest={})
+        led.point_start(workload="mcf", machine="baseline", policy="OOO")
+        led.point_done(workload="mcf", machine="baseline", policy="OOO",
+                       wall_s=1.0, kips=5.0, manifest={})
+        # the worker (pid stamped on the events above: this process) is
+        # found dead; its undelivered point goes back on the queue
+        led.worker_dead(dead_pid=os.getpid(), workload="mcf")
+        led.point_requeued(workload="mcf", machine="baseline",
+                           policy="RAR", attempt=1)
+        led.point_start(workload="mcf", machine="baseline", policy="RAR")
+        led.point_done(workload="mcf", machine="baseline", policy="RAR",
+                       wall_s=1.0, kips=5.0, manifest={})
+        led.sweep_done(elapsed_s=3.0, points_run=2)
+        return read_ledger(path)
+
+    def test_crash_tolerant_sweep_summary(self, tmp_path):
+        st = summarize(self._crash_events(str(tmp_path / "l.jsonl")))
+        assert st.worker_deaths == 1
+        assert st.requeued == 1
+        assert st.done == 2 and st.errors == 0 and st.quarantined == 0
+        assert st.complete
+        (w,) = st.workers.values()
+        assert w.dead and w.current == ""
+
+    def test_crash_tolerant_sweep_audits_clean(self, tmp_path):
+        """Requeue leaves a dangling point_start behind; the retry's
+        single terminal event still satisfies the audit."""
+        events = self._crash_events(str(tmp_path / "l.jsonl"))
+        # drop the retry's terminal event -> the dangling start shows up
+        assert check_complete(events) == []
+        broken = events[:-2] + events[-1:]
+        assert any("distinct points" in p for p in check_complete(broken))
+
+    def test_quarantine_is_terminal(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        led = RunLedger(path)
+        led.sweep_start(total_points=1, manifest={})
+        led.worker_dead(dead_pid=999)
+        led.point_quarantined(workload="mcf", machine="baseline",
+                              policy="RAR", error="killed 3 workers",
+                              attempts=3)
+        led.sweep_done(elapsed_s=1.0, points_run=0)
+        events = read_ledger(path)
+        st = summarize(events)
+        assert st.quarantined == 1 and st.terminal == 1
+        assert st.error_points == ["mcf/baseline/RAR (quarantined)"]
+        assert check_complete(events) == []
+
+    def test_scheduler_pid_never_registers_as_worker(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        led = RunLedger(path)
+        led.sweep_start(total_points=0, manifest={})
+        led.worker_dead(dead_pid=424242)
+        led.point_requeued(workload="w", machine="m", policy="p", attempt=1)
+        led.request_received(request_id="r1", points=4)
+        led.request_done(request_id="r1", status="ok")
+        st = summarize(read_ledger(path))
+        assert st.workers == {}  # these events come from the orchestrator
+        assert st.requests == 1
+
+    def test_dead_worker_excluded_from_eta(self):
+        events = [{"ev": "sweep_start", "ts": 0.0, "pid": 1,
+                   "total_points": 10, "manifest": {}}]
+        for i in range(4):
+            events.append({"ev": "point_done", "ts": float(i + 1),
+                           "pid": 1 + i % 2, "workload": "mcf",
+                           "machine": "baseline", "policy": "RAR",
+                           "wall_s": 2.0, "kips": 8.0})
+        alive = summarize(events).eta_s()
+        events.append({"ev": "worker_dead", "ts": 5.0, "pid": 99,
+                       "dead_pid": 2})
+        # one of the two workers died: the same backlog takes twice as long
+        assert summarize(events).eta_s() == pytest.approx(alive * 2)

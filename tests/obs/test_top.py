@@ -158,3 +158,37 @@ class TestRunTop:
         st = load_status(path)
         assert st.complete and st.done == 1
         assert render_ledger_report(read_ledger(path), path=path)
+
+
+class TestCrashToleranceRendering:
+    def _crash_events(self):
+        events = _events(finished=False)
+        events.append({"ev": "worker_dead", "ts": 106.5, "pid": 1,
+                       "dead_pid": 12})
+        events.append({"ev": "point_requeued", "ts": 106.6, "pid": 1,
+                       "workload": "mcf", "machine": "baseline",
+                       "policy": "TR", "attempt": 1})
+        return events
+
+    def test_dead_worker_and_requeue_rendered(self):
+        out = render_status(summarize(self._crash_events()), now=107.0)
+        assert "crash tolerance: 1 worker death(s), 1 point(s) requeued" \
+            in out
+        assert "DEAD (work requeued)" in out
+        # the dead worker's stale in-flight point is not shown as current
+        assert "idle after" not in out.split("DEAD")[0].split("12")[-1]
+
+    def test_quarantined_counts_and_error_line(self):
+        events = self._crash_events()
+        events.append({"ev": "point_quarantined", "ts": 107.0, "pid": 1,
+                       "workload": "mcf", "machine": "baseline",
+                       "policy": "TR", "error": "killed 3 workers",
+                       "attempts": 3})
+        out = render_status(summarize(events), now=108.0)
+        assert "quarantined=1" in out
+        assert "ERROR mcf/baseline/TR (quarantined)" in out
+
+    def test_healthy_sweep_hides_crash_line(self):
+        out = render_status(summarize(_events()), now=108.0)
+        assert "crash tolerance" not in out
+        assert "DEAD" not in out

@@ -114,3 +114,42 @@ class TestSimResultRoundTrip:
         payload["bogus_field"] = 1
         with pytest.raises(TypeError):
             SimResult.from_dict(payload)
+
+
+class TestCheckpointCache:
+    def test_warms_once_then_hits(self):
+        from repro.checkpoint import CheckpointCache
+        cache = CheckpointCache(capacity=2)
+        a = cache.get_or_warm("mcf", BASELINE, "OOO", warmup=300)
+        b = cache.get_or_warm("mcf", BASELINE, "OOO", warmup=300)
+        assert a is b
+        assert (cache.hits, cache.misses) == (1, 1)
+        # a cached checkpoint measures bit-identically to a fresh one
+        fresh = warm_checkpoint("mcf", BASELINE, "OOO", warmup=300)
+        assert simulate_from(a, "RAR", instructions=500) == \
+            simulate_from(fresh, "RAR", instructions=500)
+
+    def test_key_pins_machine_policy_and_warmup(self):
+        from repro.checkpoint import CheckpointCache
+        cache = CheckpointCache(capacity=8)
+        base = cache.get_or_warm("mcf", BASELINE, "OOO", warmup=300)
+        assert cache.get_or_warm("mcf", CORE1, "OOO", warmup=300) \
+            is not base
+        assert cache.get_or_warm("mcf", BASELINE, "RAR", warmup=300) \
+            is not base
+        assert cache.get_or_warm("mcf", BASELINE, "OOO", warmup=400) \
+            is not base
+        assert cache.misses == 4 and cache.hits == 0
+
+    def test_lru_eviction_bounds_memory(self):
+        from repro.checkpoint import CheckpointCache
+        cache = CheckpointCache(capacity=1)
+        a = cache.get_or_warm("mcf", BASELINE, "OOO", warmup=300)
+        cache.get_or_warm("x264", BASELINE, "OOO", warmup=300)
+        assert len(cache) == 1  # mcf was evicted
+        again = cache.get_or_warm("mcf", BASELINE, "OOO", warmup=300)
+        assert again is not a and cache.misses == 3
+
+    def test_process_cache_is_singleton(self):
+        from repro.checkpoint import process_checkpoint_cache
+        assert process_checkpoint_cache() is process_checkpoint_cache()

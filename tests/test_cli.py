@@ -365,3 +365,44 @@ class TestLogFlags:
         captured = capsys.readouterr()
         assert captured.err == ""
         assert "points in" in captured.out  # human output stays on stdout
+
+
+class TestFarmCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "/tmp/spool"])
+        assert args.command == "serve"
+        assert args.spool == "/tmp/spool"
+        assert args.jobs == 2 and args.max_requests == 0
+        assert args.idle_exit == 0.0 and args.max_retries == 2
+
+    def test_submit_parser(self):
+        args = build_parser().parse_args(
+            ["submit", "/tmp/spool", "mcf", "-p", "OOO", "RAR",
+             "--wait", "--timeout", "30", "-n", "500"])
+        assert args.command == "submit"
+        assert args.workloads == ["mcf"]
+        assert args.policies == ["OOO", "RAR"]
+        assert args.wait and args.timeout == 30.0
+        assert args.instructions == 500
+
+    def test_submit_then_serve_round_trip(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["submit", spool, "mcf", "-p", "OOO",
+                     "-n", "800", "-w", "300"]) == 0
+        assert main(["serve", spool, "-j", "1", "--max-requests", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "submitted" in out and "served 1 request(s)" in out
+        # a --wait with no server running times out with exit 1
+        assert main(["submit", spool, "mcf", "-p", "OOO", "-n", "800",
+                     "-w", "300", "--wait", "--timeout", "0.3"]) == 1
+        assert "timed out" in capsys.readouterr().err
+
+    def test_sweep_exit_code_reports_failures(self, tmp_path, capsys,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_FARM_RAISE", "mcf:RAR")
+        rc = main(["sweep", "mcf", "-p", "OOO", "RAR",
+                   "-n", "800", "-w", "300"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "FAILED mcf/baseline/RAR" in captured.out
+        assert "1 point(s) failed" in captured.err
