@@ -22,12 +22,15 @@ same point under cProfile and prints the top-25 functions by tottime
 (no record is appended — profiling overhead would pollute the
 trajectory); every perf PR should start from that table (see
 docs/performance.md). ``--speed`` times the 2x2 {mcf, lbm} x {OOO, RAR}
-matrix and appends the per-point KIPS to ``BENCH_speed.json``.
-``--sweep`` times a small workload x policy matrix twice — serial, then
-with ``jobs=2`` + shared-warmup checkpoint forking — with the parallel
-leg recording a run ledger, whose aggregated per-point KIPS ride along
-in the appended record. ``--diff N`` renders the last N entries of a
-history side by side. All files are JSON lists of records.
+matrix plus the fast-warmup legs of the RAR points, appends the
+per-point KIPS to ``BENCH_speed.json``, and times a detailed-vs-fast
+warmup of the standard point — failing unless the fast engine clears
+``WARMUP_SPEEDUP_FLOOR``. ``--sweep`` times a small workload x policy
+matrix serially and then across the ``JOBS_CURVE`` pool sizes (each
+parallel leg uses shared-warmup checkpoint forking and records a run
+ledger, whose aggregated per-point KIPS ride along in the appended
+record). ``--diff N`` renders the last N entries of a history side by
+side. All files are JSON lists of records.
 """
 
 import argparse
@@ -92,10 +95,54 @@ def run_profile(args) -> int:
 #: the committed-trajectory matrix timed by ``--speed``
 SPEED_MATRIX = (("mcf", "OOO"), ("mcf", "RAR"), ("lbm", "OOO"), ("lbm", "RAR"))
 
+#: points also timed end-to-end from a fast-warmed checkpoint; their
+#: KIPS join the regression gate under a ``+wm:fast`` suffix (matching
+#: the run-cache variant tag)
+SPEED_MATRIX_FAST = (("mcf", "RAR"), ("lbm", "RAR"))
+
+#: warmup region used for the detailed-vs-fast warmup timing leg. Fixed
+#: (rather than --warmup) so per-checkpoint fixed costs — trace build,
+#: state capture — don't dominate the measurement; the floor below is
+#: asserted where the warmup region is long enough to mean something.
+WARMUP_SPEEDUP_W = 20_000
+
+#: minimum acceptable warmup-phase speedup of fast over detailed mode
+WARMUP_SPEEDUP_FLOOR = 5.0
+
+
+def _time_warmup_speedup(workload: str, policy: str) -> dict:
+    """Time warm_checkpoint in both modes; return the speedup record."""
+    from repro import BASELINE
+    from repro.checkpoint import warm_checkpoint
+
+    walls = {}
+    for mode in ("detailed", "fast"):
+        t0 = time.perf_counter()
+        warm_checkpoint(workload, BASELINE, policy,
+                        warmup=WARMUP_SPEEDUP_W, warmup_mode=mode)
+        walls[mode] = time.perf_counter() - t0
+    return {
+        "workload": workload,
+        "policy": policy,
+        "warmup": WARMUP_SPEEDUP_W,
+        "detailed_s": round(walls["detailed"], 3),
+        "fast_s": round(walls["fast"], 3),
+        "speedup": round(walls["detailed"] / walls["fast"], 2)
+        if walls["fast"] else 0.0,
+    }
+
 
 def run_speed_matrix(args) -> int:
-    """Time the 2x2 speed matrix; fail on a >20% per-point regression."""
+    """Time the speed matrix; fail on a >20% per-point regression.
+
+    Detailed-warmup points run through plain ``simulate()``; the
+    ``SPEED_MATRIX_FAST`` points measure the same region from a
+    fast-warmed checkpoint. A separate leg times the warmup phase alone
+    in both modes and fails unless fast warmup clears
+    ``WARMUP_SPEEDUP_FLOOR`` (the ≥5x target in docs/performance.md).
+    """
     from repro import BASELINE, Telemetry, simulate
+    from repro.checkpoint import simulate_from, warm_checkpoint
     from repro.obs import bench
 
     points = {}
@@ -107,29 +154,56 @@ def run_speed_matrix(args) -> int:
         key = f"{workload}/{policy}"
         points[key] = round(tele.profiler.kips, 2)
         print(f"{key}: {points[key]} KIPS")
+    for workload, policy in SPEED_MATRIX_FAST:
+        ck = warm_checkpoint(workload, BASELINE, policy,
+                             warmup=args.warmup, warmup_mode="fast")
+        tele = Telemetry(profile=True)
+        simulate_from(ck, instructions=args.instructions, telemetry=tele)
+        key = f"{workload}/{policy}+wm:fast"
+        points[key] = round(tele.profiler.kips, 2)
+        print(f"{key}: {points[key]} KIPS")
+
+    warmup_speedup = _time_warmup_speedup(*SPEED_MATRIX_FAST[0])
+    print(f"warmup {warmup_speedup['workload']}/{warmup_speedup['policy']} "
+          f"w={warmup_speedup['warmup']}: detailed "
+          f"{warmup_speedup['detailed_s']}s, fast "
+          f"{warmup_speedup['fast_s']}s "
+          f"({warmup_speedup['speedup']}x speedup)")
 
     record = {
         "instructions": args.instructions,
         "warmup": args.warmup,
         "points": points,
+        "warmup_speedup": warmup_speedup,
     }
     n = bench.append_entry(args.speed_out, record)
     print(f"speed matrix -> {args.speed_out} ({n} records)")
     fields = [f"points.{w}/{p}" for w, p in SPEED_MATRIX]
+    fields += [f"points.{w}/{p}+wm:fast" for w, p in SPEED_MATRIX_FAST]
     regressions = bench.check_regression(bench.load_history(args.speed_out),
                                          fields=fields)
+    if warmup_speedup["speedup"] < WARMUP_SPEEDUP_FLOOR:
+        regressions = list(regressions) + [
+            f"warmup_speedup: {warmup_speedup['speedup']}x < "
+            f"{WARMUP_SPEEDUP_FLOOR}x floor (fast vs detailed warmup)"]
     return _report_regressions(regressions)
 
 
-def run_sweep_smoke(args) -> int:
-    """Time the same small matrix serial vs parallel+shared-warmup.
+#: pool sizes swept by ``--sweep``; the curve shows where group-level
+#: multiprocessing saturates on the host (the record carries ``cpus``)
+JOBS_CURVE = (1, 2, 4, 8)
 
-    The speedup combines two effects: warmup shared across policies
-    (visible even on one CPU) and group-level multiprocessing (scales
-    with cores; the record carries ``cpus`` for context). The parallel
-    leg records a run ledger; its aggregated per-point KIPS ride along
-    in the appended record so the sweep trajectory and the ledger agree
-    by construction.
+
+def run_sweep_smoke(args) -> int:
+    """Time the same small matrix serially, then across ``JOBS_CURVE``.
+
+    Each parallel leg uses shared-warmup checkpoint forking, so its
+    speedup over serial combines two effects: warmup shared across
+    policies (visible even at ``jobs=1``) and multiprocessing (scales
+    with cores until the per-group work runs out). Every parallel leg
+    records a run ledger; the ``--jobs`` leg's aggregated per-point
+    KIPS ride along in the appended record so the sweep trajectory and
+    the ledger agree by construction.
     """
     import tempfile
 
@@ -149,11 +223,27 @@ def run_sweep_smoke(args) -> int:
         return time.perf_counter() - t0
 
     serial_s = timed()
-    with tempfile.TemporaryDirectory() as tmp:
-        ledger_path = os.path.join(tmp, "sweep-ledger.jsonl")
-        parallel_s = timed(jobs=args.jobs, share_warmup=True,
-                           ledger=ledger_path)
-        ledger_agg = bench.ledger_kips(read_ledger(ledger_path))
+    print(f"serial: {serial_s:.3f}s")
+    jobs_curve = {}
+    ledger_agg = None
+    curve = list(JOBS_CURVE)
+    if args.jobs not in curve:
+        curve.append(args.jobs)
+    for jobs in curve:
+        with tempfile.TemporaryDirectory() as tmp:
+            ledger_path = os.path.join(tmp, "sweep-ledger.jsonl")
+            wall = timed(jobs=jobs, share_warmup=True, ledger=ledger_path)
+            leg_agg = bench.ledger_kips(read_ledger(ledger_path))
+        jobs_curve[str(jobs)] = {
+            "wall_s": round(wall, 3),
+            "speedup": round(serial_s / wall, 3) if wall else 0.0,
+            "mean_kips": leg_agg["mean_kips"],
+        }
+        print(f"jobs={jobs}: {jobs_curve[str(jobs)]['wall_s']}s "
+              f"({jobs_curve[str(jobs)]['speedup']}x)")
+        if jobs == args.jobs:
+            ledger_agg = leg_agg
+    headline = jobs_curve[str(args.jobs)]
     record = {
         "cpus": os.cpu_count(),
         "workloads": workloads,
@@ -163,8 +253,9 @@ def run_sweep_smoke(args) -> int:
         "jobs": args.jobs,
         "share_warmup": True,
         "serial_s": round(serial_s, 3),
-        "parallel_s": round(parallel_s, 3),
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
+        "parallel_s": headline["wall_s"],
+        "speedup": headline["speedup"],
+        "jobs_curve": jobs_curve,
         "mean_kips": ledger_agg["mean_kips"],
         "points": ledger_agg["points"],
     }

@@ -74,8 +74,10 @@ class RunKey:
     machines that share a display name but differ in any parameter never
     collide in the cache. ``variant`` tags results produced by an
     approximate run mode — shared-warmup points carry ``"sw:<policy>"``
-    (the policy warmup ran under) so they can never poison the cache
-    entries of exact per-policy runs.
+    (the policy warmup ran under) and fast-warmup points carry
+    ``"wm:fast"`` (composed as ``"wm:fast+sw:<policy>"`` when both
+    apply) so they can never poison the cache entries of exact
+    per-policy runs.
     """
 
     workload: str
@@ -102,17 +104,23 @@ class RunKey:
 _CACHE_SCHEMA = 2
 
 
-def _variant(share_warmup: bool, policy: str, warmup_policy: str) -> str:
+def _variant(share_warmup: bool, policy: str, warmup_policy: str,
+             warmup_mode: str = "detailed") -> str:
     """Cache-key variant for one point of a sweep.
 
-    A shared-warmup point measured under the *same* policy that warmed
-    the checkpoint is bit-identical to a cold run, so it shares the
-    exact-run cache slot; any other pairing is an approximation and gets
-    its own tagged slot.
+    A detailed shared-warmup point measured under the *same* policy that
+    warmed the checkpoint is bit-identical to a cold run, so it shares
+    the exact-run cache slot; any other pairing is an approximation and
+    gets its own tagged slot. A non-default ``warmup_mode`` always tags
+    (``wm:fast``): fast-warmed results are approximate even when warmup
+    and measurement policies match, so they must never alias exact runs.
     """
+    parts = []
+    if warmup_mode != "detailed":
+        parts.append(f"wm:{warmup_mode}")
     if share_warmup and policy != warmup_policy:
-        return f"sw:{warmup_policy}"
-    return ""
+        parts.append(f"sw:{warmup_policy}")
+    return "+".join(parts)
 
 
 def _pool_context():
@@ -177,7 +185,8 @@ def _iter_group_points(task: Tuple) -> Iterator[Dict[str, Any]]:
     mortem.
     """
     (spec, machine, policy_names, instructions, warmup, share_warmup,
-     warmup_policy, stats_dir, validate, oracle, ledger_path) = task
+     warmup_policy, stats_dir, validate, oracle, ledger_path,
+     warmup_mode) = task
     ledger = None
     if ledger_path:
         from repro.obs.ledger import RunLedger
@@ -190,14 +199,16 @@ def _iter_group_points(task: Tuple) -> Iterator[Dict[str, Any]]:
         try:
             checkpoint = process_checkpoint_cache().get_or_warm(
                 spec, machine, warmup_policy, warmup=warmup,
-                validate=validate, ledger=ledger)
+                validate=validate, ledger=ledger,
+                warmup_mode=warmup_mode)
         except Exception as e:
             import traceback
             tb = traceback.format_exc()
             _log.error("shared warmup failed", exc_info=True, extra={
                 "data": {"workload": spec.name}})
             for name in policy_names:
-                variant = _variant(share_warmup, name, warmup_policy)
+                variant = _variant(share_warmup, name, warmup_policy,
+                                   warmup_mode)
                 if ledger is not None:
                     ledger.point_error(workload=spec.name,
                                        machine=machine.name, policy=name,
@@ -206,12 +217,13 @@ def _iter_group_points(task: Tuple) -> Iterator[Dict[str, Any]]:
                 yield _point_error(spec, machine, name, variant, e, tb)
             return
     for done, name in enumerate(policy_names):
-        variant = _variant(share_warmup, name, warmup_policy)
+        variant = _variant(share_warmup, name, warmup_policy, warmup_mode)
         manifest = None
         if ledger is not None or stats_dir:
             from repro.obs.manifest import point_manifest
             manifest = point_manifest(spec.name, machine, name,
-                                      instructions, warmup, variant=variant)
+                                      instructions, warmup, variant=variant,
+                                      warmup_mode=warmup_mode)
         if ledger is not None:
             ledger.point_start(workload=spec.name, machine=machine.name,
                                policy=name, variant=variant)
@@ -222,9 +234,20 @@ def _iter_group_points(task: Tuple) -> Iterator[Dict[str, Any]]:
         t0 = time.perf_counter()
         try:
             _chaos_maybe_raise(spec.name, name)
-            if checkpoint is not None:
+            point_checkpoint = checkpoint
+            if point_checkpoint is None and warmup_mode != "detailed":
+                # Non-shared fast warmup: warm per measured policy (the
+                # exact-policy shape of the default path) through the
+                # fast walk, deduped by the process checkpoint cache. A
+                # warmup failure here is isolated per point.
+                from repro.checkpoint import process_checkpoint_cache
+                point_checkpoint = process_checkpoint_cache().get_or_warm(
+                    spec, machine, name, warmup=warmup,
+                    validate=validate, ledger=ledger,
+                    warmup_mode=warmup_mode)
+            if point_checkpoint is not None:
                 from repro.checkpoint import simulate_from
-                result = simulate_from(checkpoint, name,
+                result = simulate_from(point_checkpoint, name,
                                        instructions=instructions,
                                        telemetry=telemetry,
                                        validate=validate, oracle=oracle)
@@ -373,6 +396,7 @@ class ExperimentRunner:
         jobs: int = 1,
         share_warmup: bool = False,
         warmup_policy: Union[str, RunaheadPolicy] = "OOO",
+        warmup_mode: str = "detailed",
         stats_dir: Optional[str] = None,
         validate: bool = False,
         oracle: bool = False,
@@ -385,7 +409,12 @@ class ExperimentRunner:
         warms **once** under ``warmup_policy`` and forks the checkpoint
         for every measured policy — an explicit approximation (warmup
         behaviour is policy-dependent), cached under a ``sw:`` variant
-        key so it never collides with exact per-policy runs. ``validate``
+        key so it never collides with exact per-policy runs.
+        ``warmup_mode="fast"`` replaces the detailed warmup with the
+        functional walk (:mod:`repro.core.fastfwd`) — warming per
+        policy, or once per group when combined with ``share_warmup`` —
+        and tags every result with a ``wm:fast`` variant so fast and
+        exact points never share cache slots. ``validate``
         runs every point under the invariant sanitizer
         (:mod:`repro.validate`); sanitized results are bit-identical to
         unsanitized ones, so they share the same cache slots — but note
@@ -423,6 +452,8 @@ class ExperimentRunner:
         handlers via a multiprocessing queue, so
         ``--log-json``/``--quiet`` apply to workers too.
         """
+        from repro.core.fastfwd import validate_warmup_mode
+        validate_warmup_mode(warmup_mode)
         specs = [get_workload(w) if isinstance(w, str) else w
                  for w in workloads]
         pols = [get_policy(p) if isinstance(p, str) else p for p in policies]
@@ -442,7 +473,8 @@ class ExperimentRunner:
                 workloads=[s.name for s in specs],
                 policies=[p.name for p in pols],
                 jobs=jobs, share_warmup=share_warmup,
-                warmup_policy=wp.name, instructions=self.instructions,
+                warmup_policy=wp.name, warmup_mode=warmup_mode,
+                instructions=self.instructions,
                 warmup=self.warmup, manifest=host_manifest())
             _log.info("sweep start", extra={"data": {
                 "points": len(specs) * len(pols), "machine": machine.name,
@@ -455,7 +487,8 @@ class ExperimentRunner:
         for spec in specs:
             missing: List[str] = []
             for pol in pols:
-                variant = _variant(share_warmup, pol.name, wp.name)
+                variant = _variant(share_warmup, pol.name, wp.name,
+                                   warmup_mode)
                 key = self._point_key(spec.name, machine, pol.name,
                                       variant=variant, digest=digest)
                 cached = self._cache.get(key)
@@ -466,7 +499,8 @@ class ExperimentRunner:
                         # Render the artifact from the cached result
                         # instead of silently re-simulating the point.
                         self._write_cached_stats(stats_dir, cached,
-                                                 machine, variant)
+                                                 machine, variant,
+                                                 warmup_mode)
                     if ledger is not None:
                         from repro.obs.manifest import point_manifest
                         ledger.point_cached(
@@ -475,14 +509,16 @@ class ExperimentRunner:
                             manifest=point_manifest(
                                 spec.name, machine, pol.name,
                                 self.instructions, self.warmup,
-                                variant=variant))
+                                variant=variant,
+                                warmup_mode=warmup_mode))
                 else:
                     missing.append(pol.name)
             if missing:
                 tasks.append((spec, machine, tuple(missing),
                               self.instructions, self.warmup, share_warmup,
                               wp.name, stats_dir, validate, oracle,
-                              ledger.path if ledger is not None else None))
+                              ledger.path if ledger is not None else None,
+                              warmup_mode))
         if not tasks:
             if ledger is not None:
                 ledger.sweep_done(elapsed_s=time.perf_counter() - t_start,
@@ -561,7 +597,8 @@ class ExperimentRunner:
                       variant).as_str()
 
     def _write_cached_stats(self, stats_dir: str, result: SimResult,
-                            machine: MachineParams, variant: str) -> None:
+                            machine: MachineParams, variant: str,
+                            warmup_mode: str = "detailed") -> None:
         """Render a stats artifact for a cache-satisfied point.
 
         A cached point was historically re-simulated whenever
@@ -575,7 +612,7 @@ class ExperimentRunner:
         from repro.obs.manifest import point_manifest
         manifest = point_manifest(result.workload, machine, result.policy,
                                   self.instructions, self.warmup,
-                                  variant=variant)
+                                  variant=variant, warmup_mode=warmup_mode)
         manifest["from_cache"] = True
         path = os.path.join(
             stats_dir,

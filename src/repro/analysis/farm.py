@@ -443,7 +443,9 @@ class FarmScheduler:
     @staticmethod
     def _task_variant(task: GroupTask, policy: str) -> str:
         share_warmup, warmup_policy = task.base[5], task.base[6]
-        return _exp._variant(share_warmup, policy, warmup_policy)
+        warmup_mode = task.base[11]
+        return _exp._variant(share_warmup, policy, warmup_policy,
+                             warmup_mode)
 
     def _failure_outcome(self, task: GroupTask, policy: str, error: str,
                          tb: str) -> Dict[str, Any]:
@@ -471,6 +473,7 @@ class SweepRequest:
     warmup: int = DEFAULT_WARMUP
     share_warmup: bool = False
     warmup_policy: str = "OOO"
+    warmup_mode: str = "detailed"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -483,6 +486,7 @@ class SweepRequest:
             "warmup": self.warmup,
             "share_warmup": self.share_warmup,
             "warmup_policy": self.warmup_policy,
+            "warmup_mode": self.warmup_mode,
         }
 
     @classmethod
@@ -505,6 +509,7 @@ class SweepRequest:
             warmup=int(payload.get("warmup", DEFAULT_WARMUP)),
             share_warmup=bool(payload.get("share_warmup", False)),
             warmup_policy=str(payload.get("warmup_policy", "OOO")),
+            warmup_mode=str(payload.get("warmup_mode", "detailed")),
         )
 
 
@@ -681,6 +686,8 @@ class FarmServer:
             for p in request.policies:
                 get_policy(p)
             get_policy(request.warmup_policy)
+            from repro.core.fastfwd import validate_warmup_mode
+            validate_warmup_mode(request.warmup_mode)
         except Exception as e:
             _log.error("request rejected", exc_info=True, extra={"data": {
                 "request_id": request_id}})
@@ -696,7 +703,8 @@ class FarmServer:
             matrix = runner.run_matrix(
                 request.workloads, machine, request.policies,
                 jobs=self.jobs, share_warmup=request.share_warmup,
-                warmup_policy=request.warmup_policy, ledger=self.ledger,
+                warmup_policy=request.warmup_policy,
+                warmup_mode=request.warmup_mode, ledger=self.ledger,
                 scheduler=scheduler)
             results = []
             for p in request.policies:
@@ -716,6 +724,7 @@ class FarmServer:
                 "machine": request.machine,
                 "instructions": request.instructions,
                 "warmup": request.warmup,
+                "warmup_mode": request.warmup_mode,
                 "elapsed_s": round(time.perf_counter() - t0, 4),
                 "results": results,
                 "failures": matrix.failures,

@@ -48,6 +48,10 @@ from repro.common.params import (
     MachineParams,
 )
 from repro.core.core import OutOfOrderCore
+from repro.core.fastfwd import (
+    DEFAULT_WARMUP_MODE, detailed_tail, functional_warmup,
+    validate_warmup_mode,
+)
 from repro.core.runahead import OOO, RunaheadPolicy, get_policy
 from repro.isa.trace import Trace
 from repro.sim import SimResult, _delta_result, _snapshot
@@ -86,11 +90,13 @@ class Checkpoint:
     seed: Optional[int]
     record_ace_intervals: bool
     trace: Trace                    # shared, append-only — never copied
+    warmup_mode: str = DEFAULT_WARMUP_MODE  # how warmup was produced
     _blob: Dict[str, Any] = field(repr=False, default_factory=dict)
 
     @classmethod
     def capture(cls, core: OutOfOrderCore, workload: str, warmup: int,
-                seed: Optional[int]) -> "Checkpoint":
+                seed: Optional[int],
+                warmup_mode: str = DEFAULT_WARMUP_MODE) -> "Checkpoint":
         """Snapshot a live core's complete mutable state."""
         raw = {
             "structures": {name: getattr(core, name)
@@ -113,7 +119,9 @@ class Checkpoint:
         return cls(workload=workload, machine=core.machine,
                    policy=core.policy, warmup=warmup, seed=seed,
                    record_ace_intervals=core.record_ace_intervals,
-                   trace=core.trace, _blob=blob)
+                   trace=core.trace,
+                   warmup_mode=validate_warmup_mode(warmup_mode),
+                   _blob=blob)
 
     def restore_into(self, core: OutOfOrderCore) -> None:
         """Load this checkpoint's state into a freshly built core.
@@ -190,20 +198,29 @@ def warm_checkpoint(
     record_ace_intervals: bool = False,
     validate: bool = False,
     ledger=None,
+    warmup_mode: str = DEFAULT_WARMUP_MODE,
 ) -> Checkpoint:
     """Run warmup once and capture the resulting state.
 
-    Mirrors the front half of :func:`repro.sim.simulate` exactly
-    (workload resolution, trace build, region preload, warmup run) so a
-    fork measured under ``policy`` reproduces a cold run bit for bit.
-    ``validate`` sanitizes the warmup run itself; it does not mark the
-    checkpoint (forks opt in separately). ``ledger`` (a
+    With the default ``warmup_mode="detailed"`` this mirrors the front
+    half of :func:`repro.sim.simulate` exactly (workload resolution,
+    trace build, region preload, warmup run) so a fork measured under
+    ``policy`` reproduces a cold run bit for bit.
+    ``warmup_mode="fast"`` warms the long-lived structures through the
+    functional walk (:func:`repro.core.fastfwd.functional_warmup`)
+    instead of the detailed pipeline — an explicit approximation,
+    cross-validated by ``repro warmval``; the capture/fork machinery is
+    identical either way. ``validate`` sanitizes the warmup run itself
+    (under fast mode only the detailed tail steps the engine, so only
+    the tail is checked); it does not mark the checkpoint (forks opt in
+    separately). ``ledger`` (a
     :class:`~repro.obs.ledger.RunLedger` or path) records a
-    ``warmup_shared`` event with the warmup wall time — purely
+    ``warmup_shared`` event with the warmup wall time and mode — purely
     observational, the captured state is bit-identical either way.
     """
     import time
 
+    validate_warmup_mode(warmup_mode)
     if isinstance(workload, str):
         workload = get_workload(workload)
     if isinstance(policy, str):
@@ -220,11 +237,21 @@ def warm_checkpoint(
         core.mem.preload(base, size, level)
     t0 = time.perf_counter()
     if warmup > 0:
-        core.run(warmup)
-    checkpoint = Checkpoint.capture(core, workload.name, warmup, seed)
+        if warmup_mode == "fast":
+            # Functional walk over the bulk, detailed core over the
+            # recency-dominated tail (see repro.core.fastfwd).
+            tail = detailed_tail(warmup)
+            functional_warmup(core, warmup - tail)
+            if tail > 0:
+                core.run(tail)
+        else:
+            core.run(warmup)
+    checkpoint = Checkpoint.capture(core, workload.name, warmup, seed,
+                                    warmup_mode=warmup_mode)
     if ledger is not None:
         ledger.warmup_shared(workload=workload.name, machine=machine.name,
                              policy=policy.name, warmup=warmup,
+                             mode=warmup_mode,
                              wall_s=time.perf_counter() - t0)
     return checkpoint
 
@@ -289,7 +316,8 @@ def simulate_from(
             manifest=point_manifest(result.workload, checkpoint.machine,
                                     result.policy, instructions,
                                     checkpoint.warmup,
-                                    seed=checkpoint.seed))
+                                    seed=checkpoint.seed,
+                                    warmup_mode=checkpoint.warmup_mode))
     return result
 
 
@@ -326,10 +354,11 @@ class CheckpointCache:
 
     @staticmethod
     def _key(workload_name: str, machine: MachineParams, policy_name: str,
-             warmup: int, seed: Optional[int], validate: bool) -> Tuple:
+             warmup: int, seed: Optional[int], validate: bool,
+             warmup_mode: str = DEFAULT_WARMUP_MODE) -> Tuple:
         from repro.analysis.experiments import RunKey
         return (workload_name, RunKey.digest(machine), policy_name,
-                warmup, seed, validate)
+                warmup, seed, validate, warmup_mode)
 
     def get_or_warm(
         self,
@@ -340,18 +369,21 @@ class CheckpointCache:
         seed: Optional[int] = None,
         validate: bool = False,
         ledger=None,
+        warmup_mode: str = DEFAULT_WARMUP_MODE,
     ) -> Checkpoint:
         """A warmed checkpoint for the point, warming at most once.
 
         On a miss this is exactly :func:`warm_checkpoint` (the ledger's
         ``warmup_shared`` event fires); a hit returns the cached object
         and emits nothing — the ledger records warmups actually run.
+        ``warmup_mode`` is part of the key: fast- and detailed-warmed
+        checkpoints occupy separate slots and never alias.
         """
         spec = get_workload(workload) if isinstance(workload, str) \
             else workload
         pol = get_policy(policy) if isinstance(policy, str) else policy
         key = self._key(spec.name, machine, pol.name, warmup, seed,
-                        validate)
+                        validate, warmup_mode)
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)
@@ -359,7 +391,8 @@ class CheckpointCache:
             return cached
         checkpoint = warm_checkpoint(spec, machine, pol, warmup=warmup,
                                      seed=seed, validate=validate,
-                                     ledger=ledger)
+                                     ledger=ledger,
+                                     warmup_mode=warmup_mode)
         self.misses += 1
         self._entries[key] = checkpoint
         while len(self._entries) > self.capacity:

@@ -20,6 +20,10 @@ Subcommands:
                          25-point baseline: --check or --regen
     memval               validate every DRAM protocol preset's measured
                          latency/bandwidth against its analytic spec
+    warmval              cross-validate fast (functional) warmup against
+                         detailed warmup over a workload x policy grid,
+                         with per-point delta tolerances and a JSON
+                         report (docs/validation.md)
 
 Global flags (before the subcommand) configure the logging layer
 (docs/observability.md): ``--log-json`` emits diagnostics as JSON
@@ -92,6 +96,17 @@ def _add_size_args(p: argparse.ArgumentParser) -> None:
                    help="warmup instructions (default 20000)")
 
 
+def _add_warmup_mode_arg(p: argparse.ArgumentParser) -> None:
+    from repro.core.fastfwd import WARMUP_MODES
+    p.add_argument("--warmup-mode", default="detailed",
+                   choices=WARMUP_MODES,
+                   help="how the warmup region runs: 'detailed' (full "
+                        "pipeline, exact, the default) or 'fast' "
+                        "(functional walk training caches/TAGE/BTB/SST "
+                        "only — approximate, cross-validated by "
+                        "`repro warmval`)")
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("workloads (memory-intensive first):")
     for w in ALL_WORKLOADS:
@@ -135,10 +150,19 @@ def cmd_run(args: argparse.Namespace) -> int:
     machine = MACHINES[args.machine]
     policy = args.policy_opt or args.policy
     telemetry = _build_telemetry(args)
-    r = simulate(args.workload, machine, policy,
-                 instructions=args.instructions, warmup=args.warmup,
-                 telemetry=telemetry, validate=args.validate,
-                 oracle=args.oracle)
+    if args.warmup_mode != "detailed":
+        from repro.checkpoint import simulate_from, warm_checkpoint
+        checkpoint = warm_checkpoint(args.workload, machine, policy,
+                                     warmup=args.warmup,
+                                     warmup_mode=args.warmup_mode)
+        r = simulate_from(checkpoint, instructions=args.instructions,
+                          telemetry=telemetry, validate=args.validate,
+                          oracle=args.oracle)
+    else:
+        r = simulate(args.workload, machine, policy,
+                     instructions=args.instructions, warmup=args.warmup,
+                     telemetry=telemetry, validate=args.validate,
+                     oracle=args.oracle)
     print(f"{r.workload} on {r.machine} under {r.policy}:")
     print(f"  instructions   {r.instructions}")
     print(f"  cycles         {r.cycles}")
@@ -242,6 +266,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                jobs=args.jobs,
                                share_warmup=args.share_warmup,
                                warmup_policy=args.warmup_policy,
+                               warmup_mode=args.warmup_mode,
                                stats_dir=args.stats_dir,
                                validate=args.validate,
                                oracle=args.oracle,
@@ -264,6 +289,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     mode = f"jobs={args.jobs}"
     if args.share_warmup:
         mode += f", shared warmup under {args.warmup_policy}"
+    if args.warmup_mode != "detailed":
+        mode += f", {args.warmup_mode} warmup"
     print(f"\n{len(rows)} points in {elapsed:.2f}s ({mode})")
     for f in matrix.failures:
         tag = "QUARANTINED" if f.get("quarantined") else "FAILED"
@@ -283,6 +310,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "jobs": args.jobs,
             "share_warmup": args.share_warmup,
             "warmup_policy": args.warmup_policy,
+            "warmup_mode": args.warmup_mode,
             "elapsed_s": elapsed,
             "results": [r.to_dict() for p in policies for w in workloads
                         for r in [matrix.get(get_policy(p).name, {}).get(
@@ -323,7 +351,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         request_id=new_request_id(), workloads=workloads,
         policies=policies, machine=args.machine,
         instructions=args.instructions, warmup=args.warmup,
-        share_warmup=args.share_warmup, warmup_policy=args.warmup_policy)
+        share_warmup=args.share_warmup, warmup_policy=args.warmup_policy,
+        warmup_mode=args.warmup_mode)
     path = submit_request(args.spool, request)
     print(f"submitted {request.request_id} "
           f"({len(workloads)}x{len(policies)} points) -> {path}")
@@ -449,6 +478,34 @@ def cmd_memval(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_warmval(args: argparse.Namespace) -> int:
+    from repro.validate.warmval import (
+        WARMVAL_POLICIES, WARMVAL_WORKLOADS, run_warmval, warmval_table,
+    )
+
+    workloads = args.workloads or list(WARMVAL_WORKLOADS)
+    policies = args.policies or list(WARMVAL_POLICIES)
+    report = run_warmval(workloads, policies, MACHINES[args.machine],
+                         instructions=args.instructions,
+                         warmup=args.warmup, seed=args.seed)
+    print(warmval_table(report))
+    print(f"\nwarmup wall: detailed {report.warmup_wall_detailed_s:.2f}s, "
+          f"fast {report.warmup_wall_fast_s:.2f}s "
+          f"({report.warmup_speedup:.1f}x speedup)")
+    if args.report:
+        from repro.common.io import atomic_write_json
+        atomic_write_json(args.report, report.to_dict(), indent=2)
+        print(f"delta report -> {args.report}")
+    if not report.ok:
+        print(f"\nwarmval FAILED ({len(report.problems)} problem(s)):")
+        for line in report.problems:
+            print(f"  {line}")
+        return 1
+    print(f"\nwarmval OK: {len(report.points)} points within tolerance "
+          f"(max IPC delta {report.max_rel_delta('ipc'):.2%})")
+    return 0
+
+
 def cmd_scaling(args: argparse.Namespace) -> int:
     rows: List[List] = []
     for machine in (CORE1, CORE2, CORE3, CORE4):
@@ -510,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="lockstep-check retirement against the "
                         "commit-stream architectural oracle")
     _add_size_args(p)
+    _add_warmup_mode_arg(p)
 
     p = sub.add_parser("report",
                        help="render a --stats-out file as tables, or "
@@ -571,6 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="lockstep-check every point's retirement against "
                         "the commit-stream architectural oracle")
     _add_size_args(p)
+    _add_warmup_mode_arg(p)
 
     p = sub.add_parser(
         "serve",
@@ -615,6 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=600.0, metavar="SEC",
                    help="--wait timeout (default 600)")
     _add_size_args(p)
+    _add_warmup_mode_arg(p)
 
     p = sub.add_parser(
         "diff", help="differential check across execution paths")
@@ -671,6 +731,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="request scheduler to validate under "
                         "(default fcfs)")
 
+    p = sub.add_parser(
+        "warmval",
+        help="cross-validate fast (functional) warmup against detailed "
+             "warmup: measured-region IPC/MPKI/branch-miss/AVF deltas "
+             "per grid point, with a JSON delta report")
+    p.add_argument("workloads", nargs="*",
+                   help="workload names (default: mcf lbm gcc)")
+    p.add_argument("-p", "--policies", nargs="+", metavar="NAME",
+                   help="policy names (default: OOO FLUSH TR PRE RAR)")
+    p.add_argument("-m", "--machine", default="baseline",
+                   choices=sorted(MACHINES))
+    p.add_argument("-n", "--instructions", type=int, default=10_000,
+                   help="measured instructions per point (default 10000)")
+    p.add_argument("-w", "--warmup", type=int, default=20_000,
+                   help="warmup instructions per point (default 20000)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="trace seed (default: workload's own)")
+    p.add_argument("--report", metavar="FILE",
+                   help="write the per-point JSON delta report to FILE")
+
     p = sub.add_parser("scaling", help="Core-1..4 sweep")
     p.add_argument("workload")
     p.add_argument("policy", nargs="?", default="RAR")
@@ -717,6 +797,7 @@ def main(argv=None) -> int:
         "diff": cmd_diff,
         "golden": cmd_golden,
         "memval": cmd_memval,
+        "warmval": cmd_warmval,
         "scaling": cmd_scaling,
         "trace": cmd_trace,
         "characterize": cmd_characterize,

@@ -313,7 +313,9 @@ def summarize(events: List[Dict[str, Any]],
             st.error_points.append(point_label(e))
         elif ev == "warmup_shared":
             st.warmups += 1
-            w.current = f"warmup {e.get('workload', '?')}"
+            mode = e.get("mode", "detailed")
+            w.current = (f"warmup {e.get('workload', '?')}"
+                         + (f" ({mode})" if mode != "detailed" else ""))
     if st.total_points == 0:
         st.total_points = st.terminal
     return st

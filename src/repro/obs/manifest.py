@@ -94,11 +94,15 @@ def host_manifest(extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
 def point_manifest(workload: str, machine, policy: str,
                    instructions: int, warmup: int,
                    seed: Optional[int] = None,
-                   variant: str = "") -> Dict[str, Any]:
+                   variant: str = "",
+                   warmup_mode: str = "detailed") -> Dict[str, Any]:
     """The per-point provenance record: run key coordinates + revision.
 
     ``machine`` may be a :class:`MachineParams` (digested via
     :meth:`RunKey.digest`) or an already-computed digest string.
+    ``warmup_mode`` records how the point's warmup region was produced
+    (``detailed`` pipeline vs ``fast`` functional walk) so mixed-mode
+    sweeps stay auditable per point.
     """
     from repro.analysis.experiments import RunKey
 
@@ -113,6 +117,7 @@ def point_manifest(workload: str, machine, policy: str,
         "policy": policy,
         "instructions": instructions,
         "warmup": warmup,
+        "warmup_mode": warmup_mode,
         "seed": seed,
         "variant": variant,
         "params_digest": digest,

@@ -206,6 +206,32 @@ class TestSpoolService:
         ok = json.load(open(response_path(spool, good.request_id)))
         assert ok["status"] == "ok" and len(ok["results"]) == 1
 
+    def test_fast_mode_request_matches_serial(self, tmp_path):
+        spool = os.path.join(str(tmp_path), "spool")
+        request = self._submit(spool, workloads=["mcf"], policies=POLS,
+                               warmup_mode="fast")
+        server = FarmServer(spool, {"baseline": BASELINE}, jobs=2)
+        assert server.serve_forever(max_requests=1) == 1
+        response = json.load(open(response_path(spool, request.request_id)))
+        assert response["status"] == "ok"
+        assert response["warmup_mode"] == "fast"
+        serial = ExperimentRunner(instructions=N, warmup=W).run_matrix(
+            ["mcf"], BASELINE, POLS, warmup_mode="fast")
+        got = {(r["policy"], r["workload"]): r
+               for r in response["results"]}
+        for p in POLS:
+            assert got[(p, "mcf")] == serial[p]["mcf"].to_dict()
+
+    def test_unknown_warmup_mode_rejected(self, tmp_path):
+        spool = os.path.join(str(tmp_path), "spool")
+        bad = self._submit(spool, workloads=["mcf"], policies=["OOO"],
+                           warmup_mode="warp")
+        server = FarmServer(spool, {"baseline": BASELINE}, jobs=1)
+        assert server.serve_forever(max_requests=1) == 1
+        rej = json.load(open(response_path(spool, bad.request_id)))
+        assert rej["status"] == "rejected"
+        assert "warp" in rej["error"]
+
     def test_orphan_recovery(self, tmp_path):
         spool = os.path.join(str(tmp_path), "spool")
         request = self._submit(spool, workloads=["mcf"], policies=["OOO"])
@@ -278,8 +304,15 @@ class TestSweepRequest:
         request = SweepRequest(request_id="abc", workloads=["mcf"],
                                policies=["OOO", "RAR"], machine="core-2",
                                instructions=1234, warmup=55,
-                               share_warmup=True, warmup_policy="FLUSH")
+                               share_warmup=True, warmup_policy="FLUSH",
+                               warmup_mode="fast")
         assert SweepRequest.from_dict(request.to_dict()) == request
+
+    def test_warmup_mode_defaults_to_detailed(self):
+        payload = SweepRequest(request_id="abc", workloads=["mcf"],
+                               policies=["OOO"]).to_dict()
+        del payload["warmup_mode"]  # pre-fast-warmup client
+        assert SweepRequest.from_dict(payload).warmup_mode == "detailed"
 
     def test_rejects_wrong_schema_and_empty_axes(self):
         good = SweepRequest(request_id="abc", workloads=["mcf"],

@@ -406,3 +406,43 @@ class TestFarmCommands:
         assert rc == 1
         assert "FAILED mcf/baseline/RAR" in captured.out
         assert "1 point(s) failed" in captured.err
+
+
+class TestWarmupMode:
+    def test_parser_accepts_and_rejects_modes(self):
+        parser = build_parser()
+        for cmd in (["run", "mcf"], ["sweep", "mcf"],
+                    ["submit", "/tmp/spool", "mcf"]):
+            args = parser.parse_args(cmd + ["--warmup-mode", "fast"])
+            assert args.warmup_mode == "fast"
+            assert parser.parse_args(cmd).warmup_mode == "detailed"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "mcf", "--warmup-mode", "warp"])
+
+    def test_run_fast_mode(self, capsys):
+        assert main(["run", "mcf", "RAR", "-n", "500", "-w", "400",
+                     "--warmup-mode", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "AVF" in out
+
+    def test_sweep_fast_mode_stamps_artifacts(self, tmp_path, capsys):
+        import json
+        out_file = tmp_path / "sweep.json"
+        assert main(["sweep", "mcf", "-p", "OOO", "-n", "500", "-w", "400",
+                     "--warmup-mode", "fast", "--out", str(out_file)]) == 0
+        assert "fast warmup" in capsys.readouterr().out
+        payload = json.loads(out_file.read_text())
+        assert payload["warmup_mode"] == "fast"
+
+    def test_warmval_tiny_grid(self, tmp_path, capsys):
+        report_file = tmp_path / "warmval.json"
+        import json
+        rc = main(["warmval", "mcf", "-p", "OOO", "RAR",
+                   "-n", "800", "-w", "600",
+                   "--report", str(report_file)])
+        out = capsys.readouterr().out
+        assert "dIPC" in out and "warmup wall" in out
+        payload = json.loads(report_file.read_text())
+        assert payload["schema"] == 1
+        assert len(payload["points"]) == 2
+        assert rc == (0 if payload["ok"] else 1)

@@ -1,0 +1,85 @@
+"""Fast-vs-detailed warmup cross-validation harness tests.
+
+Tier-1 exercises the harness mechanics on a tiny grid (report shape,
+tolerance bookkeeping, table/JSON rendering); the ``slow`` tier runs
+the real ``repro warmval`` grid at its default sizes and asserts the
+documented tolerances hold — the conformance claim docs/performance.md
+makes.
+"""
+
+import json
+
+import pytest
+
+from repro.sim import simulate
+from repro.common.params import BASELINE
+from repro.validate.warmval import (
+    TOLERANCES,
+    WARMVAL_POLICIES,
+    WARMVAL_WORKLOADS,
+    run_warmval,
+    warmval_table,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_warmval(["mcf"], ["OOO", "RAR"], instructions=800,
+                       warmup=600)
+
+
+class TestHarness:
+    def test_grid_shape(self, tiny_report):
+        assert [(p.workload, p.policy) for p in tiny_report.points] == [
+            ("mcf", "OOO"), ("mcf", "RAR")]
+        for p in tiny_report.points:
+            assert set(p.metrics) == set(TOLERANCES)
+            assert p.warm_wall_detailed_s > 0
+            assert p.warm_wall_fast_s > 0
+
+    def test_detailed_leg_matches_cold_run(self, tiny_report):
+        """The reference leg is the exact simulator, not an approximation."""
+        cold = simulate("mcf", BASELINE, "OOO", instructions=800,
+                        warmup=600)
+        got = tiny_report.points[0].metrics["ipc"]["detailed"]
+        assert got == round(cold.ipc, 6)
+
+    def test_tolerance_bookkeeping(self, tiny_report):
+        for p in tiny_report.points:
+            for name, m in p.metrics.items():
+                rel, floor = TOLERANCES[name]
+                assert m["tol_rel"] == rel and m["tol_floor"] == floor
+                bound = max(rel * abs(m["detailed"]), floor)
+                assert m["ok"] == (m["abs_delta"] <= bound + 1e-12)
+            # problems and per-metric verdicts must agree
+            assert p.ok == all(m["ok"] for m in p.metrics.values())
+
+    def test_report_json_round_trips(self, tiny_report):
+        payload = json.loads(json.dumps(tiny_report.to_dict()))
+        assert payload["schema"] == 1
+        assert payload["machine"] == "baseline"
+        assert len(payload["points"]) == 2
+        assert payload["ok"] == tiny_report.ok
+        assert set(payload["tolerances"]) == set(TOLERANCES)
+        assert payload["warmup_speedup"] >= 0
+
+    def test_table_renders_every_point(self, tiny_report):
+        table = warmval_table(tiny_report)
+        assert table.count("mcf") == 2
+        assert "dIPC" in table and "status" in table
+
+    def test_max_rel_delta(self, tiny_report):
+        deltas = [p.metrics["ipc"]["rel_delta"] for p in tiny_report.points]
+        assert tiny_report.max_rel_delta("ipc") == max(deltas)
+
+
+@pytest.mark.slow
+class TestConformance:
+    def test_default_grid_within_documented_tolerance(self):
+        """The documented warmval claim: full grid, default sizes."""
+        report = run_warmval()
+        assert report.ok, report.problems
+        assert len(report.points) == (len(WARMVAL_WORKLOADS)
+                                      * len(WARMVAL_POLICIES))
+        # the headline speedup target (docs/performance.md)
+        assert report.warmup_speedup >= 5.0
