@@ -383,10 +383,11 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
-    from repro.workloads.catalog import ALL_WORKLOADS, EXTRA_WORKLOADS
+    from repro.workloads.catalog import (ALL_WORKLOADS, EXTRA_WORKLOADS,
+                                         PHASED_WORKLOADS)
     from repro.workloads.characterize import characterize_all
     names = args.workloads or [
-        w.name for w in ALL_WORKLOADS + EXTRA_WORKLOADS]
+        w.name for w in ALL_WORKLOADS + EXTRA_WORKLOADS + PHASED_WORKLOADS]
     profiles = characterize_all(names, MACHINES[args.machine],
                                 instructions=args.instructions,
                                 warmup=args.warmup)
@@ -400,12 +401,93 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.workloads.characterize import calibrate_catalog
+    try:
+        results = calibrate_catalog(
+            args.workloads or None, MACHINES[args.machine],
+            instructions=args.instructions, warmup=args.warmup,
+            check=args.check)
+    except KeyError as e:
+        print(f"calibrate failed: {e}", file=sys.stderr)
+        return 2
+    rows = [[r.name, r.hot_fraction, r.data_bias,
+             r.mpki_target, r.mpki_measured, "ok" if r.mpki_ok else "MISS",
+             r.brmiss_target, r.brmiss_measured,
+             "ok" if r.brmiss_ok else "MISS", r.iterations]
+            for r in results]
+    print(format_table(
+        ["workload", "hot_frac", "data_bias", "MPKI tgt", "MPKI",
+         "", "br/ki tgt", "br/ki", "", "sims"], rows))
+    if args.report:
+        from repro.common.io import atomic_write_json
+        atomic_write_json(args.report,
+                          {"mode": "check" if args.check else "tune",
+                           "machine": args.machine,
+                           "instructions": args.instructions,
+                           "warmup": args.warmup,
+                           "results": [r.to_dict() for r in results]},
+                          indent=2)
+        print(f"calibration report -> {args.report}")
+    bad = [r.name for r in results if not r.converged]
+    if bad:
+        print(f"calibration off-target for: {', '.join(bad)}",
+              file=sys.stderr)
+        return 1
+    if not args.check:
+        print("bake these into _TUNED in src/repro/workloads/catalog.py:")
+        for r in results:
+            print(f'    "{r.name}": {{"hot_fraction": {r.hot_fraction}, '
+                  f'"data_bias": {r.data_bias}}},')
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
-    from repro.isa.tracefile import load_trace, save_trace
+    import json as _json
+
+    from repro.isa.tracefile import (TraceFormatError, iter_trace, load_trace,
+                                     save_trace, trace_info)
     if args.action == "dump":
         spec = get_workload(args.workload)
         n = save_trace(spec.build_trace(), args.path, limit=args.limit)
         print(f"wrote {n} uops of {spec.name!r} to {args.path}")
+        return 0
+    if args.action == "import":
+        from repro.isa.importers import ImportError_, import_trace
+        if not args.out:
+            print("trace import requires --out <file>", file=sys.stderr)
+            return 2
+        try:
+            trace = import_trace(args.path, fmt=args.format,
+                                 name=args.name or "")
+            n = save_trace(trace, args.out, limit=args.limit,
+                           name=trace.name)
+        except (ImportError_, TraceFormatError, OSError) as e:
+            print(f"trace import failed: {e}", file=sys.stderr)
+            return 1
+        print(f"imported {n} uops from {args.path} -> {args.out}")
+        print(f"run it with: repro run trace:{args.out} <policy>")
+        return 0
+    if args.action == "info":
+        try:
+            info = trace_info(args.path)
+        except (TraceFormatError, OSError) as e:
+            print(f"trace info failed: {e}", file=sys.stderr)
+            return 1
+        print(_json.dumps(info, indent=2))
+        return 0
+    if args.action == "head":
+        try:
+            shown = 0
+            for uop, extras in iter_trace(args.path):
+                ph = f" ph={extras['ph']}" if "ph" in extras else ""
+                print(f"{uop!r}{ph}")
+                shown += 1
+                if shown >= args.limit:
+                    break
+        except (TraceFormatError, OSError) as e:
+            print(f"trace head failed: {e}", file=sys.stderr)
+            return 1
         return 0
     # replay
     trace = load_trace(args.path)
@@ -434,18 +516,23 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
 
 def cmd_golden(args: argparse.Namespace) -> int:
-    from repro.validate.golden import check_golden, golden_points, \
-        regen_golden
+    from repro.validate.golden import check_golden, check_scenarios, \
+        golden_points, regen_golden, regen_scenarios, scenario_points
 
     if args.regen:
         written = regen_golden(args.dir, jobs=args.jobs,
                                instructions=args.instructions,
                                warmup=args.warmup, ledger=args.ledger)
-        print(f"froze {len(golden_points())} golden points:")
+        written.append(regen_scenarios(args.dir, jobs=args.jobs,
+                                       ledger=args.ledger))
+        total = len(golden_points()) + len(scenario_points())
+        print(f"froze {total} golden points:")
         for path in written:
             print(f"  {path}")
         return 0
     problems = check_golden(args.dir, jobs=args.jobs, ledger=args.ledger)
+    problems += check_scenarios(args.dir, jobs=args.jobs,
+                                ledger=args.ledger)
     if problems:
         print(f"golden check FAILED ({len(problems)} mismatch(es)):")
         for line in problems:
@@ -453,7 +540,8 @@ def cmd_golden(args: argparse.Namespace) -> int:
         print("if the change is intended, refreeze with "
               "`python -m repro golden --regen` and review the diff")
         return 1
-    print(f"golden check OK: {len(golden_points())} points conformant")
+    total = len(golden_points()) + len(scenario_points())
+    print(f"golden check OK: {total} points conformant")
     return 0
 
 
@@ -764,17 +852,58 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(MACHINES))
     _add_size_args(p)
 
-    p = sub.add_parser("trace", help="dump/replay trace files")
-    p.add_argument("action", choices=("dump", "replay"))
-    p.add_argument("path", help="trace file (.trace or .trace.gz)")
+    p = sub.add_parser(
+        "trace",
+        help="dump/replay/import/inspect trace files",
+        description="dump: save a catalog workload's trace; replay: run a "
+        "saved trace; import: convert a ChampSim/gem5 text trace to the "
+        "repro format; info: summarise a saved trace; head: print its "
+        "first uops. Imported/saved traces run anywhere a workload name "
+        "is accepted, as trace:<path>.")
+    p.add_argument("action", choices=("dump", "replay", "import", "info",
+                                      "head"))
+    p.add_argument("path", help="trace file (import: the foreign input)")
     p.add_argument("-k", "--workload", default="mcf",
                    help="catalog workload to dump")
     p.add_argument("-p", "--policy", default="OOO")
     p.add_argument("-m", "--machine", default="baseline",
                    choices=sorted(MACHINES))
     p.add_argument("-l", "--limit", type=int, default=100_000,
-                   help="max uops to dump")
+                   help="max uops to dump/import (head: lines to show)")
+    p.add_argument("-o", "--out",
+                   help="output trace file for import (.trc or .trc.gz)")
+    p.add_argument("-f", "--format", default="auto",
+                   choices=("auto", "champsim", "gem5"),
+                   help="import input format (default: sniff)")
+    p.add_argument("--name", help="embedded trace name for import")
     _add_size_args(p)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="auto-tune phased workloads to their MPKI/branch-miss targets",
+        description="Searches each phased generator's hot_fraction and "
+        "data_bias dials until the measured MPKI and branch "
+        "mispredicts/kinst hit the per-benchmark targets in "
+        "workloads/catalog.py, then prints the calibration report "
+        "(docs/workloads.md).")
+    p.add_argument("workloads", nargs="*",
+                   help="phased workload names (default: all)")
+    p.add_argument("-m", "--machine", default="baseline",
+                   choices=sorted(MACHINES))
+    p.add_argument("--report", metavar="FILE",
+                   help="write the JSON calibration report to FILE")
+    p.add_argument("--check", action="store_true",
+                   help="verify the baked tuned parameters instead of "
+                   "re-searching")
+    # Calibration targets are defined at the characterize() window, not
+    # the generic run sizes: phased workloads are non-stationary, so the
+    # measured MPKI depends on where in the schedule the window falls.
+    p.add_argument("-n", "--instructions", type=int, default=8_000,
+                   help="measured committed instructions (default 8000, "
+                   "the calibration window)")
+    p.add_argument("-w", "--warmup", type=int, default=15_000,
+                   help="warmup instructions (default 15000, "
+                   "the calibration window)")
 
     return parser
 
@@ -801,6 +930,7 @@ def main(argv=None) -> int:
         "scaling": cmd_scaling,
         "trace": cmd_trace,
         "characterize": cmd_characterize,
+        "calibrate": cmd_calibrate,
     }
     return handlers[args.command](args)
 

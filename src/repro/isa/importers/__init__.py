@@ -1,0 +1,76 @@
+"""External-trace importers: foreign formats → :class:`StaticUop` streams.
+
+Each importer takes an iterator of text lines and returns a list of
+uops with trace-index dependence edges inferred by the last-writer
+heuristic documented in :mod:`repro.isa.importers.base`. The registry
+here adds format sniffing and a one-call file → ``Trace`` path used by
+``repro trace import`` and the ``trace:<path>`` workload resolver.
+"""
+
+import gzip
+import io
+from typing import Callable, Dict, Iterator, List, TextIO
+
+from repro.isa.importers.base import ImportError_
+from repro.isa.importers.champsim import import_champsim
+from repro.isa.importers.gem5 import import_gem5
+from repro.isa.trace import Trace
+from repro.isa.uop import StaticUop
+
+__all__ = ["FORMATS", "ImportError_", "get_importer", "import_trace",
+           "sniff_format"]
+
+FORMATS: Dict[str, Callable[[Iterator[str], str], List[StaticUop]]] = {
+    "champsim": import_champsim,
+    "gem5": import_gem5,
+}
+
+
+def get_importer(fmt: str) -> Callable[[Iterator[str], str], List[StaticUop]]:
+    try:
+        return FORMATS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace format {fmt!r} "
+            f"(known: {', '.join(sorted(FORMATS))})") from None
+
+
+def _open(path: str) -> TextIO:
+    if path.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "rb"))
+    return open(path)
+
+
+def sniff_format(path: str) -> str:
+    """Guess the input format from the first non-comment line.
+
+    gem5 exec-trace lines start with ``<tick>:``; ChampSim text lines
+    start with a bare PC. Raises :class:`ImportError_` when neither
+    shape matches (including an empty file).
+    """
+    with _open(path) as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            first = line.split()[0]
+            if first.rstrip(":").isdigit() and line.split(":", 1)[0].strip() \
+                    .isdigit() and ":" in line:
+                return "gem5"
+            if first.lower().startswith("0x") or first.isdigit():
+                return "champsim"
+            raise ImportError_(path, lineno,
+                               f"cannot sniff trace format from {line!r}")
+    raise ImportError_(path, 0, "empty input (no records to sniff)")
+
+
+def import_trace(path: str, fmt: str = "auto", name: str = "") -> Trace:
+    """Import an external trace file into a rewindable :class:`Trace`."""
+    if fmt == "auto":
+        fmt = sniff_format(path)
+    importer = get_importer(fmt)
+    with _open(path) as f:
+        uops = importer(iter(f), path)
+    if not uops:
+        raise ImportError_(path, 0, "input produced no uops")
+    return Trace.from_list(uops, name=name or f"{fmt}-import")

@@ -1,0 +1,111 @@
+"""Shared machinery for external-trace importers.
+
+External formats (ChampSim, gem5) describe *instructions* with
+architectural registers and memory operands; the simulator consumes
+*uops* whose ``srcs`` are trace indices of producer uops. The bridge is
+:class:`DependenceTracker`, which applies a documented last-writer
+heuristic:
+
+**Register-dependence inference heuristic.** Maintain a map from
+architectural register number to the trace index of the uop that last
+wrote it. When an instruction reads registers ``{r...}``, its uop's
+``srcs`` become the mapped producer indices of those registers (readers
+of never-written registers get no edge — they are treated as ready at
+dispatch, matching a warmed-up register file). When it writes registers,
+the map is updated to point at the emitted uop. For loads and stores the
+inferred sources are the *address-generating* producers — exactly the
+edges the Stalling Slice Table walks — because external formats list the
+registers consumed by address computation as instruction sources.
+Memory-carried dependences (store→load forwarding) are intentionally
+not inferred: the LSQ discovers those dynamically from addresses, as it
+does for generated workloads.
+
+The heuristic over-approximates when an instruction reads a register for
+a non-address purpose (the store-data register becomes an address-slice
+edge) and under-approximates cross-function dependences through memory;
+both are standard trade-offs for PC+memop trace formats, which do not
+carry dataflow.
+"""
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.isa.uop import StaticUop
+
+__all__ = ["DependenceTracker", "ImportError_", "UopBuilder"]
+
+
+class ImportError_(ValueError):
+    """A malformed importer input line (path + 1-based line number)."""
+
+    def __init__(self, path: str, line: int, reason: str):
+        self.path = path
+        self.line = line
+        self.reason = reason
+        super().__init__(f"{path}:{line}: {reason}")
+
+
+class DependenceTracker:
+    """Last-writer register map → trace-index dependence edges."""
+
+    def __init__(self) -> None:
+        self._last_writer: Dict[int, int] = {}
+
+    def sources(self, regs: Iterable[int]) -> Tuple[int, ...]:
+        """Producer trace indices for a register read set (sorted,
+        deduplicated; unwritten registers contribute nothing)."""
+        seen = set()
+        for r in regs:
+            idx = self._last_writer.get(r)
+            if idx is not None:
+                seen.add(idx)
+        return tuple(sorted(seen))
+
+    def wrote(self, regs: Iterable[int], uop_idx: int) -> None:
+        for r in regs:
+            self._last_writer[r] = uop_idx
+
+
+class UopBuilder:
+    """Accumulates :class:`StaticUop`s with automatic idx assignment."""
+
+    def __init__(self) -> None:
+        self.uops: List[StaticUop] = []
+
+    @property
+    def next_idx(self) -> int:
+        return len(self.uops)
+
+    def emit(self, pc: int, cls: int, srcs: Tuple[int, ...] = (),
+             addr: int = -1, taken: bool = False, target: int = 0,
+             ) -> StaticUop:
+        uop = StaticUop(idx=len(self.uops), pc=pc, cls=cls, srcs=srcs,
+                        addr=addr, taken=taken, target=target)
+        self.uops.append(uop)
+        return uop
+
+
+def parse_int(token: str, path: str, line: int, what: str,
+              base: int = 10) -> int:
+    try:
+        return int(token, base)
+    except ValueError:
+        raise ImportError_(path, line,
+                           f"{what} {token!r} is not an integer") from None
+
+
+def parse_reg_list(token: str, path: str, line: int) -> List[int]:
+    """A comma-separated register list; ``-`` (or empty) means none."""
+    if token in ("-", ""):
+        return []
+    return [parse_int(t, path, line, "register") for t in token.split(",")]
+
+
+def parse_optional_addr(token: str, path: str, line: int) -> Optional[int]:
+    """A memory address in decimal or 0x-hex; ``-`` means no access."""
+    if token == "-":
+        return None
+    base = 16 if token.lower().startswith("0x") else 10
+    addr = parse_int(token, path, line, "address", base)
+    if addr < 0:
+        raise ImportError_(path, line, f"negative address {addr}")
+    return addr

@@ -1,0 +1,129 @@
+"""ChampSim-style text trace importer.
+
+ChampSim's binary trace record is ``{ip, is_branch, branch_taken,
+dst_regs[2], src_regs[4], dst_mem[2], src_mem[4]}``; this importer reads
+the equivalent whitespace-separated text rendering (one instruction per
+line, the form produced by ChampSim's own trace dumpers and by common
+`champsim_trace -t` conversions)::
+
+    <pc> <is_branch> <branch_taken> <dst_regs> <src_regs> <mem_read> <mem_write>
+
+* ``pc`` — decimal or ``0x``-hex instruction address
+* ``is_branch`` / ``branch_taken`` — 0 or 1
+* ``dst_regs`` / ``src_regs`` — comma-separated architectural register
+  numbers, ``-`` when empty
+* ``mem_read`` / ``mem_write`` — one effective address (decimal or
+  ``0x``-hex) or ``-``
+
+``#``-prefixed lines and blank lines are ignored.
+
+Uop synthesis (one instruction can expand to up to two uops, matching
+how the workload generators model RMW):
+
+* memory read  → LOAD uop; memory write → STORE uop (a line with both
+  emits LOAD then STORE, the load feeding the store like the generators'
+  load-consume chains);
+* ``is_branch`` → BRANCH uop; the taken flag comes from the trace and
+  the target from the *next* instruction's PC when taken (ChampSim text
+  traces don't carry targets — the fall-through/next-PC lookahead
+  reconstructs them, which is exact for the dynamic stream);
+* otherwise an ALU uop: INT_CMP when the instruction writes no
+  destination register (flag-setting compare idiom), INT_ADD when it
+  does.
+
+Register dependences follow the last-writer heuristic documented in
+:mod:`repro.isa.importers.base`.
+"""
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.enums import UopClass
+from repro.isa.importers.base import (
+    DependenceTracker, ImportError_, UopBuilder, parse_int, parse_optional_addr,
+    parse_reg_list,
+)
+from repro.isa.uop import StaticUop
+
+__all__ = ["import_champsim"]
+
+_FIELDS = 7
+
+
+class _Line:
+    __slots__ = ("pc", "is_branch", "taken", "dsts", "srcs", "mem_read",
+                 "mem_write", "lineno")
+
+    def __init__(self, pc: int, is_branch: bool, taken: bool,
+                 dsts: List[int], srcs: List[int],
+                 mem_read: Optional[int], mem_write: Optional[int],
+                 lineno: int):
+        self.pc = pc
+        self.is_branch = is_branch
+        self.taken = taken
+        self.dsts = dsts
+        self.srcs = srcs
+        self.mem_read = mem_read
+        self.mem_write = mem_write
+        self.lineno = lineno
+
+
+def _parse_lines(lines: Iterator[str], path: str) -> Iterator[_Line]:
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != _FIELDS:
+            raise ImportError_(path, lineno,
+                               f"expected {_FIELDS} fields "
+                               f"(pc is_branch taken dsts srcs mem_read "
+                               f"mem_write), got {len(parts)}")
+        pc_s, br_s, taken_s, dst_s, src_s, rd_s, wr_s = parts
+        pc = parse_int(pc_s, path, lineno, "pc",
+                       16 if pc_s.lower().startswith("0x") else 10)
+        if br_s not in ("0", "1") or taken_s not in ("0", "1"):
+            raise ImportError_(path, lineno,
+                               "is_branch/branch_taken must be 0 or 1")
+        yield _Line(pc=pc, is_branch=br_s == "1", taken=taken_s == "1",
+                    dsts=parse_reg_list(dst_s, path, lineno),
+                    srcs=parse_reg_list(src_s, path, lineno),
+                    mem_read=parse_optional_addr(rd_s, path, lineno),
+                    mem_write=parse_optional_addr(wr_s, path, lineno),
+                    lineno=lineno)
+
+
+def import_champsim(lines: Iterator[str], path: str = "<champsim>",
+                    ) -> List[StaticUop]:
+    """Synthesize a :class:`StaticUop` stream from ChampSim text lines."""
+    parsed = list(_parse_lines(lines, path))
+    deps = DependenceTracker()
+    b = UopBuilder()
+    for i, ins in enumerate(parsed):
+        reg_srcs: Tuple[int, ...] = deps.sources(ins.srcs)
+        emitted = []
+        if ins.mem_read is not None:
+            emitted.append(b.emit(ins.pc, int(UopClass.LOAD), srcs=reg_srcs,
+                                  addr=ins.mem_read))
+        if ins.mem_write is not None:
+            srcs = reg_srcs
+            if emitted:  # RMW: the store consumes the load's value
+                srcs = tuple(sorted(set(reg_srcs) | {emitted[-1].idx}))
+            emitted.append(b.emit(ins.pc, int(UopClass.STORE), srcs=srcs,
+                                  addr=ins.mem_write))
+        if ins.is_branch:
+            srcs = reg_srcs
+            if emitted:  # e.g. a test-and-branch through memory
+                srcs = tuple(sorted(set(reg_srcs) | {emitted[-1].idx}))
+            target = 0
+            if ins.taken and i + 1 < len(parsed):
+                target = parsed[i + 1].pc
+            emitted.append(b.emit(ins.pc, int(UopClass.BRANCH), srcs=srcs,
+                                  taken=ins.taken, target=target))
+        if not emitted:
+            cls = UopClass.INT_ADD if ins.dsts else UopClass.INT_CMP
+            emitted.append(b.emit(ins.pc, int(cls), srcs=reg_srcs))
+        if ins.dsts:
+            # The last uop of the expansion carries the architectural
+            # result (load value / ALU result).
+            deps.wrote(ins.dsts, emitted[-1].idx)
+    return b.uops

@@ -1,0 +1,182 @@
+"""gem5 exec-trace importer.
+
+Reads the textual instruction trace produced by gem5's ``Exec*`` debug
+flags (``--debug-flags=Exec``), lines shaped like::
+
+    500: system.cpu: 0x4005a0: add x1, x2, x3 : IntAlu : D=0x000000000000002a
+    1000: system.cpu: 0x4005a4: ldr x4, [x1] : MemRead : D=0x1 A=0x7ffff000
+    1500: system.cpu: 0x4005a8 @main+12: b.ne 0x4005a0 : IntAlu :
+
+i.e. ``<tick>: <cpu>: <pc>[ @sym+off]: <disassembly> : <class> [: D=.. A=..]``.
+The importer is deliberately tolerant — gem5's exact rendering varies by
+ISA and version — and keys off the stable parts:
+
+* **pc** — the first ``0x...`` token after the cpu field (symbolic
+  ``@sym+off`` suffixes are ignored).
+* **uop class** — from the gem5 op class when present (``MemRead`` →
+  LOAD, ``MemWrite`` → STORE, ``FloatAdd``/``FloatCmp`` → FP_ADD,
+  ``FloatMult`` → FP_MUL, ``FloatDiv``/``FloatSqrt`` → FP_DIV,
+  ``IntMult`` → INT_MUL, ``IntDiv`` → INT_DIV), else from the mnemonic
+  (``ld*``/``lw``/``lb``/``lh`` → LOAD; ``st*``/``sw``/``sb``/``sh`` →
+  STORE; ``b*``/``j*``/``call``/``ret`` → BRANCH; ``mul``/``div``/
+  ``fadd``/``fmul``/``fdiv`` prefixes → the matching class; anything
+  else → INT_ADD, or INT_CMP for ``cmp``/``test``).
+* **memory address** — the ``A=0x...`` annotation (MemRead/MemWrite
+  lines); a memory-class line without one is a format error.
+* **branch direction/target** — branches are taken when the next line's
+  PC differs from the fall-through guess (previous pc + instruction
+  spacing inferred from the stream); the target is the next PC.
+* **registers** — parsed from the disassembly operands: the first
+  register token is the destination (except for stores/branches/compares,
+  which write none), the rest are sources. Register tokens are mapped to
+  small integers by name so the last-writer heuristic
+  (:mod:`repro.isa.importers.base`) applies unchanged.
+"""
+
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.enums import UopClass
+from repro.isa.importers.base import DependenceTracker, ImportError_, UopBuilder
+from repro.isa.uop import StaticUop
+
+__all__ = ["import_gem5"]
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<tick>\d+)\s*:\s*(?P<cpu>[\w.\[\]]+)\s*:\s*"
+    r"(?P<pc>0x[0-9a-fA-F]+)(?:\s*@\S+)?\s*:\s*(?P<rest>.*)$")
+_ADDR_RE = re.compile(r"\bA=(0x[0-9a-fA-F]+)")
+_REG_RE = re.compile(r"\b([xwrfvd]\d+|[re]?[abcd]x|[re]?[sd]i|[re]?[sb]p"
+                     r"|zero|ra|sp|gp|tp|t\d+|s\d+|a\d+)\b")
+
+_OPCLASS_MAP = {
+    "MemRead": UopClass.LOAD, "FloatMemRead": UopClass.LOAD,
+    "MemWrite": UopClass.STORE, "FloatMemWrite": UopClass.STORE,
+    "IntMult": UopClass.INT_MUL, "IntDiv": UopClass.INT_DIV,
+    "FloatAdd": UopClass.FP_ADD, "FloatCmp": UopClass.FP_ADD,
+    "FloatCvt": UopClass.FP_ADD, "FloatMult": UopClass.FP_MUL,
+    "FloatMultAcc": UopClass.FP_MUL, "FloatDiv": UopClass.FP_DIV,
+    "FloatSqrt": UopClass.FP_DIV, "IntAlu": None, "SimdAlu": None,
+    "No_OpClass": None,
+}
+
+_MNEMONIC_PREFIXES: Tuple[Tuple[Tuple[str, ...], UopClass], ...] = (
+    (("ld", "lw", "lb", "lh", "mov.l", "pop"), UopClass.LOAD),
+    (("st", "sw", "sb", "sh", "push"), UopClass.STORE),
+    (("b", "j", "call", "ret"), UopClass.BRANCH),
+    (("mul", "imul"), UopClass.INT_MUL),
+    (("div", "idiv", "rem"), UopClass.INT_DIV),
+    (("fadd", "fsub", "fcmp"), UopClass.FP_ADD),
+    (("fmul", "fmadd"), UopClass.FP_MUL),
+    (("fdiv", "fsqrt"), UopClass.FP_DIV),
+    (("cmp", "test", "tst"), UopClass.INT_CMP),
+)
+
+
+class _Insn:
+    __slots__ = ("pc", "cls", "addr", "mnemonic", "regs", "lineno")
+
+    def __init__(self, pc: int, cls: UopClass, addr: Optional[int],
+                 mnemonic: str, regs: List[str], lineno: int):
+        self.pc = pc
+        self.cls = cls
+        self.addr = addr
+        self.mnemonic = mnemonic
+        self.regs = regs
+        self.lineno = lineno
+
+
+def _classify(mnemonic: str, opclass: Optional[str], path: str,
+              lineno: int) -> UopClass:
+    if opclass is not None and opclass in _OPCLASS_MAP:
+        mapped = _OPCLASS_MAP[opclass]
+        if mapped is not None:
+            return mapped
+    m = mnemonic.lower()
+    for prefixes, cls in _MNEMONIC_PREFIXES:
+        if any(m.startswith(p) for p in prefixes):
+            return cls
+    return UopClass.INT_ADD
+
+
+def _parse(lines: Iterator[str], path: str) -> List[_Insn]:
+    insns: List[_Insn] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        m = _LINE_RE.match(line)
+        if m is None:
+            raise ImportError_(path, lineno,
+                               "unrecognised gem5 exec-trace line "
+                               "(expected '<tick>: <cpu>: <pc>: ...')")
+        pc = int(m.group("pc"), 16)
+        rest = m.group("rest")
+        # rest = "<disassembly> : <opclass> [: D=.. A=..]"
+        segments = [s.strip() for s in rest.split(" : ")]
+        disasm = segments[0]
+        opclass = segments[1].split()[0] if len(segments) > 1 and segments[1] \
+            else None
+        annotations = " : ".join(segments[2:]) if len(segments) > 2 else ""
+        if not disasm:
+            raise ImportError_(path, lineno, "empty disassembly field")
+        mnemonic = disasm.split()[0]
+        cls = _classify(mnemonic, opclass, path, lineno)
+        addr: Optional[int] = None
+        am = _ADDR_RE.search(annotations) or _ADDR_RE.search(rest)
+        if am is not None:
+            addr = int(am.group(1), 16)
+        if cls in (UopClass.LOAD, UopClass.STORE) and addr is None:
+            raise ImportError_(path, lineno,
+                               f"memory instruction {mnemonic!r} has no "
+                               f"A=<addr> annotation")
+        operands = disasm[len(mnemonic):]
+        regs = _REG_RE.findall(operands)
+        insns.append(_Insn(pc=pc, cls=cls, addr=addr, mnemonic=mnemonic,
+                           regs=regs, lineno=lineno))
+    return insns
+
+
+def import_gem5(lines: Iterator[str], path: str = "<gem5>",
+                ) -> List[StaticUop]:
+    """Synthesize a :class:`StaticUop` stream from a gem5 exec trace."""
+    insns = _parse(lines, path)
+    deps = DependenceTracker()
+    b = UopBuilder()
+    reg_ids: Dict[str, int] = {}
+
+    def rid(name: str) -> int:
+        return reg_ids.setdefault(name.lower(), len(reg_ids))
+
+    # Infer the common instruction spacing (4 for RISC ISAs) from the
+    # most frequent positive PC delta, for branch-direction inference.
+    deltas: Dict[int, int] = {}
+    for a, c in zip(insns, insns[1:]):
+        d = c.pc - a.pc
+        if 0 < d <= 16:
+            deltas[d] = deltas.get(d, 0) + 1
+    spacing = max(deltas, key=deltas.get) if deltas else 4
+
+    for i, ins in enumerate(insns):
+        writes_dest = ins.cls not in (UopClass.STORE, UopClass.BRANCH,
+                                      UopClass.INT_CMP)
+        if writes_dest and ins.regs:
+            dst_regs = [rid(ins.regs[0])]
+            src_regs = [rid(r) for r in ins.regs[1:]]
+        else:
+            dst_regs = []
+            src_regs = [rid(r) for r in ins.regs]
+        srcs = deps.sources(src_regs)
+        taken = False
+        target = 0
+        if ins.cls == UopClass.BRANCH and i + 1 < len(insns):
+            next_pc = insns[i + 1].pc
+            taken = next_pc != ins.pc + spacing
+            if taken:
+                target = next_pc
+        uop = b.emit(ins.pc, int(ins.cls), srcs=srcs,
+                     addr=ins.addr if ins.addr is not None else -1,
+                     taken=taken, target=target)
+        if dst_regs:
+            deps.wrote(dst_regs, uop.idx)
+    return b.uops

@@ -9,7 +9,8 @@ Python generators of :class:`StaticUop`; the trace buffers what has been
 generated so far and extends on demand.
 """
 
-from typing import Callable, Iterator, List, Optional
+from bisect import bisect_right
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.isa.uop import StaticUop
 
@@ -28,6 +29,11 @@ class Trace:
         self._buf: List[StaticUop] = []
         self._exhausted = False
         self.name = name
+        # Phase annotation: either a closure (generated phased workloads)
+        # or a sorted (start_idx, phase_id) table (loaded v2 traces). A
+        # "live" table may still be growing while the source streams.
+        self._phase_fn: Optional[Callable[[int], int]] = None
+        self._phase_table: Optional[List[Tuple[int, int]]] = None
 
     def __len__(self) -> int:
         """Number of uops materialised so far (grows on demand)."""
@@ -66,6 +72,38 @@ class Trace:
         if idx < len(buf):
             return buf[idx]
         return None
+
+    # -------------------------------------------------------- phases
+
+    def set_phase_fn(self, fn: Callable[[int], int]) -> None:
+        """Install an analytic phase map (used by phased generators)."""
+        self._phase_fn = fn
+        self._phase_table = None
+
+    def set_phase_table(self, rows: List[Tuple[int, int]],
+                        live: bool = False) -> None:
+        """Install a ``(start_idx, phase_id)`` table (used by loaded
+        traces). With ``live=True`` the list may still be appended to by
+        the streaming source as records materialise."""
+        if not live and not rows:
+            return
+        self._phase_fn = None
+        self._phase_table = rows
+
+    def has_phases(self) -> bool:
+        return self._phase_fn is not None or bool(self._phase_table)
+
+    def phase_of(self, idx: int) -> int:
+        """Phase id of the uop at ``idx`` (0 for unphased traces)."""
+        if self._phase_fn is not None:
+            return self._phase_fn(idx)
+        table = self._phase_table
+        if not table:
+            return 0
+        pos = bisect_right(table, (idx, float("inf")))
+        if pos == 0:
+            return 0
+        return table[pos - 1][1]
 
     def slice_producers(self, idx: int, max_depth: int = 64) -> List[int]:
         """Backward address-slice of the uop at ``idx``.

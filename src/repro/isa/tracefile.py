@@ -1,24 +1,81 @@
 """Trace persistence: save/load the static uop stream.
 
-A simple line-oriented text format (optionally gzip-compressed by file
-extension) so traces can be archived, diffed, shipped to collaborators, or
-produced by external tools (e.g. a binary-instrumentation pipeline) and
-replayed through the simulator:
+Two line-oriented text formats (optionally gzip-compressed by file
+extension) so traces can be archived, diffed, shipped to collaborators,
+or produced by external tools and replayed through the simulator.
+
+Version 1 (still read and written for compatibility)::
 
     #repro-trace v1 name=<name>
     <idx> <pc> <cls> <addr> <taken> <target> <src>[,<src>...]
 
-Fields are integers except ``taken`` (0/1); ``srcs`` is ``-`` when empty.
+Version 2 (the default) adds a JSON metadata block and optional
+per-uop fields::
+
+    #repro-trace v2
+    #meta {"name": ..., "source": ..., "uops": ..., ...}
+    <idx> <pc> <cls> <addr> <taken> <target> <srcs> [key=value ...]
+
+Fields are integers except ``taken`` (0/1); ``srcs`` is ``-`` when
+empty. The only per-uop optional field currently defined is ``ph=<int>``
+— the phase id of a phase-structured workload (see
+``repro.workloads.base.PhaseSpec``); unknown keys are a format error so
+typos fail loudly instead of silently dropping data.
+
+Names containing whitespace (or quotes) are JSON-quoted in the v1
+header and always carried inside the v2 metadata block, so any
+printable name round-trips exactly.
+
+All malformed inputs raise :class:`TraceFormatError` (a ``ValueError``)
+carrying the path and 1-based line number — never a bare crash from
+deep inside ``int()``.
+
+:func:`load_trace` materialises the whole file; :func:`stream_trace`
+returns a lazily-materialising :class:`Trace` backed by
+:func:`iter_trace`, so a multi-gigabyte trace costs memory only for
+the prefix the simulation actually touches.
 """
 
 import gzip
 import io
-from typing import Iterator, List, TextIO, Union
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, TextIO, Tuple, Union
 
+from repro.common.enums import UopClass
 from repro.isa.trace import Trace
 from repro.isa.uop import StaticUop
 
-MAGIC = "#repro-trace v1"
+__all__ = [
+    "MAGIC", "MAGIC_V1", "MAGIC_V2", "TraceFormatError",
+    "iter_trace", "load_trace", "save_trace", "stream_trace", "trace_info",
+]
+
+MAGIC_V1 = "#repro-trace v1"
+MAGIC_V2 = "#repro-trace v2"
+#: Back-compat alias (the historical name for the v1 magic).
+MAGIC = MAGIC_V1
+
+#: Per-uop optional field keys understood by the v2 record parser.
+_UOP_FIELDS = ("ph",)
+
+_VALID_CLASSES = frozenset(int(c) for c in UopClass)
+
+
+class TraceFormatError(ValueError):
+    """A malformed trace file: carries the path and 1-based line number.
+
+    Subclasses ``ValueError`` so pre-v2 callers catching ValueError keep
+    working; the message always reads ``path:line: reason`` (line 0 =
+    file-level problem such as an empty file).
+    """
+
+    def __init__(self, path: str, line: int, reason: str):
+        self.path = path
+        self.line = line
+        self.reason = reason
+        where = f"{path}:{line}" if line else path
+        super().__init__(f"{where}: {reason}")
 
 
 def _open(path: str, mode: str) -> TextIO:
@@ -27,13 +84,64 @@ def _open(path: str, mode: str) -> TextIO:
     return open(path, mode)
 
 
+# ------------------------------------------------------------------ names
+
+
+def _encode_name(name: str) -> str:
+    """A v1 header-safe rendering of ``name``.
+
+    Plain tokens are written as-is; anything containing whitespace,
+    quotes or control characters is JSON-quoted so the header line stays
+    one parseable record (the historical writer emitted raw spaces,
+    which corrupted the ``name=<token>`` field on reload).
+    """
+    if name and not any(c.isspace() or c == '"' for c in name) \
+            and name.isprintable():
+        return name
+    return json.dumps(name)
+
+
+def _decode_name(value: str, path: str, line: int) -> str:
+    if value.startswith('"'):
+        try:
+            decoded = json.loads(value)
+        except ValueError:
+            raise TraceFormatError(path, line,
+                                   f"unparseable quoted name {value!r}") \
+                from None
+        if not isinstance(decoded, str):
+            raise TraceFormatError(path, line,
+                                   f"quoted name is not a string: {value!r}")
+        return decoded
+    return value
+
+
+# ------------------------------------------------------------------ saving
+
+
+def _phase_marks(trace_or_uops: Union[Trace, List[StaticUop]],
+                 ) -> Optional[Any]:
+    """The source's ``phase_of`` callable, when it has one."""
+    fn = getattr(trace_or_uops, "phase_of", None)
+    return fn if callable(fn) else None
+
+
 def save_trace(trace_or_uops: Union[Trace, List[StaticUop]], path: str,
-               limit: int = 1_000_000, name: str = "") -> int:
+               limit: int = 1_000_000, name: str = "",
+               version: int = 2,
+               meta: Optional[Dict[str, Any]] = None) -> int:
     """Write up to ``limit`` uops; returns the number written.
 
     Accepts a :class:`Trace` (materialising lazily up to the limit) or a
-    plain list of :class:`StaticUop`.
+    plain list of :class:`StaticUop`. ``version`` selects the on-disk
+    format (2 is the default; 1 writes the legacy header and drops
+    metadata/per-uop fields). ``meta`` extends the v2 metadata block
+    (``name`` and ``version`` are always present; ``phases`` is stamped
+    automatically when the source trace is phase-annotated, and each
+    record then carries its ``ph=`` field).
     """
+    if version not in (1, 2):
+        raise ValueError(f"unknown trace format version {version}")
     if isinstance(trace_or_uops, Trace):
         def uops() -> Iterator[StaticUop]:
             for i in range(limit):
@@ -46,40 +154,246 @@ def save_trace(trace_or_uops: Union[Trace, List[StaticUop]], path: str,
     else:
         trace_name = name or "trace"
         source = iter(trace_or_uops[:limit])
+    phase_of = _phase_marks(trace_or_uops) if version == 2 else None
+    phased = phase_of is not None and getattr(
+        trace_or_uops, "has_phases", lambda: False)()
 
     written = 0
     with _open(path, "w") as f:
-        f.write(f"{MAGIC} name={trace_name}\n")
+        if version == 1:
+            f.write(f"{MAGIC_V1} name={_encode_name(trace_name)}\n")
+        else:
+            header_meta: Dict[str, Any] = {"name": trace_name}
+            if meta:
+                header_meta.update(meta)
+            if phased:
+                header_meta.setdefault("phased", True)
+            f.write(f"{MAGIC_V2}\n")
+            f.write("#meta " + json.dumps(header_meta, sort_keys=True) + "\n")
         for u in source:
             srcs = ",".join(str(s) for s in u.srcs) if u.srcs else "-"
+            extra = ""
+            if phased:
+                extra = f" ph={phase_of(u.idx)}"
             f.write(f"{u.idx} {u.pc} {u.cls} {u.addr} "
-                    f"{1 if u.taken else 0} {u.target} {srcs}\n")
+                    f"{1 if u.taken else 0} {u.target} {srcs}{extra}\n")
             written += 1
     return written
 
 
-def load_trace(path: str) -> Trace:
-    """Read a saved trace back into a rewindable :class:`Trace`."""
-    with _open(path, "r") as f:
-        header = f.readline().rstrip("\n")
-        if not header.startswith(MAGIC):
-            raise ValueError(f"{path}: not a repro trace file")
+# ----------------------------------------------------------------- loading
+
+
+def _parse_header(f: TextIO, path: str) -> Tuple[int, Dict[str, Any], int]:
+    """Read the magic (and v2 meta block); returns (version, meta, lineno).
+
+    ``lineno`` is the number of header lines consumed, so record parsing
+    can report accurate 1-based line numbers.
+    """
+    header = f.readline()
+    if not header:
+        raise TraceFormatError(path, 0, "empty file (no trace header)")
+    header = header.rstrip("\n")
+    if header.startswith(MAGIC_V2):
+        meta_line = f.readline().rstrip("\n")
+        if not meta_line.startswith("#meta "):
+            raise TraceFormatError(
+                path, 2, "v2 trace missing '#meta' block after the magic")
+        try:
+            meta = json.loads(meta_line[len("#meta "):])
+        except ValueError as e:
+            raise TraceFormatError(path, 2,
+                                   f"unparseable #meta JSON: {e}") from None
+        if not isinstance(meta, dict):
+            raise TraceFormatError(path, 2, "#meta block is not an object")
+        meta.setdefault("name", "trace")
+        return 2, meta, 2
+    if header.startswith(MAGIC_V1):
         name = "trace"
         if "name=" in header:
-            name = header.split("name=", 1)[1] or "trace"
-        uops: List[StaticUop] = []
-        for lineno, line in enumerate(f, start=2):
+            raw = header.split("name=", 1)[1]
+            name = _decode_name(raw, path, 1) or "trace"
+        return 1, {"name": name}, 1
+    raise TraceFormatError(path, 1, "not a repro trace file")
+
+
+def _parse_record(parts: List[str], version: int, path: str,
+                  lineno: int) -> Tuple[StaticUop, Dict[str, int]]:
+    if len(parts) < 7:
+        raise TraceFormatError(path, lineno,
+                               f"malformed record: expected at least 7 "
+                               f"fields, got {len(parts)}")
+    extras: Dict[str, int] = {}
+    if len(parts) > 7:
+        if version == 1:
+            raise TraceFormatError(path, lineno,
+                                   "malformed record: v1 traces carry "
+                                   "exactly 7 fields")
+        for token in parts[7:]:
+            key, sep, value = token.partition("=")
+            if not sep or key not in _UOP_FIELDS:
+                raise TraceFormatError(
+                    path, lineno,
+                    f"unknown per-uop field {token!r} "
+                    f"(known: {', '.join(_UOP_FIELDS)})")
+            try:
+                extras[key] = int(value)
+            except ValueError:
+                raise TraceFormatError(
+                    path, lineno,
+                    f"per-uop field {key}={value!r} is not an integer") \
+                    from None
+    idx_s, pc_s, cls_s, addr_s, taken_s, target_s, srcs_s = parts[:7]
+    try:
+        idx, pc, cls = int(idx_s), int(pc_s), int(cls_s)
+        addr, target = int(addr_s), int(target_s)
+        srcs = (() if srcs_s == "-"
+                else tuple(int(x) for x in srcs_s.split(",")))
+    except ValueError:
+        raise TraceFormatError(path, lineno,
+                               "malformed record: non-integer field") \
+            from None
+    if idx < 0:
+        raise TraceFormatError(path, lineno, f"negative uop idx {idx}")
+    if cls not in _VALID_CLASSES:
+        raise TraceFormatError(path, lineno, f"unknown uop class {cls}")
+    if addr < -1:
+        raise TraceFormatError(path, lineno,
+                               f"negative address {addr} (use -1 for "
+                               f"non-memory uops)")
+    if taken_s not in ("0", "1"):
+        raise TraceFormatError(path, lineno,
+                               f"taken field must be 0 or 1, got {taken_s!r}")
+    if any(s < 0 for s in srcs):
+        raise TraceFormatError(path, lineno, f"negative src index in {srcs}")
+    uop = StaticUop(idx=idx, pc=pc, cls=cls, srcs=srcs, addr=addr,
+                    taken=taken_s == "1", target=target)
+    return uop, extras
+
+
+def iter_trace(path: str) -> Iterator[Tuple[StaticUop, Dict[str, int]]]:
+    """Stream ``(uop, extras)`` pairs without materialising the file.
+
+    ``extras`` maps per-uop optional field names (``ph``) to values;
+    empty for v1 traces and unannotated v2 records. The header is
+    validated before the first yield.
+    """
+    with _open(path, "r") as f:
+        version, _meta, header_lines = _parse_header(f, path)
+        expected = 0
+        for lineno, line in enumerate(f, start=header_lines + 1):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            parts = line.split()
-            if len(parts) != 7:
-                raise ValueError(f"{path}:{lineno}: malformed record")
-            idx, pc, cls, addr, taken, target, srcs_s = parts
-            srcs = (() if srcs_s == "-"
-                    else tuple(int(x) for x in srcs_s.split(",")))
-            uops.append(StaticUop(
-                idx=int(idx), pc=int(pc), cls=int(cls), srcs=srcs,
-                addr=int(addr), taken=taken == "1", target=int(target),
-            ))
-    return Trace.from_list(uops, name=name)
+            uop, extras = _parse_record(line.split(), version, path, lineno)
+            if uop.idx != expected:
+                raise TraceFormatError(
+                    path, lineno,
+                    f"uop idx {uop.idx} out of order (expected {expected})")
+            expected += 1
+            yield uop, extras
+
+
+def trace_info(path: str, scan: bool = True) -> Dict[str, Any]:
+    """Summarise a trace file: header metadata plus (optionally) a scan.
+
+    With ``scan=True`` the whole file is walked (streaming, O(1)
+    memory) and the summary gains ``uops``, per-class counts, the
+    branch-taken count and the observed phase ids. ``scan=False`` reads
+    only the header — constant time on any file size.
+    """
+    with _open(path, "r") as f:
+        version, meta, _ = _parse_header(f, path)
+    info: Dict[str, Any] = {
+        "path": path,
+        "version": version,
+        "name": meta.get("name", "trace"),
+        "meta": meta,
+        "size_bytes": os.path.getsize(path),
+    }
+    if not scan:
+        return info
+    counts: Dict[str, int] = {}
+    phases: Dict[int, int] = {}
+    n = branches = taken = mem = 0
+    for uop, extras in iter_trace(path):
+        n += 1
+        cname = UopClass(uop.cls).name
+        counts[cname] = counts.get(cname, 0) + 1
+        if uop.is_branch:
+            branches += 1
+            taken += 1 if uop.taken else 0
+        if uop.is_mem:
+            mem += 1
+        if "ph" in extras:
+            phases[extras["ph"]] = phases.get(extras["ph"], 0) + 1
+    info.update(uops=n, class_counts=counts, branches=branches,
+                branches_taken=taken, mem_uops=mem)
+    if phases:
+        info["phase_uops"] = {str(k): v for k, v in sorted(phases.items())}
+    return info
+
+
+def _attach_phases(trace: Trace,
+                   phase_rows: List[Tuple[int, int]]) -> None:
+    """Install a phase table built from per-uop ``ph`` annotations."""
+    if phase_rows:
+        trace.set_phase_table(phase_rows)
+
+
+def load_trace(path: str) -> Trace:
+    """Read a saved trace fully into a rewindable :class:`Trace`.
+
+    Per-uop phase annotations (``ph=``) are folded into the trace's
+    phase table (:meth:`Trace.phase_of`).
+    """
+    uops: List[StaticUop] = []
+    phase_rows: List[Tuple[int, int]] = []
+    name = "trace"
+    with _open(path, "r") as f:
+        version, meta, header_lines = _parse_header(f, path)
+        name = meta.get("name", "trace")
+        expected = 0
+        for lineno, line in enumerate(f, start=header_lines + 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            uop, extras = _parse_record(line.split(), version, path, lineno)
+            if uop.idx != expected:
+                raise TraceFormatError(
+                    path, lineno,
+                    f"uop idx {uop.idx} out of order (expected {expected})")
+            expected += 1
+            uops.append(uop)
+            ph = extras.get("ph")
+            if ph is not None and (not phase_rows
+                                   or phase_rows[-1][1] != ph):
+                phase_rows.append((uop.idx, ph))
+    trace = Trace.from_list(uops, name=name)
+    _attach_phases(trace, phase_rows)
+    return trace
+
+
+def stream_trace(path: str) -> Trace:
+    """A lazily-materialising :class:`Trace` over a saved file.
+
+    The header is read eagerly (so bad magic fails fast and the name is
+    available); records stream on demand through the trace's buffering
+    ``get``. Phase annotations materialise along with their records —
+    :meth:`Trace.phase_of` is exact for any index already fetched.
+    """
+    info = trace_info(path, scan=False)
+
+    phase_rows: List[Tuple[int, int]] = []
+
+    def source() -> Iterator[StaticUop]:
+        for uop, extras in iter_trace(path):
+            ph = extras.get("ph")
+            if ph is not None and (not phase_rows
+                                   or phase_rows[-1][1] != ph):
+                phase_rows.append((uop.idx, ph))
+            yield uop
+
+    trace = Trace(source(), name=info["name"])
+    trace.set_phase_table(phase_rows, live=True)
+    return trace

@@ -111,7 +111,7 @@ def point_manifest(workload: str, machine, policy: str,
     else:
         machine_name, digest = machine.name, RunKey.digest(machine)
     git = git_state()
-    return {
+    out = {
         "workload": workload,
         "machine": machine_name,
         "policy": policy,
@@ -124,3 +124,27 @@ def point_manifest(workload: str, machine, policy: str,
         "git_sha": git["sha"],
         "git_dirty": git["dirty"],
     }
+    out.update(_workload_provenance(workload))
+    return out
+
+
+def _workload_provenance(workload: str) -> Dict[str, Any]:
+    """Scenario-specific provenance: phased workloads record their
+    schedule length, trace-backed workloads the backing file + content
+    hash (a re-imported or edited trace is a *different* experiment).
+    Best-effort like git_state — never a run blocker."""
+    try:
+        from repro.workloads.catalog import get_workload
+        from repro.workloads.tracewl import TraceWorkload
+        wl = get_workload(workload)
+        if isinstance(wl, TraceWorkload):
+            return {"trace_file": wl.path,
+                    "trace_sha256": wl.file_sha256(),
+                    "trace_format_version": wl.version}
+        phases = getattr(wl, "phases", ())
+        if phases:
+            return {"phase_count": len(phases),
+                    "phase_schedule_iters": sum(p.duration for p in phases)}
+    except Exception:
+        pass
+    return {}

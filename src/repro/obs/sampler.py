@@ -22,7 +22,7 @@ __all__ = ["IntervalSampler", "TIMELINE_FIELDS"]
 TIMELINE_FIELDS = (
     "cycle", "committed", "ipc", "rob_occ", "iq_occ", "lq_occ", "sq_occ",
     "outstanding_misses", "dram_q", "dram_banks", "mode", "runahead_frac",
-    "abc_rate",
+    "abc_rate", "phase",
 )
 
 
@@ -78,6 +78,11 @@ class IntervalSampler:
             "dram_q": dram.queue_depth(cycle),
             "dram_banks": dram.busy_banks(cycle),
             "mode": core.mode.name,
+            # Workload phase at the fetch frontier (0 for stationary
+            # workloads): an approximation of "the phase being executed"
+            # — commit lags fetch by at most the window, far below the
+            # thousands of instructions a phase segment spans.
+            "phase": core.trace.phase_of(core.fetch_idx),
         }
         rows = self.rows
         while self.next_cycle <= cycle:

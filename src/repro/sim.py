@@ -123,7 +123,9 @@ def simulate(
     if isinstance(workload, str):
         workload = get_workload(workload)
     regions = []
-    if isinstance(workload, WorkloadSpec):
+    # Duck-typed: WorkloadSpec, TraceWorkload and friends all quack
+    # build_trace/resident_regions; a bare Trace is used directly.
+    if hasattr(workload, "build_trace"):
         name = workload.name
         trace = workload.build_trace(seed=seed)
         regions = workload.resident_regions()

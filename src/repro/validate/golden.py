@@ -18,6 +18,15 @@ same policy is bit-identical to a cold run (the checkpoint contract),
 so ``--jobs 1`` and ``--jobs 4`` take the identical code path per point
 and the fingerprints cannot depend on scheduling.
 
+Alongside the baseline matrix, a *scenario* grid
+(``tests/golden/scenarios.json``) freezes the trace-ingestion and
+phased-workload paths: two bundled raw traces (ChampSim and gem5 text
+fixtures under ``tests/isa/fixtures/``, re-imported at measure time so
+the importer pipeline is inside the fingerprint) and two
+phase-structured catalog workloads, each under the five policies on the
+baseline machine. The fixture points deliberately run past
+end-of-stream, freezing the finite-trace drain path too.
+
 Command line::
 
     python -m repro golden --check           # verify against tests/golden
@@ -37,14 +46,20 @@ __all__ = [
     "GOLDEN_INSTRUCTIONS",
     "GOLDEN_MACHINES",
     "GOLDEN_POLICIES",
+    "GOLDEN_SCENARIOS",
     "GOLDEN_SCHEMA",
     "GOLDEN_WARMUP",
     "GOLDEN_WORKLOAD",
     "canonical_fingerprint",
     "check_golden",
+    "check_scenarios",
     "golden_points",
     "measure_point",
+    "measure_scenario",
     "regen_golden",
+    "regen_scenarios",
+    "scenario_points",
+    "scenario_workload",
 ]
 
 #: Bump when the file layout changes; a mismatched schema is reported as
@@ -66,10 +81,58 @@ GOLDEN_INSTRUCTIONS = 3000
 GOLDEN_WARMUP = 3000
 GOLDEN_DIR = os.path.join("tests", "golden")
 
+#: The scenario extension: trace-backed and phase-structured workloads
+#: on the baseline machine, under the same five policies. Fixture
+#: scenarios are sized so the measured region runs past end-of-stream —
+#: the finite-trace drain path is itself under the fingerprint.
+#: name -> (instructions, warmup).
+GOLDEN_SCENARIOS: Dict[str, Tuple[int, int]] = {
+    "fixture:champsim": (4000, 200),
+    "fixture:gem5": (4000, 200),
+    "ph-swap-chase-stream": (GOLDEN_INSTRUCTIONS, GOLDEN_WARMUP),
+    "ph-burst-mpki": (GOLDEN_INSTRUCTIONS, GOLDEN_WARMUP),
+}
+
+#: Raw importer inputs for the ``fixture:<fmt>`` scenarios, anchored at
+#: the repo root so the check runs from any cwd.
+_REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", ".."))
+FIXTURE_DIR = os.path.join(_REPO_ROOT, "tests", "isa", "fixtures")
+_FIXTURE_FILES = {"champsim": "champsim_small.txt",
+                  "gem5": "gem5_small.txt"}
+_SCENARIO_FILE = "scenarios.json"
+
 
 def golden_points() -> List[Tuple[str, str]]:
     """The frozen (machine, policy) grid, in file order."""
     return [(m, p) for m in GOLDEN_MACHINES for p in GOLDEN_POLICIES]
+
+
+def scenario_points() -> List[Tuple[str, str]]:
+    """The frozen (scenario, policy) grid, in file order."""
+    return [(s, p) for s in GOLDEN_SCENARIOS for p in GOLDEN_POLICIES]
+
+
+def scenario_workload(name: str):
+    """Resolve a scenario name to a workload object.
+
+    ``fixture:<fmt>`` re-imports the bundled raw trace at measure time —
+    the importer pipeline is inside the fingerprint, so a semantic
+    change to an importer shows up as golden drift, not just a unit-test
+    failure. Everything else resolves through the catalog.
+    """
+    if name.startswith("fixture:"):
+        from repro.isa.importers import get_importer
+        from repro.workloads.tracewl import MaterializedTraceWorkload
+        fmt = name.split(":", 1)[1]
+        path = os.path.join(FIXTURE_DIR, _FIXTURE_FILES[fmt])
+        with open(path) as f:
+            uops = get_importer(fmt)(iter(f), path)
+        return MaterializedTraceWorkload(
+            uops, name=name,
+            description=f"golden fixture: {fmt} import of {path}")
+    from repro.workloads.catalog import get_workload
+    return get_workload(name)
 
 
 def canonical_fingerprint(payload: Any) -> str:
@@ -83,11 +146,11 @@ def canonical_fingerprint(payload: Any) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def measure_point(machine_name: str, policy: str,
-                  instructions: int = GOLDEN_INSTRUCTIONS,
-                  warmup: int = GOLDEN_WARMUP,
-                  ledger=None) -> Dict[str, Any]:
-    """Measure one golden point and return its frozen entry.
+def _measure(workload, label: str, machine: MachineParams,
+             machine_label: str, policy: str, instructions: int,
+             warmup: int, ledger=None) -> Dict[str, Any]:
+    """Measure one point (workload object or catalog name) and return
+    its frozen entry.
 
     Always runs via warm-checkpoint + oracle'd fork (see module
     docstring), so the entry is the same whichever process measures it.
@@ -103,12 +166,11 @@ def measure_point(machine_name: str, policy: str,
     if isinstance(ledger, str):
         from repro.obs.ledger import RunLedger
         ledger = RunLedger(ledger)
-    machine = GOLDEN_MACHINES[machine_name]
     if ledger is not None:
-        ledger.point_start(workload=GOLDEN_WORKLOAD, machine=machine_name,
+        ledger.point_start(workload=label, machine=machine_label,
                            policy=policy)
     t0 = time.perf_counter()
-    cp = warm_checkpoint(GOLDEN_WORKLOAD, machine, policy, warmup=warmup)
+    cp = warm_checkpoint(workload, machine, policy, warmup=warmup)
     core = cp.fork(oracle=True)
     start = _snapshot(core)
     core.run(instructions)
@@ -122,10 +184,10 @@ def measure_point(machine_name: str, policy: str,
         from repro.obs.manifest import point_manifest
         kips = (result.instructions / wall_s / 1000.0) if wall_s else 0.0
         ledger.point_done(
-            workload=GOLDEN_WORKLOAD, machine=machine_name, policy=policy,
+            workload=label, machine=machine_label, policy=policy,
             wall_s=wall_s, kips=round(kips, 2), ipc=round(result.ipc, 4),
             fingerprint=fingerprint,
-            manifest=point_manifest(GOLDEN_WORKLOAD, machine, policy,
+            manifest=point_manifest(label, machine, policy,
                                     instructions, warmup))
     return {
         "fingerprint": fingerprint,
@@ -136,6 +198,30 @@ def measure_point(machine_name: str, policy: str,
         "cycles": result.cycles,
         "abc_total": result.abc_total,
     }
+
+
+def measure_point(machine_name: str, policy: str,
+                  instructions: int = GOLDEN_INSTRUCTIONS,
+                  warmup: int = GOLDEN_WARMUP,
+                  ledger=None) -> Dict[str, Any]:
+    """Measure one baseline-matrix point (mcf on ``machine_name``)."""
+    return _measure(GOLDEN_WORKLOAD, GOLDEN_WORKLOAD,
+                    GOLDEN_MACHINES[machine_name], machine_name, policy,
+                    instructions, warmup, ledger=ledger)
+
+
+def measure_scenario(scenario: str, policy: str,
+                     instructions: Optional[int] = None,
+                     warmup: Optional[int] = None,
+                     ledger=None) -> Dict[str, Any]:
+    """Measure one scenario point (trace fixture / phased workload on
+    the baseline machine)."""
+    default_n, default_w = GOLDEN_SCENARIOS[scenario]
+    return _measure(scenario_workload(scenario), scenario, BASELINE,
+                    "baseline", policy,
+                    default_n if instructions is None else instructions,
+                    default_w if warmup is None else warmup,
+                    ledger=ledger)
 
 
 def _measure_task(task: Tuple[str, str, int, int, Optional[str]],
@@ -285,6 +371,142 @@ def check_golden(directory: str = GOLDEN_DIR,
                           else "commit digest unchanged (timing-only drift)")
                 problems.append(
                     f"{machine_name}/{policy}: fingerprint "
+                    f"{want['fingerprint'][:12]} -> "
+                    f"{got['fingerprint'][:12]}; ipc {want['ipc']:.4f} -> "
+                    f"{got['ipc']:.4f}, cycles {want['cycles']} -> "
+                    f"{got['cycles']}; {detail}")
+    return problems
+
+
+# ------------------------------------------------------------- scenarios
+
+def _scenario_task(task: Tuple[str, str, int, int, Optional[str]],
+                   ) -> Tuple[str, str, Dict[str, Any]]:
+    """Pool worker: one scenario point per task."""
+    scenario, policy, instructions, warmup, ledger_path = task
+    return scenario, policy, measure_scenario(scenario, policy,
+                                              instructions, warmup,
+                                              ledger=ledger_path)
+
+
+def _measure_scenarios(jobs: int,
+                       sizes: Dict[str, Tuple[int, int]],
+                       ledger: Optional[str] = None,
+                       ) -> Dict[str, Dict[str, Dict[str, Any]]]:
+    """Measure the scenario grid; returns scenario -> policy -> entry.
+
+    ``sizes`` maps scenario -> (instructions, warmup) — the module
+    defaults on regen, the frozen file's recorded sizes on check.
+    """
+    import time
+
+    from repro.analysis.experiments import _pool_context
+
+    run_ledger = None
+    if ledger:
+        from repro.obs.ledger import RunLedger
+        from repro.obs.manifest import host_manifest
+        run_ledger = RunLedger(ledger)
+        run_ledger.sweep_start(
+            total_points=len(sizes) * len(GOLDEN_POLICIES),
+            workload="golden-scenarios", machines=["baseline"],
+            policies=list(GOLDEN_POLICIES), jobs=jobs,
+            manifest=host_manifest())
+    t0 = time.perf_counter()
+    tasks = [(s, p, sizes[s][0], sizes[s][1], ledger)
+             for s in sizes for p in GOLDEN_POLICIES]
+    if jobs > 1:
+        with _pool_context().Pool(min(jobs, len(tasks))) as pool:
+            measured = pool.map(_scenario_task, tasks)
+    else:
+        measured = [_scenario_task(t) for t in tasks]
+    out: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    for scenario, policy, entry in measured:
+        out.setdefault(scenario, {})[policy] = entry
+    if run_ledger is not None:
+        run_ledger.sweep_done(elapsed_s=time.perf_counter() - t0,
+                              points_run=len(tasks), points_cached=0)
+    return out
+
+
+def _scenario_path(directory: str) -> str:
+    return os.path.join(directory, _SCENARIO_FILE)
+
+
+def regen_scenarios(directory: str = GOLDEN_DIR, jobs: int = 1,
+                    ledger: Optional[str] = None) -> str:
+    """(Re)freeze the scenario fingerprints; returns the file written."""
+    from repro.common.io import atomic_write_json
+
+    os.makedirs(directory, exist_ok=True)
+    grid = _measure_scenarios(jobs, GOLDEN_SCENARIOS, ledger=ledger)
+    payload = {
+        "schema": GOLDEN_SCHEMA,
+        "machine": "baseline",
+        "scenarios": {
+            name: {"instructions": GOLDEN_SCENARIOS[name][0],
+                   "warmup": GOLDEN_SCENARIOS[name][1],
+                   "points": grid[name]}
+            for name in GOLDEN_SCENARIOS
+        },
+    }
+    path = _scenario_path(directory)
+    atomic_write_json(path, payload, indent=2)
+    return path
+
+
+def check_scenarios(directory: str = GOLDEN_DIR, jobs: int = 1,
+                    ledger: Optional[str] = None) -> List[str]:
+    """Re-measure the scenario grid and diff against the frozen file.
+
+    Same contract as :func:`check_golden`: run sizes come from the
+    frozen file, the return value is a list of human-readable mismatch
+    lines, empty means conformant.
+    """
+    path = _scenario_path(directory)
+    try:
+        with open(path) as f:
+            payload = json.load(f)
+    except OSError:
+        return [f"scenarios: missing golden file {path} "
+                f"(run `repro golden --regen`)"]
+    except ValueError as e:
+        return [f"scenarios: unreadable golden file {path}: {e}"]
+    if payload.get("schema") != GOLDEN_SCHEMA:
+        return [f"scenarios: schema {payload.get('schema')} != "
+                f"{GOLDEN_SCHEMA} (run `repro golden --regen`)"]
+
+    problems: List[str] = []
+    frozen = payload.get("scenarios", {})
+    sizes: Dict[str, Tuple[int, int]] = {}
+    for name in GOLDEN_SCENARIOS:
+        entry = frozen.get(name)
+        if entry is None:
+            problems.append(f"scenarios: missing scenario {name!r} "
+                            f"(run `repro golden --regen`)")
+            continue
+        missing = [p for p in GOLDEN_POLICIES
+                   if p not in entry.get("points", {})]
+        if missing:
+            problems.append(f"scenarios/{name}: missing points {missing}")
+            continue
+        sizes[name] = (entry["instructions"], entry["warmup"])
+    if not sizes:
+        return problems
+
+    grid = _measure_scenarios(jobs, sizes, ledger=ledger)
+    for name in sizes:
+        for policy in GOLDEN_POLICIES:
+            want = frozen[name]["points"][policy]
+            got = grid[name][policy]
+            if got["fingerprint"] != want["fingerprint"]:
+                detail = (f"commit digest also drifted "
+                          f"({want['commit_digest'][:12]} -> "
+                          f"{got['commit_digest'][:12]})"
+                          if got["commit_digest"] != want["commit_digest"]
+                          else "commit digest unchanged (timing-only drift)")
+                problems.append(
+                    f"{name}/{policy}: fingerprint "
                     f"{want['fingerprint'][:12]} -> "
                     f"{got['fingerprint'][:12]}; ipc {want['ipc']:.4f} -> "
                     f"{got['ipc']:.4f}, cycles {want['cycles']} -> "

@@ -15,7 +15,7 @@ chase misses serialise and makes runahead unable to prefetch them.
 """
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.enums import UopClass
@@ -55,6 +55,53 @@ class SlotSpec:
     branch: Optional[BranchSpec] = None
 
 
+def _shift_base(spec: PatternSpec, offset: int) -> PatternSpec:
+    """A copy of ``spec`` with every region base shifted by ``offset``.
+
+    Mix parts shift recursively; residency hints are dropped because a
+    drifting region is by definition not in cache steady state (and a
+    stale preload would be actively misleading)."""
+    if offset == 0:
+        return spec
+    parts = tuple((w, _shift_base(s, offset)) for w, s in spec.mix_parts)
+    return replace(spec, base=spec.base + offset, mix_parts=parts,
+                   resident="")
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One segment of a piecewise phase schedule.
+
+    A phased workload cycles through its ``phases`` tuple; each segment
+    lasts ``duration`` loop iterations and *overrides* some of the
+    workload's patterns while it is active (an empty override set means
+    "run the base patterns"). This expresses the three canonical
+    non-stationary behaviours (cf. the dynamic/oscillating trace
+    generator exemplar, SNIPPETS.md §3):
+
+    - **abrupt phase swap** — consecutive segments override the same
+      pattern id with different kinds (chase ↔ stream);
+    - **oscillating hot/scan** — alternate a hot-dominated mix with a
+      scanning stream;
+    - **hot-set drift** — ``drift`` bytes are added to the overriding
+      patterns' bases on every full pass through the schedule, so the
+      "hot" region migrates and previously-warmed lines go cold.
+
+    Overridden patterns get a *fresh* engine at each segment entry
+    (cursors reset — a new program phase does not resume the old
+    phase's stream positions); non-overridden patterns keep their state
+    across segments.
+    """
+
+    duration: int
+    patterns: Tuple[Tuple[str, PatternSpec], ...] = ()
+    drift: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("phase duration must be positive")
+
+
 @dataclass
 class WorkloadSpec:
     """A named synthetic workload.
@@ -67,6 +114,8 @@ class WorkloadSpec:
         pc_base: base address for slot PCs.
         seed: default RNG seed; traces are reproducible given (name, seed).
         description: one-line characterisation (for docs/reports).
+        phases: optional cyclic phase schedule (:class:`PhaseSpec`); empty
+            means stationary behaviour (every pre-phase workload).
     """
 
     name: str
@@ -76,6 +125,7 @@ class WorkloadSpec:
     pc_base: int = 0x400000
     seed: int = 12345
     description: str = ""
+    phases: Tuple[PhaseSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.body:
@@ -86,12 +136,40 @@ class WorkloadSpec:
                     f"{self.name}: mem slot references unknown pattern "
                     f"{slot.pattern!r}"
                 )
+        for phase in self.phases:
+            for pid, _ in phase.patterns:
+                if pid not in self.patterns:
+                    raise ValueError(
+                        f"{self.name}: phase overrides unknown pattern "
+                        f"{pid!r}"
+                    )
 
     def build_trace(self, seed: Optional[int] = None) -> Trace:
         """Materialise a fresh, rewindable trace for this workload."""
-        return Trace(
+        trace = Trace(
             self._generate(self.seed if seed is None else seed), name=self.name
         )
+        if self.phases:
+            trace.set_phase_fn(self._phase_fn())
+        return trace
+
+    def _phase_fn(self):
+        """Map a trace index to its phase id (segment index in the
+        cyclic schedule) — O(log #phases), no trace materialisation."""
+        from bisect import bisect_right
+
+        nslots = len(self.body)
+        bounds: List[int] = []
+        acc = 0
+        for p in self.phases:
+            acc += p.duration
+            bounds.append(acc)
+        cycle = acc
+
+        def fn(idx: int) -> int:
+            return bisect_right(bounds, (idx // nslots) % cycle)
+
+        return fn
 
     def resident_regions(self) -> List[Tuple[str, int, int]]:
         """(level, base, size) regions that are cache-resident in steady
@@ -118,12 +196,35 @@ class WorkloadSpec:
         engines: Dict[str, AddressPattern] = {
             pid: spec.build() for pid, spec in self.patterns.items()
         }
+        # Cyclic phase schedule: segment k of pass p starts at a known
+        # iteration; on entry its overrides get fresh (possibly
+        # base-drifted) engines and the previous segment's overrides
+        # revert to the base patterns.
+        phases = self.phases
+        phase_k = -1
+        pass_num = 0
+        next_switch_t = 0
+        overridden: set = set()
         # Dynamic state threaded across iterations:
         last_load_by_pattern: Dict[str, int] = {}
         last_load_idx = -1
         idx = 0
         t = 0
         while True:
+            if phases and t == next_switch_t:
+                phase_k += 1
+                if phase_k == len(phases):
+                    phase_k = 0
+                    pass_num += 1
+                phase = phases[phase_k]
+                next_switch_t = t + phase.duration
+                now = {pid for pid, _ in phase.patterns}
+                for pid in overridden - now:
+                    engines[pid] = self.patterns[pid].build()
+                for pid, pspec in phase.patterns:
+                    engines[pid] = _shift_base(
+                        pspec, pass_num * phase.drift).build()
+                overridden = now
             base_idx = t * nslots
             for s, slot in enumerate(body):
                 pc = self.pc_base + s * 4
@@ -186,6 +287,7 @@ def make_body(
     chain: float = 0.3,
     hard_branch_frac: float = 0.0,
     load_consume: float = 0.35,
+    data_bias: float = 0.5,
     pattern_weights: Optional[Dict[str, float]] = None,
 ) -> Tuple[SlotSpec, ...]:
     """Build a randomised loop body with the requested characteristics.
@@ -206,6 +308,12 @@ def make_body(
             a blocked LLC miss turns into a full-ROB stall (independent
             work drains, the ROB fills) or an IQ-full stall (dependent
             work piles up in the issue queue first).
+        data_bias: taken-probability of the data-dependent noise
+            branches. ``hard_branch_frac`` quantises to whole slots
+            (steps of ~1/n_branches); ``data_bias`` is the *continuous*
+            branch-miss dial the auto-tuner searches — the predictor
+            learns the bias direction, so each hard branch mispredicts
+            at roughly ``min(data_bias, 1-data_bias)``.
         pattern_weights: pattern-id → weight; each memory slot is assigned
             a pattern id drawn from this distribution (default: all "main").
     """
@@ -274,7 +382,7 @@ def make_body(
 
     n_hard = round(n_branches * hard_branch_frac)
     branch_specs: List[BranchSpec] = [
-        BranchSpec(kind="data", bias=0.5) for _ in range(n_hard)
+        BranchSpec(kind="data", bias=data_bias) for _ in range(n_hard)
     ]
     while len(branch_specs) < n_branches - 1:
         branch_specs.append(BranchSpec(kind="biased", bias=0.9))

@@ -21,8 +21,9 @@ import random
 import zlib
 from typing import Dict, List
 
-from repro.workloads.base import WorkloadSpec, make_body
+from repro.workloads.base import PhaseSpec, WorkloadSpec, make_body
 from repro.workloads.patterns import PatternSpec, hot_mix
+from repro.workloads.tracewl import is_trace_name, resolve_trace_workload
 
 MB = 1024 * 1024
 
@@ -58,6 +59,7 @@ def _spec(
     description: str,
     patterns: Dict[str, PatternSpec],
     pattern_weights: Dict[str, float],
+    phases: tuple = (),
     **body_kwargs,
 ) -> WorkloadSpec:
     rng = random.Random(_seed(name))
@@ -69,6 +71,7 @@ def _spec(
         patterns=patterns,
         seed=_seed(name) ^ 0x5EED,
         description=description,
+        phases=phases,
     )
 
 
@@ -299,24 +302,207 @@ def _extra_set() -> List[WorkloadSpec]:
     return w
 
 
+# --------------------------------------------------------------- phased set
+#
+# Non-stationary workloads: each cycles through a PhaseSpec schedule
+# (hot-set drift, oscillating hot/scan, abrupt pattern swaps — the
+# dynamic/oscillating trace-generator behaviours of SNIPPETS.md §3).
+# Every builder takes the two auto-tuned dials — ``hot_fraction`` (MPKI,
+# monotone decreasing) and ``data_bias`` (branch mispredicts/kinst,
+# monotone decreasing) — so ``repro.workloads.characterize`` can bisect
+# each to its per-benchmark target instead of hand-tuning constants.
+# The baked values in _TUNED below are the auto-tuner's output
+# (calibration methodology: docs/workloads.md).
+
+
+def _ph_drift_hot(hot_fraction: float, data_bias: float) -> WorkloadSpec:
+    # warm_fraction=0: a drifting L3-resident tier would re-warm ~7k
+    # lines per pass and pin the MPKI floor above any useful target.
+    mix = hot_mix(_random(8 * MB), hot_fraction, warm_fraction=0.0)
+    return _spec(
+        "ph-drift-hot", True,
+        "phased: hot working set migrates 2 MB every schedule pass — "
+        "warmed lines go cold at each drift step",
+        patterns={"main": mix},
+        pattern_weights={"main": 1.0},
+        phases=(PhaseSpec(duration=256, patterns=(("main", mix),),
+                          drift=2 * MB),),
+        load_frac=0.28, store_frac=0.08, branch_frac=0.13,
+        hard_branch_frac=0.30, data_bias=data_bias,
+        chain=0.35, load_consume=0.45,
+    )
+
+
+def _ph_osc_hotscan(hot_fraction: float, data_bias: float) -> WorkloadSpec:
+    return _spec(
+        "ph-osc-hotscan", True,
+        "phased: oscillates between cache-resident compute and a "
+        "streaming scan (SNIPPETS §3 OSCILLATING)",
+        patterns={"main": hot_mix(_random(4 * MB), 0.985)},
+        pattern_weights={"main": 1.0},
+        phases=(
+            PhaseSpec(duration=40),
+            # drift: each oscillation scans a *fresh* window of the big
+            # array — without it the reset stream cursors would re-walk
+            # lines the previous scan already cached. The scan's hot
+            # tier (its loop locals) is tiny because it drifts too:
+            # a large one would add ~256 compulsory misses per pass.
+            PhaseSpec(duration=40, patterns=(
+                ("main", hot_mix(_stream(streams=8), hot_fraction,
+                                 warm_fraction=0.0, hot_ws=4 * 1024)),),
+                drift=MB),
+        ),
+        load_frac=0.29, store_frac=0.10, branch_frac=0.10,
+        hard_branch_frac=0.25, data_bias=data_bias,
+        chain=0.3, load_consume=0.35,
+    )
+
+
+def _ph_swap_chase_stream(hot_fraction: float,
+                          data_bias: float) -> WorkloadSpec:
+    return _spec(
+        "ph-swap-chase-stream", True,
+        "phased: abrupt swaps between serialised pointer chasing and "
+        "wide streaming — runahead's best and worst cases back to back",
+        patterns={"main": hot_mix(_chase(), hot_fraction)},
+        pattern_weights={"main": 1.0},
+        phases=(
+            PhaseSpec(duration=56, patterns=(
+                ("main", hot_mix(_chase(), hot_fraction)),)),
+            PhaseSpec(duration=56, patterns=(
+                ("main", hot_mix(_stream(streams=12), hot_fraction)),)),
+        ),
+        load_frac=0.30, store_frac=0.08, branch_frac=0.14,
+        hard_branch_frac=0.35, data_bias=data_bias,
+        chain=0.35, load_consume=0.50,
+    )
+
+
+def _ph_burst_mpki(hot_fraction: float, data_bias: float) -> WorkloadSpec:
+    return _spec(
+        "ph-burst-mpki", True,
+        "phased: long cache-resident stretches punctuated by short "
+        "cold-miss bursts (GC/rehash-like)",
+        patterns={"main": hot_mix(_random(8 * MB), 0.99)},
+        pattern_weights={"main": 1.0},
+        phases=(
+            PhaseSpec(duration=96),
+            PhaseSpec(duration=16, patterns=(
+                ("main", hot_mix(_random(8 * MB), hot_fraction)),)),
+        ),
+        load_frac=0.27, store_frac=0.08, branch_frac=0.12,
+        hard_branch_frac=0.25, data_bias=data_bias,
+        chain=0.3, load_consume=0.40,
+    )
+
+
+def _ph_drift_stream(hot_fraction: float, data_bias: float) -> WorkloadSpec:
+    scan = hot_mix(_stream(streams=6, ws=8 * MB), hot_fraction,
+                   warm_fraction=0.0)
+    return _spec(
+        "ph-drift-stream", True,
+        "phased: streaming window slides 4 MB per pass over a huge "
+        "array (out-of-core sweep)",
+        patterns={"main": scan},
+        pattern_weights={"main": 1.0},
+        phases=(PhaseSpec(duration=256, patterns=(("main", scan),),
+                          drift=4 * MB),),
+        load_frac=0.31, store_frac=0.11, branch_frac=0.06, fp_frac=0.24,
+        hard_branch_frac=0.20, data_bias=data_bias,
+        chain=0.25, load_consume=0.30,
+    )
+
+
+def _ph_ramp_ws(hot_fraction: float, data_bias: float) -> WorkloadSpec:
+    return _spec(
+        "ph-ramp-ws", True,
+        "phased: working set ramps resident → L3-sized → DRAM-sized and "
+        "back, sweeping MPKI through the runahead entry threshold",
+        patterns={"main": hot_mix(_random(256 * 1024), 0.97)},
+        pattern_weights={"main": 1.0},
+        phases=(
+            PhaseSpec(duration=32),
+            PhaseSpec(duration=32, patterns=(
+                ("main", hot_mix(_random(2 * MB), (1 + hot_fraction) / 2)),)),
+            PhaseSpec(duration=32, patterns=(
+                ("main", hot_mix(_random(24 * MB), hot_fraction)),)),
+        ),
+        load_frac=0.28, store_frac=0.09, branch_frac=0.12,
+        hard_branch_frac=0.30, data_bias=data_bias,
+        chain=0.3, load_consume=0.40,
+    )
+
+
+#: builder + per-benchmark calibration targets (MPKI, branch
+#: mispredicts/kinst) for the auto-tuner. Tolerances are documented in
+#: repro.workloads.characterize (max of 15% relative / 1.5 absolute).
+PHASED_BUILDERS = {
+    "ph-drift-hot": _ph_drift_hot,
+    "ph-osc-hotscan": _ph_osc_hotscan,
+    "ph-swap-chase-stream": _ph_swap_chase_stream,
+    "ph-burst-mpki": _ph_burst_mpki,
+    "ph-drift-stream": _ph_drift_stream,
+    "ph-ramp-ws": _ph_ramp_ws,
+}
+
+#: Targets are chosen inside each generator's reachable dial range
+#: (measured at the dial endpoints on BASELINE at the calibration sizes;
+#: see docs/workloads.md). The MPKI floors of the drift workloads are
+#: set by compulsory re-warming after each drift step, not by the dial.
+PHASED_TARGETS: Dict[str, Dict[str, float]] = {
+    "ph-drift-hot": {"mpki": 40.0, "brmiss": 14.0},
+    "ph-osc-hotscan": {"mpki": 14.0, "brmiss": 12.0},
+    "ph-swap-chase-stream": {"mpki": 20.0, "brmiss": 15.0},
+    "ph-burst-mpki": {"mpki": 9.0, "brmiss": 14.0},
+    "ph-drift-stream": {"mpki": 40.0, "brmiss": 8.0},
+    "ph-ramp-ws": {"mpki": 12.0, "brmiss": 16.0},
+}
+
+#: auto-tuner output (repro.workloads.characterize.calibrate_catalog);
+#: regenerate with `repro calibrate` after changing builders/targets.
+_TUNED: Dict[str, Dict[str, float]] = {
+    "ph-drift-hot": {"hot_fraction": 0.964063, "data_bias": 0.964063},
+    "ph-osc-hotscan": {"hot_fraction": 0.979531, "data_bias": 0.87125},
+    "ph-swap-chase-stream": {"hot_fraction": 0.87125, "data_bias": 0.933125},
+    "ph-burst-mpki": {"hot_fraction": 0.7475, "data_bias": 0.87125},
+    "ph-drift-stream": {"hot_fraction": 0.933125, "data_bias": 0.87125},
+    "ph-ramp-ws": {"hot_fraction": 0.933125, "data_bias": 0.933125},
+}
+
+
+def _phased_set() -> List[WorkloadSpec]:
+    return [PHASED_BUILDERS[name](**_TUNED[name]) for name in PHASED_BUILDERS]
+
+
 MEMORY_WORKLOADS: List[WorkloadSpec] = _memory_set()
 COMPUTE_WORKLOADS: List[WorkloadSpec] = _compute_set()
 ALL_WORKLOADS: List[WorkloadSpec] = MEMORY_WORKLOADS + COMPUTE_WORKLOADS
 #: Extended catalog (not part of the paper-reproduction sets).
 EXTRA_WORKLOADS: List[WorkloadSpec] = _extra_set()
+#: Phase-structured tranche (auto-tuned; also outside the paper sets).
+PHASED_WORKLOADS: List[WorkloadSpec] = _phased_set()
 
 _BY_NAME: Dict[str, WorkloadSpec] = {
-    w.name: w for w in ALL_WORKLOADS + EXTRA_WORKLOADS
+    w.name: w for w in ALL_WORKLOADS + EXTRA_WORKLOADS + PHASED_WORKLOADS
 }
 
 
-def get_workload(name: str) -> WorkloadSpec:
-    """Look up a catalog workload by benchmark name."""
+def get_workload(name: str):
+    """Look up a workload by name.
+
+    Catalog benchmarks resolve by benchmark name; ``trace:<path>`` names
+    resolve to a :class:`~repro.workloads.tracewl.TraceWorkload` over a
+    saved/imported trace file (returns a WorkloadSpec-compatible object,
+    not a WorkloadSpec).
+    """
+    if is_trace_name(name):
+        return resolve_trace_workload(name)
     try:
         return _BY_NAME[name]
     except KeyError:
         raise KeyError(
-            f"unknown workload {name!r}; available: {sorted(_BY_NAME)}"
+            f"unknown workload {name!r}; available: {sorted(_BY_NAME)} "
+            f"(or trace:<path> for a saved trace)"
         ) from None
 
 

@@ -1,0 +1,202 @@
+"""External-trace importers: ChampSim and gem5 text → StaticUop streams,
+format sniffing, the bundled golden fixtures, and error reporting."""
+
+import os
+
+import pytest
+
+from repro.common.enums import UopClass
+from repro.isa.importers import (
+    FORMATS,
+    ImportError_,
+    get_importer,
+    import_trace,
+    sniff_format,
+)
+from repro.isa.importers.champsim import import_champsim
+from repro.isa.importers.gem5 import import_gem5
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+CHAMPSIM_FIXTURE = os.path.join(FIXTURES, "champsim_small.txt")
+GEM5_FIXTURE = os.path.join(FIXTURES, "gem5_small.txt")
+
+
+def classes(uops):
+    return [UopClass(u.cls) for u in uops]
+
+
+class TestChampSim:
+    def test_alu_and_compare(self):
+        uops = import_champsim(iter([
+            "0x400000 0 0 1 2,3 - -",      # writes r1 -> INT_ADD
+            "0x400004 0 0 - 1 - -",        # no dest -> INT_CMP
+        ]))
+        assert classes(uops) == [UopClass.INT_ADD, UopClass.INT_CMP]
+        # the compare reads r1, written by uop 0
+        assert uops[1].srcs == (0,)
+
+    def test_load_store_and_rmw(self):
+        uops = import_champsim(iter([
+            "0x400000 0 0 1 - 0x8000 -",        # load
+            "0x400004 0 0 - 1 - 0x9000",        # store of r1
+            "0x400008 0 0 2 3 0xa000 0xa000",   # RMW: load then store
+        ]))
+        assert classes(uops) == [UopClass.LOAD, UopClass.STORE,
+                                 UopClass.LOAD, UopClass.STORE]
+        assert uops[0].addr == 0x8000
+        assert uops[1].srcs == (0,)        # store data from the load
+        assert uops[3].srcs == (2,)        # RMW store consumes its load
+
+    def test_branch_target_from_next_pc(self):
+        uops = import_champsim(iter([
+            "0x400000 1 1 - - - -",
+            "0x400100 0 0 - - - -",
+            "0x400104 1 0 - - - -",
+        ]))
+        br_taken, _, br_not = uops
+        assert br_taken.cls == int(UopClass.BRANCH)
+        assert br_taken.taken and br_taken.target == 0x400100
+        assert not br_not.taken and br_not.target == 0
+
+    def test_decimal_pc_accepted(self):
+        (uop,) = import_champsim(iter(["4096 0 0 - - - -"]))
+        assert uop.pc == 4096
+
+    @pytest.mark.parametrize("line,match", [
+        ("0x400000 0 0 - -", "expected 7 fields"),
+        ("0x400000 2 0 - - - -", "must be 0 or 1"),
+        ("0x400000 0 0 a,b - - -", "not an integer"),
+        ("0x400000 0 0 - - -5 -", "negative address"),
+        ("zz 0 0 - - - -", "not an integer"),
+    ])
+    def test_malformed_lines(self, line, match):
+        with pytest.raises(ImportError_, match=match) as exc:
+            import_champsim(iter(["# header comment", line]), "in.txt")
+        assert exc.value.path == "in.txt"
+        assert exc.value.line == 2
+
+
+class TestGem5:
+    def test_opclass_mapping(self):
+        uops = import_gem5(iter([
+            "500: system.cpu: 0x4000: ldr x1, [x2] : MemRead : A=0x8000",
+            "1000: system.cpu: 0x4004: mul x3, x1, x4 : IntMult : D=0x2",
+            "1500: system.cpu: 0x4008: str x3, [x2] : MemWrite : A=0x8040",
+            "2000: system.cpu: 0x400c: fadd f1, f2, f3 : FloatAdd : D=0x1",
+        ]))
+        assert classes(uops) == [UopClass.LOAD, UopClass.INT_MUL,
+                                 UopClass.STORE, UopClass.FP_ADD]
+        assert uops[0].addr == 0x8000
+        # the mul reads x1 (the load); the store reads x3 (the mul)
+        assert uops[1].srcs == (0,)
+        assert 1 in uops[2].srcs
+
+    def test_mnemonic_fallback(self):
+        uops = import_gem5(iter([
+            "500: system.cpu: 0x4000: cmp x1, x2 : IntAlu :",
+            "1000: system.cpu: 0x4004: b.ne 0x4000 : IntAlu :",
+        ]))
+        assert classes(uops) == [UopClass.INT_CMP, UopClass.BRANCH]
+
+    def test_branch_direction_inference(self):
+        lines = [
+            "500: system.cpu: 0x4000: add x1, x1, x2 : IntAlu : D=0x1",
+            "1000: system.cpu: 0x4004: b.ne 0x4000 : IntAlu :",
+            "1500: system.cpu: 0x4000: add x1, x1, x2 : IntAlu : D=0x2",
+            "2000: system.cpu: 0x4004: b.ne 0x4000 : IntAlu :",
+            "2500: system.cpu: 0x4008: add x3, x1, x2 : IntAlu : D=0x3",
+        ]
+        uops = import_gem5(iter(lines))
+        first_br, second_br = uops[1], uops[3]
+        assert first_br.taken and first_br.target == 0x4000
+        assert not second_br.taken  # fell through to 0x4008
+
+    def test_symbolic_pc_suffix_ignored(self):
+        (uop,) = import_gem5(iter([
+            "500: system.cpu: 0x4000 @main+16: add x1, x2, x3 "
+            ": IntAlu : D=0x1"]))
+        assert uop.pc == 0x4000
+
+    def test_memory_without_address_rejected(self):
+        with pytest.raises(ImportError_, match="no\\s+A=") as exc:
+            import_gem5(iter([
+                "500: system.cpu: 0x4000: ldr x1, [x2] : MemRead : D=0x1"]),
+                "t.out")
+        assert exc.value.line == 1
+
+    def test_unrecognised_line_rejected(self):
+        with pytest.raises(ImportError_, match="unrecognised"):
+            import_gem5(iter(["not a gem5 line"]))
+
+
+class TestRegistryAndSniffing:
+    def test_formats_registry(self):
+        assert set(FORMATS) == {"champsim", "gem5"}
+        assert get_importer("champsim") is import_champsim
+        with pytest.raises(ValueError, match="unknown trace format"):
+            get_importer("etrace")
+
+    def test_sniff_fixtures(self):
+        assert sniff_format(CHAMPSIM_FIXTURE) == "champsim"
+        assert sniff_format(GEM5_FIXTURE) == "gem5"
+
+    def test_sniff_empty_file(self, tmp_path):
+        path = str(tmp_path / "empty.txt")
+        open(path, "w").close()
+        with pytest.raises(ImportError_, match="empty input"):
+            sniff_format(path)
+
+    def test_import_trace_auto(self):
+        trace = import_trace(CHAMPSIM_FIXTURE)
+        assert len(trace) > 0
+
+    def test_import_empty_input_rejected(self, tmp_path):
+        path = str(tmp_path / "only_comments.txt")
+        with open(path, "w") as f:
+            f.write("# nothing here\n")
+        with pytest.raises(ImportError_):
+            import_trace(path)
+
+
+class TestBundledFixtures:
+    """The golden fixtures import deterministically and round-trip
+    through the native format bit-exactly."""
+
+    @pytest.mark.parametrize("fmt,path", [
+        ("champsim", CHAMPSIM_FIXTURE), ("gem5", GEM5_FIXTURE),
+    ])
+    def test_import_is_deterministic(self, fmt, path):
+        def run():
+            with open(path) as f:
+                return get_importer(fmt)(iter(f), path)
+        a, b = run(), run()
+        assert len(a) == len(b) > 1000
+        for x, y in zip(a, b):
+            assert (x.idx, x.pc, x.cls, x.addr, x.taken, x.target,
+                    x.srcs) == (y.idx, y.pc, y.cls, y.addr, y.taken,
+                                y.target, y.srcs)
+
+    @pytest.mark.parametrize("fmt,path", [
+        ("champsim", CHAMPSIM_FIXTURE), ("gem5", GEM5_FIXTURE),
+    ])
+    def test_round_trip_through_native_format(self, fmt, path, tmp_path):
+        from repro.isa.tracefile import load_trace, save_trace
+        trace = import_trace(path, fmt)
+        out = str(tmp_path / "imported.trace")
+        n = save_trace(trace, out, limit=10 ** 6)
+        loaded = load_trace(out)
+        assert len(loaded) == n == len(trace)
+        for i in range(n):
+            a, b = trace.get(i), loaded.get(i)
+            assert (a.idx, a.pc, a.cls, a.addr, a.taken, a.target,
+                    a.srcs) == (b.idx, b.pc, b.cls, b.addr, b.taken,
+                                b.target, b.srcs)
+
+    def test_fixture_sequential_indices(self):
+        for path, fmt in [(CHAMPSIM_FIXTURE, "champsim"),
+                          (GEM5_FIXTURE, "gem5")]:
+            trace = import_trace(path, fmt)
+            for i in range(len(trace)):
+                assert trace.get(i).idx == i
+                for s in trace.get(i).srcs:
+                    assert 0 <= s < i  # producers precede consumers

@@ -1,0 +1,268 @@
+"""v2 trace format: metadata block, per-uop phase fields, header name
+quoting, the malformed-input suite, and property-based round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.enums import UopClass
+from repro.isa.trace import Trace
+from repro.isa.tracefile import (
+    MAGIC_V1,
+    MAGIC_V2,
+    TraceFormatError,
+    iter_trace,
+    load_trace,
+    save_trace,
+    stream_trace,
+    trace_info,
+)
+from repro.isa.uop import StaticUop
+
+
+def fields(u):
+    return (u.idx, u.pc, u.cls, u.addr, u.taken, u.target, u.srcs)
+
+
+def make_uops(n=20):
+    out = []
+    for i in range(n):
+        cls = UopClass.LOAD if i % 3 == 0 else UopClass.INT_ADD
+        out.append(StaticUop(
+            idx=i, pc=0x1000 + 4 * i, cls=int(cls),
+            srcs=(i - 1,) if i else (),
+            addr=0x8000 + 64 * i if cls == UopClass.LOAD else -1,
+            taken=False, target=0))
+    return out
+
+
+class TestV2Format:
+    def test_header_and_meta_block(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        save_trace(make_uops(), path, name="unit", meta={"source": "test"})
+        with open(path) as f:
+            assert f.readline().rstrip() == MAGIC_V2
+            assert f.readline().startswith("#meta {")
+        info = trace_info(path, scan=False)
+        assert info["version"] == 2
+        assert info["name"] == "unit"
+        assert info["meta"]["source"] == "test"
+
+    def test_v1_still_written_and_read(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        save_trace(make_uops(), path, name="legacy", version=1)
+        with open(path) as f:
+            assert f.readline().startswith(MAGIC_V1)
+        loaded = load_trace(path)
+        assert loaded.name == "legacy"
+        assert len(loaded) == 20
+
+    def test_phase_annotations_round_trip(self, tmp_path):
+        path = str(tmp_path / "p.trace")
+        trace = Trace.from_list(make_uops(30), name="phased")
+        trace.set_phase_table([(0, 0), (10, 1), (20, 0)])
+        save_trace(trace, path)
+        info = trace_info(path)
+        assert info["meta"]["phased"] is True
+        assert info["phase_uops"] == {"0": 20, "1": 10}
+        loaded = load_trace(path)
+        assert loaded.has_phases()
+        assert [loaded.phase_of(i) for i in (0, 9, 10, 19, 20, 29)] \
+            == [0, 0, 1, 1, 0, 0]
+
+    def test_stream_trace_live_phase_table(self, tmp_path):
+        path = str(tmp_path / "p.trace")
+        trace = Trace.from_list(make_uops(30), name="phased")
+        trace.set_phase_table([(0, 0), (15, 2)])
+        save_trace(trace, path)
+        streamed = stream_trace(path)
+        # Phase annotations materialise with their records.
+        assert streamed.get(20) is not None
+        assert streamed.phase_of(20) == 2
+        assert streamed.phase_of(0) == 0
+
+    def test_unannotated_v2_has_no_phases(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        save_trace(make_uops(), path)
+        loaded = load_trace(path)
+        assert not loaded.has_phases()
+        assert loaded.phase_of(5) == 0
+
+
+class TestHeaderNameQuoting:
+    """Regression: names with spaces used to corrupt the v1 header."""
+
+    @pytest.mark.parametrize("name", [
+        "my workload v2", "tabs\tinside", 'quo"ted', "", "plain",
+    ])
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_name_round_trips(self, tmp_path, name, version):
+        path = str(tmp_path / "n.trace")
+        save_trace(make_uops(5), path, name=name, version=version)
+        assert load_trace(path).name == (name or "trace")
+
+    def test_spaced_name_header_is_single_record(self, tmp_path):
+        path = str(tmp_path / "n.trace")
+        save_trace(make_uops(5), path, name="a b c", version=1)
+        with open(path) as f:
+            header = f.readline().rstrip()
+        assert header == f'{MAGIC_V1} name="a b c"'
+
+
+def _write(path, text):
+    with open(path, "w") as f:
+        f.write(text)
+    return path
+
+
+MALFORMED_CASES = {
+    "empty-file": ("", 0, "empty file"),
+    "bad-magic": ("hello\n", 1, "not a repro trace"),
+    "truncated-record": (
+        "#repro-trace v1 name=x\n1 2 3\n", 2, "malformed"),
+    "v1-extra-fields": (
+        "#repro-trace v1 name=x\n0 4096 1 -1 0 0 - ph=1\n", 2,
+        "exactly 7 fields"),
+    "non-integer-field": (
+        "#repro-trace v1 name=x\n0 4096 one -1 0 0 -\n", 2, "non-integer"),
+    "negative-idx": (
+        "#repro-trace v1 name=x\n-1 4096 1 -1 0 0 -\n", 2, "negative uop idx"),
+    "unknown-class": (
+        "#repro-trace v1 name=x\n0 4096 99 -1 0 0 -\n", 2, "unknown uop class"),
+    "negative-addr": (
+        "#repro-trace v1 name=x\n0 4096 1 -7 0 0 -\n", 2, "negative address"),
+    "bad-taken": (
+        "#repro-trace v1 name=x\n0 4096 1 -1 2 0 -\n", 2, "taken field"),
+    "negative-src": (
+        "#repro-trace v1 name=x\n0 4096 1 -1 0 0 -3\n", 2, "negative src"),
+    "out-of-order-idx": (
+        "#repro-trace v1 name=x\n0 4096 1 -1 0 0 -\n5 4096 1 -1 0 0 -\n",
+        3, "out of order"),
+    "v2-missing-meta": (
+        "#repro-trace v2\n0 4096 1 -1 0 0 -\n", 2, "missing '#meta'"),
+    "v2-bad-meta-json": (
+        "#repro-trace v2\n#meta {not json\n", 2, "unparseable #meta"),
+    "v2-meta-not-object": (
+        "#repro-trace v2\n#meta [1,2]\n", 2, "not an object"),
+    "v2-unknown-uop-field": (
+        '#repro-trace v2\n#meta {"name":"x"}\n0 4096 1 -1 0 0 - zz=1\n',
+        3, "unknown per-uop field"),
+    "v2-non-integer-uop-field": (
+        '#repro-trace v2\n#meta {"name":"x"}\n0 4096 1 -1 0 0 - ph=abc\n',
+        3, "not an integer"),
+}
+
+
+class TestMalformedInputs:
+    """Every malformed input raises a typed error naming the line."""
+
+    @pytest.mark.parametrize("case", sorted(MALFORMED_CASES))
+    def test_typed_error_with_line(self, tmp_path, case):
+        text, line, match = MALFORMED_CASES[case]
+        path = _write(str(tmp_path / f"{case}.trace"), text)
+        with pytest.raises(TraceFormatError, match=match) as exc:
+            load_trace(path)
+        assert exc.value.path == path
+        assert exc.value.line == line
+        if line:
+            assert f"{path}:{line}:" in str(exc.value)
+
+    @pytest.mark.parametrize("case", sorted(MALFORMED_CASES))
+    def test_is_a_value_error(self, tmp_path, case):
+        text, _, _ = MALFORMED_CASES[case]
+        path = _write(str(tmp_path / f"{case}.trace"), text)
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_iter_trace_validates_header_before_first_yield(self, tmp_path):
+        path = _write(str(tmp_path / "bad.trace"), "nope\n")
+        with pytest.raises(TraceFormatError):
+            list(iter_trace(path))
+
+    def test_truncated_gzip_payload(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        save_trace(make_uops(), path)
+        with open(path, "rb") as f:
+            blob = f.read()
+        with open(path, "wb") as f:
+            f.write(blob[:len(blob) // 2])
+        with pytest.raises((TraceFormatError, EOFError, OSError)):
+            load_trace(path)
+
+
+# -------------------------------------------------------- property-based
+
+_CLASSES = sorted(int(c) for c in UopClass)
+
+
+@st.composite
+def uop_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    uops = []
+    for i in range(n):
+        cls = draw(st.sampled_from(_CLASSES))
+        is_mem = cls in (int(UopClass.LOAD), int(UopClass.STORE))
+        srcs = tuple(sorted(set(draw(st.lists(
+            st.integers(min_value=0, max_value=max(0, i - 1)),
+            max_size=3))))) if i else ()
+        taken = draw(st.booleans()) if cls == int(UopClass.BRANCH) else False
+        uops.append(StaticUop(
+            idx=i,
+            pc=draw(st.integers(min_value=0, max_value=2**48)),
+            cls=cls,
+            srcs=srcs,
+            addr=draw(st.integers(min_value=0, max_value=2**40))
+            if is_mem else -1,
+            taken=taken,
+            target=draw(st.integers(min_value=0, max_value=2**48))
+            if taken else 0))
+    return uops
+
+
+class TestFuzzRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(uops=uop_streams(), version=st.sampled_from([1, 2]),
+           gz=st.booleans())
+    def test_save_load_bit_equal(self, tmp_path_factory, uops, version, gz):
+        tmp = tmp_path_factory.mktemp("fuzz")
+        path = str(tmp / ("t.trace.gz" if gz else "t.trace"))
+        n = save_trace(uops, path, name="fuzz", version=version)
+        assert n == len(uops)
+        loaded = load_trace(path)
+        assert len(loaded) == len(uops)
+        for orig, got in zip(uops, (loaded.get(i) for i in range(n))):
+            assert fields(orig) == fields(got)
+
+    @settings(max_examples=10, deadline=None)
+    @given(uops=uop_streams())
+    def test_resave_is_byte_identical(self, tmp_path_factory, uops):
+        """save → load → save produces the identical file."""
+        tmp = tmp_path_factory.mktemp("fuzz")
+        a, b = str(tmp / "a.trace"), str(tmp / "b.trace")
+        save_trace(uops, a, name="fuzz")
+        save_trace(load_trace(a), b, name="fuzz")
+        with open(a) as fa, open(b) as fb:
+            assert fa.read() == fb.read()
+
+    @settings(max_examples=10, deadline=None)
+    @given(uops=uop_streams(),
+           table=st.lists(st.integers(min_value=0, max_value=7),
+                          min_size=1, max_size=5))
+    def test_phase_table_round_trips(self, tmp_path_factory, uops, table):
+        tmp = tmp_path_factory.mktemp("fuzz")
+        path = str(tmp / "p.trace")
+        n = len(uops)
+        rows, last = [], None
+        for k, ph in enumerate(table):
+            start = k * max(1, n // len(table))
+            if start >= n:
+                break
+            if ph != last:
+                rows.append((start, ph))
+                last = ph
+        trace = Trace.from_list(uops, name="fuzz")
+        trace.set_phase_table(rows)
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        for i in range(n):
+            assert loaded.phase_of(i) == trace.phase_of(i)

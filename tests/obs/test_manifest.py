@@ -73,6 +73,26 @@ class TestPointManifest:
         b = point_manifest("mcf", CORE4, "OOO", 100, 50)
         assert a["params_digest"] != b["params_digest"]
 
+    def test_phased_workload_provenance(self):
+        mani = point_manifest("ph-burst-mpki", BASELINE, "OOO", 100, 50)
+        assert mani["phase_count"] == 2
+        assert mani["phase_schedule_iters"] > 0
+
+    def test_trace_workload_provenance(self, tmp_path):
+        from repro.isa.tracefile import save_trace
+        from repro.workloads.catalog import get_workload
+        path = str(tmp_path / "m.trace")
+        save_trace(get_workload("x264").build_trace(), path, limit=50)
+        mani = point_manifest(f"trace:{path}", BASELINE, "OOO", 100, 50)
+        assert mani["trace_file"] == path
+        assert len(mani["trace_sha256"]) == 64
+        assert mani["trace_format_version"] == 2
+
+    def test_stationary_workload_has_no_extra_provenance(self):
+        mani = point_manifest("mcf", BASELINE, "OOO", 100, 50)
+        assert "phase_count" not in mani
+        assert "trace_file" not in mani
+
 
 class TestCacheIsolation:
     def test_module_cache_is_resettable(self, monkeypatch):

@@ -92,6 +92,17 @@ class TestTimeline:
         assert rob.count == len(tele.sampler.rows)
         assert 0 <= rob.mean <= BASELINE.core.rob_size
 
+    def test_stationary_workload_phase_is_zero(self, traced_run):
+        tele, _ = traced_run
+        assert all(row["phase"] == 0 for row in tele.sampler.rows)
+
+    def test_phased_workload_phase_column(self):
+        tele = Telemetry(interval=200)
+        simulate("ph-swap-chase-stream", BASELINE, RAR,
+                 instructions=4000, warmup=500, telemetry=tele)
+        phases = {row["phase"] for row in tele.sampler.rows}
+        assert phases >= {0, 1}  # the timeline sees the segment swaps
+
 
 class TestTrace:
     def test_chrome_trace_valid(self, traced_run, tmp_path):

@@ -1,0 +1,109 @@
+"""CLI surface for trace ingestion (`repro trace import|info|head`),
+trace-backed runs, and the calibration command."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "isa", "fixtures")
+CHAMPSIM_FIXTURE = os.path.join(FIXTURES, "champsim_small.txt")
+GEM5_FIXTURE = os.path.join(FIXTURES, "gem5_small.txt")
+
+
+class TestTraceImport:
+    def test_import_champsim_fixture(self, tmp_path, capsys):
+        out = str(tmp_path / "imported.trace")
+        assert main(["trace", "import", CHAMPSIM_FIXTURE,
+                     "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "imported" in stdout
+        assert f"trace:{out}" in stdout  # tells the user how to run it
+        from repro.isa.tracefile import load_trace
+        assert len(load_trace(out)) > 1000
+
+    def test_import_gem5_with_explicit_format(self, tmp_path, capsys):
+        out = str(tmp_path / "imported.trace.gz")
+        assert main(["trace", "import", GEM5_FIXTURE, "-f", "gem5",
+                     "--out", out, "--name", "gem5-fixture"]) == 0
+        from repro.isa.tracefile import trace_info
+        assert trace_info(out, scan=False)["name"] == "gem5-fixture"
+
+    def test_import_requires_out(self, capsys):
+        assert main(["trace", "import", CHAMPSIM_FIXTURE]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_import_malformed_input_nonzero_exit(self, tmp_path, capsys):
+        bad = str(tmp_path / "bad.txt")
+        with open(bad, "w") as f:
+            f.write("0x400 0 0 - -\n")  # wrong field count
+        assert main(["trace", "import", bad, "-f", "champsim",
+                     "--out", str(tmp_path / "o.trace")]) == 1
+        err = capsys.readouterr().err
+        assert "trace import failed" in err
+        assert f"{bad}:1" in err  # names the offending line
+
+    def test_import_missing_file_nonzero_exit(self, tmp_path, capsys):
+        assert main(["trace", "import", str(tmp_path / "none.txt"),
+                     "-f", "champsim",
+                     "--out", str(tmp_path / "o.trace")]) == 1
+        assert "failed" in capsys.readouterr().err
+
+    def test_imported_trace_runs_end_to_end(self, tmp_path, capsys):
+        out = str(tmp_path / "imported.trace")
+        assert main(["trace", "import", GEM5_FIXTURE, "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["run", f"trace:{out}", "RAR",
+                     "-n", "5000", "-w", "200"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+
+class TestTraceInfoHead:
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        from repro.isa.tracefile import save_trace
+        from repro.workloads.catalog import get_workload
+        path = str(tmp_path / "w.trace")
+        save_trace(get_workload("ph-burst-mpki").build_trace(), path,
+                   limit=800)
+        return path
+
+    def test_info_reports_phases(self, saved, capsys):
+        assert main(["trace", "info", saved]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["version"] == 2
+        assert info["uops"] == 800
+        assert "phase_uops" in info
+
+    def test_info_bad_file_nonzero_exit(self, tmp_path, capsys):
+        bad = str(tmp_path / "bad.trace")
+        with open(bad, "w") as f:
+            f.write("nope\n")
+        assert main(["trace", "info", bad]) == 1
+        assert "failed" in capsys.readouterr().err
+
+    def test_head_shows_records(self, saved, capsys):
+        assert main(["trace", "head", saved, "--limit", "5"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 5
+        assert "StaticUop" in out[0]
+
+
+class TestCalibrateCommand:
+    def test_check_mode_ok(self, tmp_path, capsys):
+        report = str(tmp_path / "cal.json")
+        assert main(["calibrate", "ph-burst-mpki", "--check",
+                     "-n", "8000", "-w", "15000",
+                     "--report", report]) == 0
+        out = capsys.readouterr().out
+        assert "ph-burst-mpki" in out
+        with open(report) as f:
+            payload = json.load(f)
+        assert payload["mode"] == "check"
+        assert payload["results"][0]["converged"] is True
+
+    def test_unknown_workload_exit_2(self, capsys):
+        assert main(["calibrate", "not-a-workload", "--check"]) == 2
+        assert "calibrate failed" in capsys.readouterr().err

@@ -1,0 +1,168 @@
+"""Phase-structured workloads: PhaseSpec schedules, the phased catalog
+set, trace phase annotation, and the auto-tuner calibration contract."""
+
+import pytest
+
+from repro.common.enums import UopClass
+from repro.workloads.base import BranchSpec, PhaseSpec, SlotSpec, WorkloadSpec
+from repro.workloads.catalog import (
+    ALL_WORKLOADS,
+    PHASED_BUILDERS,
+    PHASED_TARGETS,
+    PHASED_WORKLOADS,
+    get_workload,
+)
+from repro.workloads.patterns import PatternSpec
+
+
+def simple_spec(phases=()):
+    patterns = {
+        "a": PatternSpec(kind="stream", base=0x100000, working_set=1 << 16),
+        "b": PatternSpec(kind="random", base=0x900000, working_set=1 << 20),
+    }
+    body = (SlotSpec(cls=int(UopClass.LOAD), pattern="a"),
+            SlotSpec(cls=int(UopClass.INT_ADD), srcs=((0, 0),)),
+            SlotSpec(cls=int(UopClass.BRANCH),
+                     branch=BranchSpec(kind="loop")))
+    return WorkloadSpec(name="t", memory_intensive=True, body=body,
+                        patterns=patterns, phases=tuple(phases))
+
+
+class TestPhaseSpec:
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ValueError, match="duration"):
+            PhaseSpec(duration=0)
+
+    def test_unknown_override_pattern_rejected(self):
+        override = ("zz", PatternSpec(kind="stream", base=0, working_set=4096))
+        with pytest.raises(ValueError, match="zz"):
+            simple_spec(phases=(PhaseSpec(duration=8,
+                                          patterns=(override,)),))
+
+    def test_unphased_spec_has_no_phases(self):
+        trace = simple_spec().build_trace(seed=1)
+        assert not trace.has_phases()
+        assert trace.phase_of(100) == 0
+
+
+class TestPhasedTrace:
+    def test_phase_ids_follow_schedule(self):
+        spec = simple_spec(phases=(
+            PhaseSpec(duration=4),
+            PhaseSpec(duration=2, patterns=(
+                ("a", PatternSpec(kind="random", base=0x500000,
+                                  working_set=1 << 18)),)),
+        ))
+        trace = spec.build_trace(seed=1)
+        assert trace.has_phases()
+        nslots = len(spec.body)
+        # iterations 0-3 -> phase 0, 4-5 -> phase 1, cyclically
+        for it, want in [(0, 0), (3, 0), (4, 1), (5, 1), (6, 0), (10, 1)]:
+            assert trace.phase_of(it * nslots) == want, it
+
+    def test_phase_changes_address_pattern(self):
+        ws = 1 << 14
+        spec = simple_spec(phases=(
+            PhaseSpec(duration=8),
+            PhaseSpec(duration=8, patterns=(
+                ("a", PatternSpec(kind="stream", base=0x4000000, working_set=ws)),)),
+        ))
+        trace = spec.build_trace(seed=2)
+        nslots = len(spec.body)
+        base_load = trace.get(0)             # phase 0, pattern "a"
+        override_load = trace.get(8 * nslots)  # phase 1, overridden
+        assert base_load.cls == override_load.cls
+        assert override_load.addr >= 0x4000000
+        assert base_load.addr < 0x4000000
+
+    def test_determinism_same_seed(self):
+        spec = simple_spec(phases=(
+            PhaseSpec(duration=3),
+            PhaseSpec(duration=3, drift=1 << 16, patterns=(
+                ("a", PatternSpec(kind="stream", base=0x2000000,
+                                  working_set=1 << 15)),)),
+        ))
+        a, b = spec.build_trace(seed=7), spec.build_trace(seed=7)
+        for i in range(200):
+            x, y = a.get(i), b.get(i)
+            assert (x.pc, x.cls, x.addr, x.taken) == (y.pc, y.cls, y.addr,
+                                                      y.taken)
+
+    def test_drift_moves_override_base(self):
+        drift = 1 << 20
+        spec = simple_spec(phases=(
+            PhaseSpec(duration=2, drift=drift, patterns=(
+                ("a", PatternSpec(kind="stream", base=0x8000000,
+                                  working_set=1 << 12)),)),
+        ))
+        trace = spec.build_trace(seed=3)
+        nslots = len(spec.body)
+        first_pass = trace.get(0).addr
+        second_pass = trace.get(2 * nslots).addr
+        assert 0x8000000 <= first_pass < 0x8000000 + drift
+        assert second_pass >= 0x8000000 + drift
+
+
+class TestPhasedCatalog:
+    def test_six_phased_workloads(self):
+        assert len(PHASED_WORKLOADS) >= 6
+        assert set(PHASED_BUILDERS) == set(PHASED_TARGETS)
+        names = {w.name for w in PHASED_WORKLOADS}
+        assert names == set(PHASED_BUILDERS)
+
+    def test_resolvable_by_name_but_not_in_paper_sets(self):
+        paper_names = {w.name for w in ALL_WORKLOADS}
+        for w in PHASED_WORKLOADS:
+            assert get_workload(w.name) is w
+            assert w.name not in paper_names  # paper sets stay comparable
+            assert w.phases, w.name
+
+    def test_phased_traces_annotated(self):
+        for w in PHASED_WORKLOADS:
+            trace = w.build_trace(seed=0)
+            assert trace.has_phases(), w.name
+            ids = {trace.phase_of(i * 997) for i in range(200)}
+            # Multi-segment schedules must actually switch; single-segment
+            # (pure drift) workloads stay in phase 0 by construction.
+            if len(w.phases) > 1:
+                assert len(ids) >= 2, f"{w.name} never switches phase"
+            else:
+                assert ids == {0}, w.name
+
+
+class TestCalibration:
+    def test_tuned_parameters_meet_targets(self):
+        """Bench-sized regression: one baked workload re-measured with
+        its tuned dials stays within the documented tolerance."""
+        from repro.workloads.characterize import verify_tuned
+        r = verify_tuned("ph-burst-mpki")
+        assert r.converged, (r.mpki_measured, r.brmiss_measured)
+
+    def test_calibration_result_report_shape(self):
+        from repro.workloads.characterize import verify_tuned
+        d = verify_tuned("ph-ramp-ws").to_dict()
+        for key in ("name", "params", "mpki", "brmiss", "converged"):
+            assert key in d
+        for metric in ("mpki", "brmiss"):
+            for key in ("target", "measured", "tolerance", "ok"):
+                assert key in d[metric]
+        assert set(d["params"]) == {"hot_fraction", "data_bias"}
+
+    @pytest.mark.slow
+    def test_full_calibration_grid(self):
+        """Every phased workload's baked parameters verify on the full
+        bench size (the `repro calibrate --check` contract)."""
+        from repro.workloads.characterize import calibrate_catalog
+        results = calibrate_catalog(check=True)
+        bad = [r.name for r in results if not r.converged]
+        assert not bad, bad
+
+    @pytest.mark.slow
+    def test_autotune_converges_from_scratch(self):
+        """The bisection search itself re-finds in-tolerance dials."""
+        from repro.workloads.catalog import PHASED_TARGETS
+        from repro.workloads.characterize import autotune_workload
+        name = "ph-burst-mpki"
+        t = PHASED_TARGETS[name]
+        r = autotune_workload(PHASED_BUILDERS[name], t["mpki"], t["brmiss"])
+        assert r.converged, (r.mpki_measured, r.brmiss_measured)
